@@ -1,0 +1,27 @@
+# Convenience targets for the Ursa reproduction.
+
+.PHONY: install test bench bench-full clean-cache results loc
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+# Regenerates every paper table/figure; writes rendered output to results/.
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Paper-length runs (hours).
+bench-full:
+	REPRO_SCALE=full pytest benchmarks/ --benchmark-only
+
+# Drop cached exploration data and trained baselines.
+clean-cache:
+	rm -rf .repro_cache
+
+results:
+	@ls -1 results/ 2>/dev/null || echo "run 'make bench' first"
+
+loc:
+	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

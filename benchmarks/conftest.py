@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure, runs it exactly once
+(``benchmark.pedantic`` with one round -- the simulations are long), and
+writes the rendered output to ``results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Callable writing a rendered experiment block to results/<name>.txt."""
+
+    def save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,87 @@
+"""Ablation: Welch-t-test scaling vs naive mean-comparison scaling.
+
+Ursa's resource controller confirms threshold crossings with Welch's
+t-test to absorb load-fluctuation noise (§V item 4).  This ablation runs
+the same Ursa deployment twice -- once with the t-test (alpha = 0.05) and
+once effectively without it (alpha ~ 1: any arithmetic difference is
+"significant").  Without the filter the controller becomes asymmetric:
+scale-out fires on any upward noise, while scale-in -- which requires the
+hypothetical lower-count load NOT to "exceed" the threshold -- is frozen,
+because under alpha ~ 1 everything exceeds everything.  The net effect is
+over-allocation with no SLA benefit; the t-test is what makes safe
+scale-in possible at all.
+"""
+
+from conftest import run_once
+
+from repro.core.manager import UrsaManager
+from repro.experiments import artifacts
+from repro.experiments.report import render_table
+from repro.experiments.runner import make_app, scale_profile
+from repro.sim.random import RandomStreams
+from repro.workload.defaults import default_mix_for
+from repro.workload.generator import LoadGenerator
+from repro.workload.patterns import ConstantLoad
+
+APP = "vanilla-social-network"
+
+
+def run_variant(alpha: float, seed: int = 41):
+    profile = scale_profile()
+    duration = profile.deployment_s
+    spec = artifacts.app_spec(APP)
+    mix = default_mix_for(APP)
+    rps = artifacts.app_rps(APP)
+    exploration = artifacts.exploration_result(APP)
+    app = make_app(spec, seed=seed)
+    app.env.run(until=10)
+    manager = UrsaManager(app, exploration)
+    manager.controller.alpha = alpha
+    manager.initialize({c: rps * mix.fraction(c) for c in mix.classes()})
+    manager.start()
+    LoadGenerator(
+        app, ConstantLoad(rps), mix, RandomStreams(seed + 1), stop_at_s=duration
+    ).start()
+    app.env.run(until=duration)
+    return {
+        "decisions": len(manager.controller.decisions),
+        "violations": app.windowed_violation_rate(
+            profile.measure_from_s, duration
+        ),
+        "cpus": app.mean_cpu_allocation(profile.measure_from_s, duration),
+    }
+
+
+def run_ablation():
+    with_ttest = run_variant(alpha=0.05)
+    naive = run_variant(alpha=0.9999)
+    table = render_table(
+        ["variant", "scaling_decisions", "violation_rate", "mean_cpus"],
+        [
+            (
+                "welch t-test (a=0.05)",
+                with_ttest["decisions"],
+                f"{with_ttest['violations']:.3f}",
+                f"{with_ttest['cpus']:.1f}",
+            ),
+            (
+                "naive comparison (a~1)",
+                naive["decisions"],
+                f"{naive['violations']:.3f}",
+                f"{naive['cpus']:.1f}",
+            ),
+        ],
+        title="Ablation: t-test noise filtering in the resource controller",
+    )
+    return table, with_ttest, naive
+
+
+def test_ablation_ttest(benchmark, save_result):
+    table, with_ttest, naive = run_once(benchmark, run_ablation)
+    save_result("ablation_ttest", table)
+    # The naive variant cannot scale in (every comparison "exceeds"), so
+    # it allocates at least as many CPUs for the same workload.
+    assert naive["cpus"] >= with_ttest["cpus"] - 0.5
+    # Neither variant should sacrifice the SLA under constant load.
+    assert with_ttest["violations"] < 0.2
+    assert naive["violations"] < 0.2

@@ -1,0 +1,31 @@
+"""Fig. 9 benchmark: estimated vs measured latency, social network.
+
+Shape target: the calibrated estimates track measurements, with mean
+estimated/measured ratios near 1 (paper: 0.97-1.05).
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.fig09_10_model_accuracy import (
+    FIG9_CLASSES,
+    run_model_accuracy,
+)
+
+
+def test_fig09_model_accuracy(benchmark, save_result):
+    result = run_once(
+        benchmark, run_model_accuracy, "social-network", FIG9_CLASSES
+    )
+    save_result("fig09_model_accuracy", result.render())
+    ratios = {}
+    for name, series in result.series.items():
+        if len(series.points) >= 3:
+            ratios[name] = series.mean_ratio
+    assert ratios, "no class produced enough windows"
+    for name, ratio in ratios.items():
+        assert not math.isnan(ratio), name
+        # Paper band is 0.97-1.05; allow a wider, still-tracking band at
+        # the reduced quick scale.
+        assert 0.7 <= ratio <= 1.4, (name, ratio)

@@ -1,0 +1,27 @@
+"""Fig. 10 benchmark: estimated vs measured latency, video pipeline.
+
+Shape target: both priority classes' estimates track measurements (paper
+mean ratios 0.96 and 1.00, at the p50/p99 SLA percentiles respectively).
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.fig09_10_model_accuracy import run_model_accuracy
+
+
+def test_fig10_model_accuracy(benchmark, save_result):
+    result = run_once(
+        benchmark,
+        run_model_accuracy,
+        "video-pipeline",
+        ("high-priority", "low-priority"),
+    )
+    save_result("fig10_model_accuracy", result.render())
+    for name, series in result.series.items():
+        if len(series.points) < 3:
+            continue
+        ratio = series.mean_ratio
+        assert not math.isnan(ratio), name
+        assert 0.6 <= ratio <= 1.5, (name, ratio)

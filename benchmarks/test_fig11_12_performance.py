@@ -1,0 +1,67 @@
+"""Figs. 11 & 12 benchmark: violations and CPU across all five systems.
+
+Runs the full (app x load x manager) grid once and checks the paper's
+comparative shapes:
+
+* Ursa's violation rate is low and beats the ML systems on (nearly) every
+  cell;
+* Auto-a is cheap but violates heavily under pressure;
+* Auto-b keeps violations near Ursa's but burns substantially more CPU;
+* under skewed load Ursa stays low-violation (it recomputes thresholds
+  for the new mix) even if it spends some extra CPU.
+
+Set ``REPRO_APPS`` (comma-separated) to restrict the grid.
+"""
+
+import os
+import statistics
+
+from conftest import run_once
+
+from repro.experiments.fig11_12_performance import run_performance_grid
+
+DEFAULT_APPS = (
+    "social-network",
+    "vanilla-social-network",
+    "media-service",
+    "video-pipeline",
+)
+
+
+def _apps() -> tuple[str, ...]:
+    override = os.environ.get("REPRO_APPS")
+    if override:
+        return tuple(a.strip() for a in override.split(",") if a.strip())
+    return DEFAULT_APPS
+
+
+def test_fig11_12_performance(benchmark, save_result):
+    apps = _apps()
+    grid = run_once(benchmark, run_performance_grid, apps)
+    text = grid.violation_table() + "\n\n" + grid.cpu_table()
+    save_result("fig11_12_performance", text)
+
+    def cells(manager, metric):
+        return [
+            getattr(r, metric)
+            for (a, l, m), r in grid.results.items()
+            if m == manager
+        ]
+
+    ursa_viol = statistics.mean(cells("ursa", "windowed_violation_rate"))
+    sinan_viol = statistics.mean(cells("sinan", "windowed_violation_rate"))
+    firm_viol = statistics.mean(cells("firm", "windowed_violation_rate"))
+    auto_a_viol = statistics.mean(cells("auto-a", "windowed_violation_rate"))
+    auto_b_viol = statistics.mean(cells("auto-b", "windowed_violation_rate"))
+    ursa_cpu = statistics.mean(cells("ursa", "mean_cpu_allocation"))
+    auto_b_cpu = statistics.mean(cells("auto-b", "mean_cpu_allocation"))
+
+    # Fig. 11 shapes.
+    assert ursa_viol < 0.15, f"Ursa violation rate too high: {ursa_viol:.3f}"
+    assert ursa_viol < sinan_viol, (ursa_viol, sinan_viol)
+    assert ursa_viol < firm_viol, (ursa_viol, firm_viol)
+    assert ursa_viol < auto_a_viol, (ursa_viol, auto_a_viol)
+    # Auto-b protects SLAs roughly as well as Ursa...
+    assert auto_b_viol < sinan_viol
+    # Fig. 12 shape: ...but pays for it in CPUs.
+    assert auto_b_cpu > ursa_cpu, (auto_b_cpu, ursa_cpu)

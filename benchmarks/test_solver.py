@@ -1,0 +1,45 @@
+"""Solver benchmark: branch-and-bound speed on realistic model sizes.
+
+The optimisation engine must re-solve within control-plane timescales
+(Table VI reports Ursa's update at ~272 ms on the paper's hardware).  This
+benchmark times the exact solver on a synthetic instance the size of the
+social network model (13 services x 8 LPR options x 7 classes).
+"""
+
+import numpy as np
+
+from repro.solver import AllocationModel, ClassSla, ServiceOptions, solve
+
+GRID = [50.0, 90.0, 95.0, 99.0, 99.5, 99.9]
+
+
+def build_instance(n_services=13, n_options=8, n_classes=7, seed=0):
+    rng = np.random.default_rng(seed)
+    class_names = [f"class-{j}" for j in range(n_classes)]
+    services = []
+    for k in range(n_services):
+        served = [c for c in class_names if rng.random() < 0.5] or class_names[:1]
+        base = rng.uniform(0.002, 0.05)
+        latency = {}
+        for c in served:
+            rows = np.sort(
+                np.outer(
+                    np.linspace(1.0, 4.0, n_options),
+                    base * np.linspace(1.0, 1.6, len(GRID)),
+                ),
+                axis=1,
+            )
+            latency[c] = rows
+        resources = np.linspace(n_options * 2.0, 2.0, n_options).tolist()
+        services.append(ServiceOptions(f"s{k}", resources, latency))
+    slas = [ClassSla(c, 99.0, 0.8) for c in class_names]
+    return AllocationModel(services, slas, GRID)
+
+
+def test_solver_speed(benchmark):
+    model = build_instance()
+    solution = benchmark(solve, model)
+    assert solution.objective > 0
+    # Every class's bound respects its target.
+    for sla in model.slas:
+        assert solution.latency_bound[sla.name] <= sla.target_s + 1e-9

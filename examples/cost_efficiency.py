@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Throughput-per-dollar comparison (§VII-E Discussion).
+
+Runs the vanilla social network under Ursa and under both autoscaler
+configurations on the *same* workload, then reports relative
+throughput-per-dollar and goodput-per-dollar — the paper's argument that
+Ursa's CPU savings translate directly into serving more traffic for the
+same budget.
+
+Run:  python examples/cost_efficiency.py
+"""
+
+from repro.apps import build_vanilla_social_network_spec
+from repro.core import ExplorationController
+from repro.experiments.goodput import compare_cost_efficiency
+from repro.experiments.managers import attach_autoscaler, attach_ursa
+from repro.experiments.runner import run_deployment
+from repro.sim import RandomStreams
+from repro.workload import ConstantLoad
+from repro.workload.defaults import vanilla_social_network_mix
+
+
+def main() -> None:
+    spec = build_vanilla_social_network_spec()
+    mix = vanilla_social_network_mix()
+    rps = 120.0
+    pattern = ConstantLoad(rps)
+
+    print("== exploring (Ursa needs its LPR profiles first)")
+    explorer = ExplorationController(
+        RandomStreams(70), window_s=20.0, samples_per_step=4,
+        warmup_s=40, settle_s=10,
+    )
+    exploration = explorer.explore_app(
+        spec, mix, rps, {s.name: 0.6 for s in spec.services}
+    )
+
+    print("== running the three systems on the identical workload")
+    class_loads = {c: rps * mix.fraction(c) for c in mix.classes()}
+    runs = {}
+    runs["ursa"] = run_deployment(
+        spec, mix, pattern, attach_ursa(exploration, class_loads),
+        "ursa", "constant", seed=71, duration_s=540,
+    )
+    for variant in ("auto-a", "auto-b"):
+        runs[variant] = run_deployment(
+            spec, mix, pattern, attach_autoscaler(variant, mix, rps),
+            variant, "constant", seed=71, duration_s=540,
+        )
+
+    print(f"{'system':10s} {'violations':>11s} {'mean CPUs':>10s}")
+    for name, result in runs.items():
+        print(
+            f"{name:10s} {result.windowed_violation_rate:>10.1%} "
+            f"{result.mean_cpu_allocation:>10.1f}"
+        )
+
+    print("\n== cost efficiency relative to each baseline")
+    for baseline in ("auto-a", "auto-b"):
+        eff = compare_cost_efficiency(runs["ursa"], runs[baseline])
+        print(
+            f"vs {baseline}: {eff.throughput_per_dollar_x:.2f}x throughput/$, "
+            f"{eff.goodput_per_dollar_x:.2f}x goodput/$"
+        )
+
+
+if __name__ == "__main__":
+    main()

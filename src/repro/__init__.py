@@ -1,0 +1,55 @@
+"""repro -- reproduction of Ursa (HPCA 2024).
+
+Ursa is a lightweight resource-management framework for cloud-native
+microservices.  This package re-implements the full system on top of a
+discrete-event cluster simulator:
+
+* :mod:`repro.sim` -- discrete-event simulation kernel.
+* :mod:`repro.cluster` -- Kubernetes-like cluster substrate.
+* :mod:`repro.net` -- RPC and message-queue communication models.
+* :mod:`repro.services` -- microservice queueing models.
+* :mod:`repro.apps` -- benchmark applications (social network, media
+  service, video pipeline, synthetic chains).
+* :mod:`repro.workload` -- Poisson load generation and load patterns.
+* :mod:`repro.telemetry` -- Prometheus-like metrics collection.
+* :mod:`repro.stats` -- Welch's t-test and distribution utilities.
+* :mod:`repro.solver` -- branch-and-bound one-hot-group MIP solver.
+* :mod:`repro.core` -- the Ursa contribution: SLA decomposition,
+  backpressure-free profiling, LPR exploration, MIP-based optimisation,
+  the resource controller and anomaly detector.
+* :mod:`repro.baselines` -- Sinan, Firm, and step autoscaling.
+* :mod:`repro.experiments` -- per-table/figure reproduction harnesses.
+
+Quickstart::
+
+    from repro.apps import build_social_network
+    from repro.experiments.runner import run_managed_deployment
+
+    app = build_social_network()
+    result = run_managed_deployment(app, manager="ursa", duration_s=300)
+    print(result.sla_violation_rate, result.mean_cpu_allocation)
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ConfigurationError,
+    ExplorationError,
+    InfeasibleModelError,
+    ReproError,
+    SchedulingError,
+    SolverError,
+    TelemetryError,
+    TopologyError,
+)
+
+__all__ = [
+    "__version__",
+    "ConfigurationError",
+    "ExplorationError",
+    "InfeasibleModelError",
+    "ReproError",
+    "SchedulingError",
+    "SolverError",
+    "TelemetryError",
+    "TopologyError",
+]

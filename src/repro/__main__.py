@@ -1,0 +1,7 @@
+"""``python -m repro`` -- run one paper experiment from the command line."""
+
+import sys
+
+from repro.experiments.cli import main
+
+sys.exit(main())

@@ -1,0 +1,77 @@
+"""Synthetic service chains for the §III backpressure case study.
+
+Three 5-tier chains, one per communication method (Fig. 1): nested RPC,
+event-driven RPC, and message queues.  Each tier runs a CPU-intensive loop
+as its request handler.  The Fig. 2 experiment stress-tests a chain and
+throttles the leaf tier's CPU mid-run to observe how latency anomalies
+propagate upstream.
+"""
+
+from __future__ import annotations
+
+from repro.apps.topology import AppSpec, RequestClass, SlaSpec
+from repro.net.messages import Call, CallMode
+from repro.services.spec import ServiceSpec
+from repro.sim.random import LogNormal
+
+__all__ = ["build_chain_spec", "CHAIN_CLASS", "tier_name"]
+
+#: The single request class flowing through a chain.
+CHAIN_CLASS = "chain-request"
+
+
+def tier_name(index: int) -> str:
+    """Name of the ``index``-th tier (1-based; tier 1 is client-facing)."""
+    return f"tier-{index}"
+
+
+#: Handler threads per core by tier depth.  Front tiers (API gateways)
+#: run with large thread pools; deep back-end tiers with small ones -- the
+#: standard production grading.  The pool *differences* are what localise
+#: backpressure: a slow leaf backs traffic up into its parent's (small)
+#: pool first, and each larger upstream pool absorbs progressively more of
+#: the congestion -- producing Fig. 2's "most pronounced at the parent,
+#: negligible above tier 3" shape.
+DEFAULT_THREAD_GRADING: tuple[int, ...] = (10, 10, 9, 6, 4)
+
+
+def build_chain_spec(
+    mode: CallMode,
+    tiers: int = 5,
+    work_mean_s: float = 0.010,
+    cpus_per_replica: int = 2,
+    sla_s: float = 5.0,
+    thread_grading: tuple[int, ...] | None = None,
+    daemon_pool_factor: float = 1.25,
+) -> AppSpec:
+    """A ``tiers``-deep chain whose inter-service edges all use ``mode``.
+
+    The client always reaches tier 1 via RPC (it is the user-facing
+    service); ``mode`` governs every tier-to-tier edge, matching the three
+    chains of Fig. 1.
+    """
+    if tiers < 2:
+        raise ValueError(f"a chain needs >= 2 tiers, got {tiers}")
+    grading = thread_grading if thread_grading is not None else DEFAULT_THREAD_GRADING
+    if len(grading) < tiers:
+        grading = tuple(grading) + (grading[-1],) * (tiers - len(grading))
+    services = tuple(
+        ServiceSpec(
+            tier_name(i),
+            cpus_per_replica=cpus_per_replica,
+            handlers={CHAIN_CLASS: LogNormal(work_mean_s, 0.5)},
+            memory_per_replica_gb=0.5,
+            threads_per_cpu=grading[i - 1],
+            daemon_pool_factor=daemon_pool_factor,
+        )
+        for i in range(1, tiers + 1)
+    )
+    # Build the chain inside-out: leaf first.
+    tree = Call(tier_name(tiers), mode)
+    for i in range(tiers - 1, 1, -1):
+        tree = Call(tier_name(i), mode, (tree,))
+    root = Call(tier_name(1), CallMode.RPC, (tree,))
+    request_classes = (
+        RequestClass(CHAIN_CLASS, root, SlaSpec(percentile=99.0, target_s=sla_s)),
+    )
+    return AppSpec(f"chain-{mode.value}", services, request_classes)

@@ -1,0 +1,136 @@
+"""The media-service benchmark (§VI, re-implemented DeathStarBench).
+
+Table III SLAs.  Interactive classes (upload/download video, get-info,
+rate-video) are RPC chains; the video-processing classes (transcode,
+thumbnail) are FFmpeg-style heavy jobs consumed from message queues.
+"""
+
+from __future__ import annotations
+
+from repro.apps.topology import AppSpec, RequestClass, SlaSpec
+from repro.net.messages import Call, CallMode
+from repro.services.spec import ServiceSpec
+from repro.sim.random import LogNormal
+
+__all__ = ["build_media_service_spec", "MEDIA_SERVICE_SLAS"]
+
+#: Table III -- SLA requirements of the media service (seconds, p99).
+MEDIA_SERVICE_SLAS: dict[str, float] = {
+    "upload-video": 2.000,
+    "download-video": 1.500,
+    "get-info": 0.250,
+    "rate-video": 0.400,
+    "transcode-video": 40.000,
+    "generate-thumbnail": 2.000,
+}
+
+
+def build_media_service_spec() -> AppSpec:
+    light = 0.4
+    services = (
+        ServiceSpec(
+            "media-frontend",
+            cpus_per_replica=1,
+            handlers={
+                "upload-video": LogNormal(0.0030, light),
+                "download-video": LogNormal(0.0025, light),
+                "get-info": LogNormal(0.0020, light),
+                "rate-video": LogNormal(0.0020, light),
+            },
+            memory_per_replica_gb=0.5,
+        ),
+        # Stores and serves actual video blobs; writes are expensive.
+        ServiceSpec(
+            "video-store",
+            cpus_per_replica=2,
+            handlers={
+                "upload-video": LogNormal(0.300, 0.8),
+                "download-video": LogNormal(0.220, 0.7),
+                "transcode-video": LogNormal(0.150, 0.6),
+                "generate-thumbnail": LogNormal(0.060, 0.6),
+            },
+            memory_per_replica_gb=4.0,
+        ),
+        ServiceSpec(
+            "video-info",
+            cpus_per_replica=1,
+            handlers={"get-info": LogNormal(0.0150, 0.5)},
+            memory_per_replica_gb=1.0,
+        ),
+        ServiceSpec(
+            "rating-service",
+            cpus_per_replica=1,
+            handlers={"rate-video": LogNormal(0.0200, 0.5)},
+            memory_per_replica_gb=1.0,
+        ),
+        ServiceSpec(
+            "redis-media",
+            cpus_per_replica=1,
+            handlers={
+                "get-info": LogNormal(0.0012, light),
+                "rate-video": LogNormal(0.0012, light),
+            },
+            memory_per_replica_gb=2.0,
+        ),
+        # FFmpeg transcoding to multiple resolutions: ~8 s, variable.
+        ServiceSpec(
+            "transcode",
+            cpus_per_replica=4,
+            handlers={"transcode-video": LogNormal(8.000, 0.5)},
+            memory_per_replica_gb=8.0,
+        ),
+        # Thumbnail extraction: a single FFmpeg seek+scale, ~0.3 s.
+        ServiceSpec(
+            "thumbnail",
+            cpus_per_replica=1,
+            handlers={"generate-thumbnail": LogNormal(0.280, 0.6)},
+            memory_per_replica_gb=2.0,
+        ),
+    )
+    sla = {
+        name: SlaSpec(percentile=99.0, target_s=target)
+        for name, target in MEDIA_SERVICE_SLAS.items()
+    }
+    request_classes = (
+        RequestClass(
+            "upload-video",
+            Call("media-frontend", CallMode.RPC, (Call("video-store"),)),
+            sla["upload-video"],
+        ),
+        RequestClass(
+            "download-video",
+            Call("media-frontend", CallMode.RPC, (Call("video-store"),)),
+            sla["download-video"],
+        ),
+        RequestClass(
+            "get-info",
+            Call(
+                "media-frontend",
+                CallMode.RPC,
+                (Call("video-info", CallMode.RPC, (Call("redis-media"),)),),
+            ),
+            sla["get-info"],
+        ),
+        RequestClass(
+            "rate-video",
+            Call(
+                "media-frontend",
+                CallMode.RPC,
+                (Call("rating-service", CallMode.RPC, (Call("redis-media"),)),),
+            ),
+            sla["rate-video"],
+        ),
+        # Transcoding fetches the source and stores renditions via RPC to
+        # the video store, but the job itself arrives on a message queue.
+        RequestClass(
+            "transcode-video",
+            Call("transcode", CallMode.MQ, (Call("video-store"),)),
+            sla["transcode-video"],
+        ),
+        RequestClass(
+            "generate-thumbnail",
+            Call("thumbnail", CallMode.MQ, (Call("video-store"),)),
+            sla["generate-thumbnail"],
+        ),
+    )
+    return AppSpec("media-service", services, request_classes)

@@ -1,0 +1,292 @@
+"""The social-network benchmark (§VI, re-implemented DeathStarBench).
+
+Request classes and SLAs follow Table II.  The topology mixes the three
+communication methods:
+
+* interactive classes (upload-post, read-timeline, image up/download) use
+  nested RPC chains through the frontend;
+* deferred classes (update-timeline, sentiment-analysis, object-detect)
+  flow through message queues, exactly where the paper's re-implementation
+  placed them;
+* sentiment analysis and object detection model HuggingFace ML inference:
+  large-mean, heavy-tailed service times.
+
+The *vanilla* variant (``build_vanilla_social_network``) disables the ML
+services, reproducing the original DeathStarBench feature set the paper
+uses to isolate the effect of resource heterogeneity.
+
+Handler work distributions are calibrated so that, at low load, each
+class's end-to-end latency sits comfortably below its Table II SLA --
+mirroring the paper's methodology of setting SLAs from pre-saturation
+latencies.
+"""
+
+from __future__ import annotations
+
+from repro.apps.topology import AppSpec, RequestClass, SlaSpec
+from repro.net.messages import Call, CallMode
+from repro.services.spec import ServiceSpec
+from repro.sim.random import LogNormal
+
+__all__ = [
+    "build_social_network_spec",
+    "build_vanilla_social_network_spec",
+    "SOCIAL_NETWORK_SLAS",
+    "swap_object_detect_model",
+]
+
+#: Table II -- SLA requirements of the social network (seconds, p99).
+SOCIAL_NETWORK_SLAS: dict[str, float] = {
+    "upload-post": 0.075,
+    "read-timeline": 0.250,
+    "update-timeline": 0.500,
+    "upload-image": 0.200,
+    "download-image": 0.075,
+    "sentiment-analysis": 0.500,
+    "object-detect": 10.000,
+}
+
+
+def _services(include_ml: bool) -> tuple[ServiceSpec, ...]:
+    light = 0.4  # cv for fast text handlers
+    services = [
+        ServiceSpec(
+            "frontend",
+            cpus_per_replica=1,
+            handlers={
+                "upload-post": LogNormal(0.0020, light),
+                "read-timeline": LogNormal(0.0020, light),
+                "upload-image": LogNormal(0.0025, light),
+                "download-image": LogNormal(0.0018, light),
+                **(
+                    {"object-detect": LogNormal(0.0020, light)}
+                    if include_ml
+                    else {}
+                ),
+            },
+            memory_per_replica_gb=0.5,
+        ),
+        ServiceSpec(
+            "text-service",
+            cpus_per_replica=1,
+            handlers={"upload-post": LogNormal(0.0060, 0.5)},
+            memory_per_replica_gb=0.5,
+        ),
+        ServiceSpec(
+            "user-service",
+            cpus_per_replica=1,
+            handlers={"upload-post": LogNormal(0.0025, light)},
+            memory_per_replica_gb=0.5,
+        ),
+        ServiceSpec(
+            "post-storage",
+            cpus_per_replica=1,
+            handlers={
+                "upload-post": LogNormal(0.0050, 0.5),
+                "read-timeline": LogNormal(0.0040, 0.5),
+                **({"object-detect": LogNormal(0.0040, 0.5)} if include_ml else {}),
+            },
+            memory_per_replica_gb=1.0,
+        ),
+        ServiceSpec(
+            "timeline-service",
+            cpus_per_replica=1,
+            handlers={"read-timeline": LogNormal(0.0120, 0.6)},
+            memory_per_replica_gb=1.0,
+        ),
+        ServiceSpec(
+            "timeline-update",
+            cpus_per_replica=1,
+            handlers={"update-timeline": LogNormal(0.0150, 0.6)},
+            memory_per_replica_gb=1.0,
+        ),
+        ServiceSpec(
+            "social-graph",
+            cpus_per_replica=1,
+            handlers={"update-timeline": LogNormal(0.0050, 0.5)},
+            memory_per_replica_gb=0.5,
+        ),
+        ServiceSpec(
+            "image-store",
+            cpus_per_replica=1,
+            handlers={
+                "upload-image": LogNormal(0.0300, 0.7),
+                "download-image": LogNormal(0.0080, 0.5),
+                **({"object-detect": LogNormal(0.0100, 0.5)} if include_ml else {}),
+            },
+            memory_per_replica_gb=2.0,
+        ),
+        ServiceSpec(
+            "redis-post",
+            cpus_per_replica=1,
+            handlers={
+                "upload-post": LogNormal(0.0012, light),
+                "read-timeline": LogNormal(0.0012, light),
+            },
+            memory_per_replica_gb=2.0,
+        ),
+        ServiceSpec(
+            "redis-timeline",
+            cpus_per_replica=1,
+            handlers={
+                "read-timeline": LogNormal(0.0012, light),
+                "update-timeline": LogNormal(0.0015, light),
+            },
+            memory_per_replica_gb=2.0,
+        ),
+        ServiceSpec(
+            "redis-social",
+            cpus_per_replica=1,
+            handlers={"update-timeline": LogNormal(0.0012, light)},
+            memory_per_replica_gb=2.0,
+        ),
+    ]
+    if include_ml:
+        services.extend(
+            [
+                # HuggingFace sentiment model: ~80 ms inference, long tail.
+                ServiceSpec(
+                    "sentiment-ml",
+                    cpus_per_replica=4,
+                    handlers={"sentiment-analysis": LogNormal(0.080, 0.8)},
+                    memory_per_replica_gb=4.0,
+                ),
+                # DETR object detection: ~1.5 s inference, variable.
+                ServiceSpec(
+                    "object-detect-ml",
+                    cpus_per_replica=4,
+                    handlers={"object-detect": LogNormal(1.500, 0.55)},
+                    memory_per_replica_gb=8.0,
+                ),
+            ]
+        )
+    return tuple(services)
+
+
+def _request_classes(include_ml: bool) -> tuple[RequestClass, ...]:
+    sla = {
+        name: SlaSpec(percentile=99.0, target_s=target)
+        for name, target in SOCIAL_NETWORK_SLAS.items()
+    }
+    classes = [
+        # Synchronous compose path: frontend -> text (-> user) + storage.
+        RequestClass(
+            name="upload-post",
+            tree=Call(
+                "frontend",
+                CallMode.RPC,
+                (
+                    Call("text-service", CallMode.RPC, (Call("user-service"),)),
+                    Call("post-storage", CallMode.RPC, (Call("redis-post"),)),
+                ),
+            ),
+            sla=sla["upload-post"],
+        ),
+        # Timeline read fans out to the timeline index and post contents.
+        RequestClass(
+            name="read-timeline",
+            tree=Call(
+                "frontend",
+                CallMode.RPC,
+                (
+                    Call(
+                        "timeline-service",
+                        CallMode.RPC,
+                        (
+                            Call("redis-timeline"),
+                            Call(
+                                "post-storage",
+                                CallMode.RPC,
+                                (Call("redis-post"),),
+                                repeat=2,
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            sla=sla["read-timeline"],
+        ),
+        # Deferred fan-out write, consumed from a message queue.
+        RequestClass(
+            name="update-timeline",
+            tree=Call(
+                "timeline-update",
+                CallMode.MQ,
+                (
+                    Call("social-graph", CallMode.RPC, (Call("redis-social"),)),
+                    Call("redis-timeline", repeat=2),
+                ),
+            ),
+            sla=sla["update-timeline"],
+        ),
+        RequestClass(
+            name="upload-image",
+            tree=Call("frontend", CallMode.RPC, (Call("image-store"),)),
+            sla=sla["upload-image"],
+        ),
+        RequestClass(
+            name="download-image",
+            tree=Call("frontend", CallMode.RPC, (Call("image-store"),)),
+            sla=sla["download-image"],
+        ),
+    ]
+    if include_ml:
+        classes.extend(
+            [
+                RequestClass(
+                    name="sentiment-analysis",
+                    tree=Call("sentiment-ml", CallMode.MQ),
+                    sla=sla["sentiment-analysis"],
+                ),
+                # Fig. 14: object-detect requests traverse frontend, image
+                # store, post service and the object-detect service.
+                RequestClass(
+                    name="object-detect",
+                    tree=Call(
+                        "frontend",
+                        CallMode.RPC,
+                        (
+                            Call(
+                                "object-detect-ml",
+                                CallMode.MQ,
+                                (
+                                    Call("image-store"),
+                                    Call("post-storage"),
+                                ),
+                            ),
+                        ),
+                    ),
+                    sla=sla["object-detect"],
+                ),
+            ]
+        )
+    return tuple(classes)
+
+
+def build_social_network_spec() -> AppSpec:
+    """The full social network, including the ML services (§VI)."""
+    return AppSpec(
+        name="social-network",
+        services=_services(include_ml=True),
+        request_classes=_request_classes(include_ml=True),
+    )
+
+
+def build_vanilla_social_network_spec() -> AppSpec:
+    """Original DeathStarBench feature set: no ML services (§VII-E)."""
+    return AppSpec(
+        name="vanilla-social-network",
+        services=_services(include_ml=False),
+        request_classes=_request_classes(include_ml=False),
+    )
+
+
+def swap_object_detect_model(spec: AppSpec) -> AppSpec:
+    """§VII-G's business-logic update: DETR -> MobileNet.
+
+    MobileNet is roughly 5x lighter than the DETR pipeline; the swapped
+    handler keeps the distribution shape but scales the mean down.
+    """
+    service = spec.service("object-detect-ml")
+    updated = service.with_handler("object-detect", LogNormal(0.300, 0.55))
+    return spec.with_service(updated)

@@ -1,0 +1,326 @@
+"""Application topologies: request classes, SLAs, and the runtime wiring.
+
+An :class:`AppSpec` is the static description of a benchmark application:
+its microservices, and its request classes -- each a call tree with an SLA
+(percentile + target latency, Tables II-IV) and a priority.  An
+:class:`Application` instantiates the spec on a simulated cluster and is
+the object workload generators and resource managers interact with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigurationError, TopologyError
+from repro.net.messages import Call, CallMode, Request
+from repro.services.base import Microservice
+from repro.services.spec import ServiceSpec
+from repro.sim.engine import Environment, Event
+from repro.sim.random import RandomStreams
+from repro.telemetry.metrics import MetricsHub
+
+__all__ = ["SlaSpec", "RequestClass", "AppSpec", "Application"]
+
+
+@dataclass(frozen=True)
+class SlaSpec:
+    """An SLA: the ``percentile``-th latency must stay below ``target_s``."""
+
+    percentile: float
+    target_s: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.percentile < 100:
+            raise ConfigurationError(
+                f"SLA percentile must be in (0, 100), got {self.percentile}"
+            )
+        if self.target_s <= 0:
+            raise ConfigurationError(f"SLA target must be > 0, got {self.target_s}")
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """One class (or priority level) of user requests."""
+
+    name: str
+    tree: Call
+    sla: SlaSpec
+    priority: int = 0
+
+    def services(self) -> list[str]:
+        """Unique services on this class's path, preorder."""
+        seen: list[str] = []
+        for name in self.tree.services():
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def access_counts(self) -> dict[str, int]:
+        """Accesses per request for each service on this class's path.
+
+        A service called ``repeat`` times by a parent that is itself called
+        multiple times accumulates multiplicatively; §IV treats the
+        cumulative latency of all accesses as that service's latency.
+        """
+        counts: dict[str, int] = {}
+
+        def walk(call: Call, multiplier: int) -> None:
+            times = multiplier * call.repeat
+            counts[call.service] = counts.get(call.service, 0) + times
+            for child in call.children:
+                walk(child, times)
+
+        walk(self.tree, 1)
+        return counts
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Static description of a benchmark application."""
+
+    name: str
+    services: tuple[ServiceSpec, ...]
+    request_classes: tuple[RequestClass, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "services", tuple(self.services))
+        object.__setattr__(self, "request_classes", tuple(self.request_classes))
+        specs = {s.name for s in self.services}
+        if len(specs) != len(self.services):
+            raise ConfigurationError(f"{self.name}: duplicate service names")
+        class_names = {c.name for c in self.request_classes}
+        if len(class_names) != len(self.request_classes):
+            raise ConfigurationError(f"{self.name}: duplicate request classes")
+        by_name = {s.name: s for s in self.services}
+        for rc in self.request_classes:
+            for call in rc.tree.walk():
+                if call.service not in specs:
+                    raise TopologyError(
+                        f"{self.name}: class {rc.name!r} references unknown "
+                        f"service {call.service!r}"
+                    )
+                if rc.name not in by_name[call.service].handlers:
+                    raise TopologyError(
+                        f"{self.name}: service {call.service!r} lacks a handler "
+                        f"for request class {rc.name!r}"
+                    )
+
+    def service(self, name: str) -> ServiceSpec:
+        for spec in self.services:
+            if spec.name == name:
+                return spec
+        raise TopologyError(f"{self.name}: unknown service {name!r}")
+
+    def request_class(self, name: str) -> RequestClass:
+        for rc in self.request_classes:
+            if rc.name == name:
+                return rc
+        raise TopologyError(f"{self.name}: unknown request class {name!r}")
+
+    def sla_table(self) -> dict[str, SlaSpec]:
+        """Request class -> SLA (the paper's Tables II-IV)."""
+        return {rc.name: rc.sla for rc in self.request_classes}
+
+    def rpc_called_services(self) -> set[str]:
+        """Services invoked via RPC or event-driven RPC somewhere.
+
+        Only these need backpressure-free threshold profiling (§III): a
+        service consumed exclusively through message queues cannot inflate
+        any caller's latency.  Roots of non-MQ classes count (the client
+        calls them synchronously).
+        """
+        called: set[str] = set()
+        for rc in self.request_classes:
+            if rc.tree.mode != CallMode.MQ:
+                called.add(rc.tree.service)
+            for call in rc.tree.walk():
+                for child in call.children:
+                    if child.mode in (CallMode.RPC, CallMode.EVENT):
+                        called.add(child.service)
+        return called
+
+    def with_service(self, spec: ServiceSpec) -> "AppSpec":
+        """A copy with one service spec replaced (§VII-G logic updates)."""
+        services = tuple(spec if s.name == spec.name else s for s in self.services)
+        if spec.name not in {s.name for s in self.services}:
+            raise TopologyError(f"{self.name}: unknown service {spec.name!r}")
+        return AppSpec(self.name, services, self.request_classes)
+
+
+class Application:
+    """A running application: services deployed on a cluster.
+
+    This is the facade everything else uses:
+
+    * workload generators call :meth:`submit`;
+    * resource managers call :meth:`scale` / :meth:`replicas` and read the
+      metrics hub;
+    * experiments read :attr:`hub` for latency/violation/allocation series.
+    """
+
+    def __init__(
+        self,
+        spec: AppSpec,
+        env: Environment | None = None,
+        cluster: Cluster | None = None,
+        hub: MetricsHub | None = None,
+        streams: RandomStreams | None = None,
+        initial_replicas: Mapping[str, int] | int = 2,
+        network_delay_s: float = 0.0005,
+        utilization_sample_interval_s: float = 5.0,
+    ) -> None:
+        self.spec = spec
+        self.env = env if env is not None else Environment()
+        self.cluster = cluster if cluster is not None else Cluster(self.env)
+        self.hub = hub if hub is not None else MetricsHub(lambda: self.env.now)
+        self.streams = streams if streams is not None else RandomStreams(seed=0)
+        self.services: dict[str, Microservice] = {}
+        for svc_spec in spec.services:
+            if isinstance(initial_replicas, int):
+                replicas = initial_replicas
+            else:
+                replicas = initial_replicas.get(svc_spec.name, 2)
+            self.services[svc_spec.name] = Microservice(
+                env=self.env,
+                spec=svc_spec,
+                cluster=self.cluster,
+                hub=self.hub,
+                streams=self.streams,
+                initial_replicas=replicas,
+                network_delay_s=network_delay_s,
+                utilization_sample_interval_s=utilization_sample_interval_s,
+            )
+        # Wire peers: every service can reach every other (the mesh).
+        for service in self.services.values():
+            service.peers = self.services
+        self.request_classes: dict[str, RequestClass] = {
+            rc.name: rc for rc in spec.request_classes
+        }
+        self._class_label_sets: dict[str, tuple] = {}
+
+    # -- workload entry -----------------------------------------------------
+    def submit(self, class_name: str) -> tuple[Request, Event]:
+        """Inject one request; returns (request, completion event).
+
+        End-to-end latency and SLA violations are recorded on the hub when
+        the request's call tree completes.
+        """
+        rc = self.request_classes.get(class_name)
+        if rc is None:
+            raise TopologyError(f"unknown request class {class_name!r}")
+        request = Request(
+            request_class=class_name,
+            arrival_time=self.env.now,
+            priority=rc.priority,
+        )
+        root = self.services[rc.tree.service]
+        if rc.tree.mode == CallMode.MQ:
+            done = root.publish(request, rc.tree)
+        else:
+            _response, done = root.submit(request, rc.tree)
+        labels = self._class_labels(class_name)
+        self.hub.inc_counter("client_requests_total", labels=labels)
+        done._add_callback(lambda _ev: self._on_complete(request, rc, labels))
+        return request, done
+
+    def _class_labels(self, class_name: str):
+        key = self._class_label_sets.get(class_name)
+        if key is None:
+            key = (("request", class_name),)
+            self._class_label_sets[class_name] = key
+        return key
+
+    def _on_complete(self, request: Request, rc: RequestClass, labels) -> None:
+        request.completion_time = self.env.now
+        latency = request.latency
+        self.hub.record_latency("request_latency", latency, labels)
+        if latency > rc.sla.target_s:
+            self.hub.inc_counter("sla_violations_total", labels=labels)
+
+    # -- control plane -------------------------------------------------------
+    def scale(self, service: str, replicas: int) -> None:
+        self._service(service).scale_to(replicas)
+
+    def replicas(self, service: str) -> int:
+        return self._service(service).replicas
+
+    def allocated_cpus(self, service: str | None = None) -> int:
+        if service is not None:
+            return self._service(service).allocated_cpus
+        return sum(s.allocated_cpus for s in self.services.values())
+
+    def _service(self, name: str) -> Microservice:
+        try:
+            return self.services[name]
+        except KeyError:
+            raise TopologyError(f"unknown service {name!r}") from None
+
+    # -- accounting helpers ---------------------------------------------------
+    def windowed_violation_rate(
+        self, t0: float, t1: float, window_s: float = 60.0
+    ) -> float:
+        """SLA violation rate as the paper reports it.
+
+        For each request class and each ``window_s`` evaluation window in
+        ``[t0, t1)``, the class's SLA percentile is computed over the
+        window's completed requests and checked against its target.  The
+        violation rate is the fraction of failed checks.  This definition
+        works for any SLA percentile (the video pipeline's low-priority SLA
+        is on the median, where a per-request count would be meaningless).
+        """
+        checks = 0
+        failures = 0
+        t = t0
+        while t < t1:
+            t_next = min(t1, t + window_s)
+            for rc in self.spec.request_classes:
+                dist = self.hub.latency_distribution(
+                    "request_latency", t, t_next, {"request": rc.name}
+                )
+                if dist:
+                    checks += 1
+                    if dist.percentile(rc.sla.percentile) > rc.sla.target_s:
+                        failures += 1
+            t = t_next
+        if checks == 0:
+            return 0.0
+        return failures / checks
+
+    def sla_violation_rate(self, t0: float, t1: float) -> float:
+        """Overall fraction of completed requests violating their SLA.
+
+        Computed from completed-request latencies recorded in ``[t0, t1)``
+        across all request classes.
+        """
+        violations = 0.0
+        completed = 0
+        for rc in self.spec.request_classes:
+            labels = {"request": rc.name}
+            dist = self.hub.latency_distribution("request_latency", t0, t1, labels)
+            if dist:
+                completed += dist.count
+                violations += dist.fraction_above(rc.sla.target_s) * dist.count
+        if completed == 0:
+            return 0.0
+        return violations / completed
+
+    def per_class_violation_rate(self, t0: float, t1: float) -> dict[str, float]:
+        """Per-request-class SLA violation rates over ``[t0, t1)``."""
+        rates: dict[str, float] = {}
+        for rc in self.spec.request_classes:
+            dist = self.hub.latency_distribution(
+                "request_latency", t0, t1, {"request": rc.name}
+            )
+            rates[rc.name] = dist.fraction_above(rc.sla.target_s) if dist else 0.0
+        return rates
+
+    def mean_cpu_allocation(self, t0: float, t1: float) -> float:
+        """Average total CPUs allocated to the app over ``[t0, t1)``."""
+        total = 0.0
+        for name in self.services:
+            total += self.hub.gauge_mean(
+                "cpu_allocated", t0, t1, {"service": name}, default=0.0
+            )
+        return total

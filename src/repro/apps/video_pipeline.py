@@ -1,0 +1,81 @@
+"""The video-processing-pipeline benchmark (§VI).
+
+Three MQ-connected stages -- metadata extraction (FFmpeg), snapshotting
+(FFmpeg), face recognition (OpenCV) -- processing two request priorities.
+High-priority requests are served whenever any are waiting; low-priority
+requests are served otherwise (the priority queues in
+:mod:`repro.net.mq` implement exactly this).  Table IV SLAs: the
+high-priority class at the 99th percentile, low-priority at the 50th.
+"""
+
+from __future__ import annotations
+
+from repro.apps.topology import AppSpec, RequestClass, SlaSpec
+from repro.net.messages import Call, CallMode
+from repro.services.spec import ServiceSpec
+from repro.sim.random import LogNormal
+
+__all__ = ["build_video_pipeline_spec", "VIDEO_PIPELINE_SLAS"]
+
+#: Table IV -- (percentile, target seconds) per priority class.
+VIDEO_PIPELINE_SLAS: dict[str, tuple[float, float]] = {
+    "high-priority": (99.0, 20.000),
+    "low-priority": (50.0, 4.000),
+}
+
+
+def _stage_tree() -> Call:
+    """metadata -> snapshot -> face-recognition, all via MQs."""
+    return Call(
+        "vp-metadata",
+        CallMode.MQ,
+        (
+            Call(
+                "vp-snapshot",
+                CallMode.MQ,
+                (Call("vp-facerec", CallMode.MQ),),
+            ),
+        ),
+    )
+
+
+def build_video_pipeline_spec() -> AppSpec:
+    both = lambda dist: {"high-priority": dist, "low-priority": dist}  # noqa: E731
+    services = (
+        # Stage 1: ffprobe-style metadata extraction.
+        ServiceSpec(
+            "vp-metadata",
+            cpus_per_replica=2,
+            handlers=both(LogNormal(0.300, 0.5)),
+            memory_per_replica_gb=2.0,
+        ),
+        # Stage 2: fixed-interval snapshots.
+        ServiceSpec(
+            "vp-snapshot",
+            cpus_per_replica=2,
+            handlers=both(LogNormal(0.800, 0.5)),
+            memory_per_replica_gb=2.0,
+        ),
+        # Stage 3: OpenCV face recognition over the snapshots.
+        ServiceSpec(
+            "vp-facerec",
+            cpus_per_replica=4,
+            handlers=both(LogNormal(1.200, 0.5)),
+            memory_per_replica_gb=4.0,
+        ),
+    )
+    request_classes = (
+        RequestClass(
+            "high-priority",
+            _stage_tree(),
+            SlaSpec(*VIDEO_PIPELINE_SLAS["high-priority"]),
+            priority=0,
+        ),
+        RequestClass(
+            "low-priority",
+            _stage_tree(),
+            SlaSpec(*VIDEO_PIPELINE_SLAS["low-priority"]),
+            priority=1,
+        ),
+    )
+    return AppSpec("video-pipeline", services, request_classes)

@@ -1,0 +1,5 @@
+"""Competing approaches (§VII-B): step autoscaling, Sinan, Firm."""
+
+from repro.baselines.autoscaler import StepAutoscaler, auto_a, auto_b
+
+__all__ = ["StepAutoscaler", "auto_a", "auto_b"]

@@ -1,0 +1,115 @@
+"""Step autoscaling (the traditional baseline, §VII-B).
+
+CPU-utilisation threshold scaling in the style of AWS step scaling / the
+Kubernetes HPA: scale out when a service's utilisation crosses the upper
+threshold, scale in below the lower threshold.  Two stock configurations:
+
+* **Auto-a** -- the AWS default (out above 60 %, in below 30 %): frugal
+  with resources at the cost of SLA violations;
+* **Auto-b** -- manually tuned to protect the tested applications' SLAs
+  (out above 30 %, in below 12 %, larger step): low violation rates but
+  significantly more CPUs allocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.topology import Application
+from repro.errors import ConfigurationError
+
+__all__ = ["StepAutoscaler", "auto_a", "auto_b"]
+
+
+@dataclass(frozen=True)
+class _Config:
+    name: str
+    scale_out_above: float
+    scale_in_below: float
+    #: Replicas added per breach (AWS step adjustment).
+    step_out: int
+    step_in: int
+    control_interval_s: float = 30.0
+
+
+def auto_a() -> _Config:
+    """AWS step-scaling default: out > 60 % CPU, in < 30 %."""
+    return _Config("auto-a", 0.60, 0.30, step_out=1, step_in=1)
+
+
+def auto_b() -> _Config:
+    """Manually tuned for SLA maintenance: aggressive out, reluctant in."""
+    return _Config("auto-b", 0.30, 0.12, step_out=2, step_in=1)
+
+
+class StepAutoscaler:
+    """Per-service utilisation-threshold scaling loop."""
+
+    def __init__(
+        self,
+        app: Application,
+        config: _Config | None = None,
+        min_replicas: int = 1,
+        max_replicas: int = 64,
+    ) -> None:
+        self.app = app
+        self.config = config if config is not None else auto_a()
+        if not 0 < self.config.scale_in_below < self.config.scale_out_above <= 1:
+            raise ConfigurationError(
+                f"need 0 < in < out <= 1, got {self.config}"
+            )
+        self.min_replicas = int(min_replicas)
+        self.max_replicas = int(max_replicas)
+        self.decisions = 0
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise ConfigurationError("autoscaler already started")
+        self._started = True
+        self.app.env.process(self._loop())
+
+    def decide(self, service: str) -> int | None:
+        """Return the new replica count for ``service``, or None to hold.
+
+        This single threshold comparison is the entire decision path --
+        the reason autoscaling is the fastest control plane in Table VI.
+        """
+        hub = self.app.hub
+        now = self.app.env.now
+        t0 = max(0.0, now - self.config.control_interval_s)
+        if now <= t0:
+            return None
+        utilization = hub.gauge_mean(
+            "cpu_utilization", t0, now, {"service": service}, default=-1.0
+        )
+        if utilization < 0:
+            return None
+        current = max(1, self.app.services[service].deployment.desired_replicas)
+        if utilization > self.config.scale_out_above:
+            return min(self.max_replicas, current + self.config.step_out)
+        if utilization < self.config.scale_in_below:
+            # Scale in only if the lower count would stay under the upper
+            # threshold (protects against flapping).
+            target = max(self.min_replicas, current - self.config.step_in)
+            if target < current:
+                projected = utilization * current / target
+                if projected < self.config.scale_out_above:
+                    return target
+        return None
+
+    def step(self) -> None:
+        for service in self.app.services:
+            target = self.decide(service)
+            if target is not None:
+                current = self.app.services[service].deployment.desired_replicas
+                if target != current:
+                    self.app.scale(service, target)
+                    self.decisions += 1
+
+    def _loop(self):
+        env = self.app.env
+        yield env.timeout(self.app.hub.window_s)
+        while True:
+            self.step()
+            yield env.timeout(self.config.control_interval_s)

@@ -1,0 +1,13 @@
+"""Firm baseline: model-free per-service RL resource management (§VII-B)."""
+
+from repro.baselines.firm.agent import STATE_DIM, FirmAgent
+from repro.baselines.firm.controller import FirmManager, train_firm_agents
+from repro.baselines.firm.replay import ReplayBuffer
+
+__all__ = [
+    "FirmAgent",
+    "FirmManager",
+    "ReplayBuffer",
+    "STATE_DIM",
+    "train_firm_agents",
+]

@@ -1,0 +1,176 @@
+"""Firm's per-service RL agent: a compact DDPG in numpy (§VII-B).
+
+Each microservice gets its own agent that directly adjusts the service's
+replica count.  State: (CPU utilisation, normalised queue depth, SLA
+pressure, normalised replicas).  Action: a continuous value in [-1, 1]
+mapped to a replica delta.  Reward (the paper's design): a weighted sum of
+resource savings and SLA status -- the weighting is what makes Firm
+occasionally prefer savings over SLA, producing its characteristic
+violations under pressure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.firm.replay import ReplayBuffer
+from repro.errors import ConfigurationError
+
+__all__ = ["FirmAgent", "STATE_DIM"]
+
+STATE_DIM = 4
+
+
+class _TwoLayerNet:
+    """Tanh-output MLP with one hidden ReLU layer and SGD updates."""
+
+    def __init__(self, input_dim: int, hidden: int, seed: int, tanh_out: bool):
+        rng = np.random.default_rng(seed)
+        self.w1 = rng.normal(0, np.sqrt(2.0 / input_dim), (input_dim, hidden))
+        self.b1 = np.zeros(hidden)
+        self.w2 = rng.normal(0, np.sqrt(1.0 / hidden), (hidden, 1))
+        self.b2 = np.zeros(1)
+        self.tanh_out = tanh_out
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        h = np.maximum(0.0, x @ self.w1 + self.b1)
+        out = h @ self.w2 + self.b2
+        if self.tanh_out:
+            out = np.tanh(out)
+        return out, h
+
+    def params(self):
+        return [self.w1, self.b1, self.w2, self.b2]
+
+    def soft_update_from(self, other: "_TwoLayerNet", tau: float) -> None:
+        for target, source in zip(self.params(), other.params()):
+            target *= 1.0 - tau
+            target += tau * source
+
+    def copy_from(self, other: "_TwoLayerNet") -> None:
+        self.soft_update_from(other, 1.0)
+
+
+class FirmAgent:
+    """DDPG agent controlling one service's replica count."""
+
+    def __init__(
+        self,
+        service: str,
+        max_delta: int = 2,
+        hidden: int = 32,
+        gamma: float = 0.95,
+        tau: float = 0.01,
+        lr_actor: float = 1e-3,
+        lr_critic: float = 1e-3,
+        buffer_capacity: int = 20_000,
+        sla_weight: float = 1.0,
+        resource_weight: float = 0.7,
+        seed: int = 0,
+    ) -> None:
+        if max_delta < 1:
+            raise ConfigurationError("max_delta must be >= 1")
+        self.service = service
+        self.max_delta = int(max_delta)
+        self.gamma = gamma
+        self.tau = tau
+        self.lr_actor = lr_actor
+        self.lr_critic = lr_critic
+        #: Reward = -(sla_weight * violation + resource_weight * usage).
+        #: resource_weight close to sla_weight is Firm's Achilles heel: big
+        #: savings can outweigh an SLA breach.
+        self.sla_weight = float(sla_weight)
+        self.resource_weight = float(resource_weight)
+        self.actor = _TwoLayerNet(STATE_DIM, hidden, seed, tanh_out=True)
+        self.actor_target = _TwoLayerNet(STATE_DIM, hidden, seed, tanh_out=True)
+        self.actor_target.copy_from(self.actor)
+        self.critic = _TwoLayerNet(STATE_DIM + 1, hidden, seed + 1, tanh_out=False)
+        self.critic_target = _TwoLayerNet(
+            STATE_DIM + 1, hidden, seed + 1, tanh_out=False
+        )
+        self.critic_target.copy_from(self.critic)
+        self.buffer = ReplayBuffer(buffer_capacity, STATE_DIM, seed=seed + 2)
+        self._rng = np.random.default_rng(seed + 3)
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    def act(self, state: np.ndarray, noise_std: float = 0.0) -> float:
+        """Continuous action in [-1, 1]."""
+        out, _ = self.actor.forward(np.atleast_2d(state))
+        action = float(out[0, 0])
+        if noise_std > 0:
+            action += float(self._rng.normal(0, noise_std))
+        return float(np.clip(action, -1.0, 1.0))
+
+    def action_to_delta(self, action: float) -> int:
+        """Map [-1, 1] to a replica delta in [-max_delta, max_delta]."""
+        return int(round(action * self.max_delta))
+
+    def reward(self, violated: bool, cpus_used: float, cpus_reference: float) -> float:
+        """The paper's weighted reward."""
+        usage = cpus_used / max(cpus_reference, 1e-9)
+        return -(self.sla_weight * float(violated) + self.resource_weight * usage)
+
+    def remember(
+        self,
+        state: np.ndarray,
+        action: float,
+        reward: float,
+        next_state: np.ndarray,
+    ) -> None:
+        self.buffer.push(state, action, reward, next_state)
+
+    # ------------------------------------------------------------------
+    def update(self, batch_size: int = 32) -> float:
+        """One DDPG update; returns the critic loss."""
+        if len(self.buffer) < batch_size:
+            return 0.0
+        states, actions, rewards, next_states = self.buffer.sample(batch_size)
+        # Critic target: r + gamma * Q_target(s', pi_target(s')).
+        next_actions, _ = self.actor_target.forward(next_states)
+        q_next, _ = self.critic_target.forward(
+            np.hstack([next_states, next_actions])
+        )
+        target = rewards + self.gamma * q_next
+        # Critic update (MSE).
+        critic_in = np.hstack([states, actions])
+        q, h = self.critic.forward(critic_in)
+        error = q - target
+        loss = float(np.mean(error**2))
+        n = len(states)
+        dout = 2.0 * error / n
+        gw2 = h.T @ dout
+        gb2 = dout.sum(axis=0)
+        dh = (dout @ self.critic.w2.T) * (h > 0)
+        gw1 = critic_in.T @ dh
+        gb1 = dh.sum(axis=0)
+        self.critic.w2 -= self.lr_critic * gw2
+        self.critic.b2 -= self.lr_critic * gb2
+        self.critic.w1 -= self.lr_critic * gw1
+        self.critic.b1 -= self.lr_critic * gb1
+        # Actor update: ascend dQ/da through the deterministic policy.
+        actions_pi, h_a = self.actor.forward(states)
+        critic_in_pi = np.hstack([states, actions_pi])
+        q_pi, h_c = self.critic.forward(critic_in_pi)
+        # dQ/da: backprop through the critic to its action input.
+        dq = np.ones_like(q_pi) / n
+        dh_c = (dq @ self.critic.w2.T) * (h_c > 0)
+        dinput = dh_c @ self.critic.w1.T
+        dq_da = dinput[:, STATE_DIM:]
+        # Chain through the actor (tanh output).
+        dpre = dq_da * (1.0 - actions_pi**2)
+        gw2a = h_a.T @ dpre
+        gb2a = dpre.sum(axis=0)
+        dha = (dpre @ self.actor.w2.T) * (h_a > 0)
+        gw1a = states.T @ dha
+        gb1a = dha.sum(axis=0)
+        # Gradient *ascent* on Q.
+        self.actor.w2 += self.lr_actor * gw2a
+        self.actor.b2 += self.lr_actor * gb2a
+        self.actor.w1 += self.lr_actor * gw1a
+        self.actor.b1 += self.lr_actor * gb1a
+        # Soft target updates.
+        self.actor_target.soft_update_from(self.actor, self.tau)
+        self.critic_target.soft_update_from(self.critic, self.tau)
+        self.updates += 1
+        return loss

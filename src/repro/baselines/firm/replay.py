@@ -1,0 +1,59 @@
+"""Experience replay buffer for Firm's RL agents."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ReplayBuffer"]
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer of (s, a, r, s') transitions."""
+
+    def __init__(self, capacity: int, state_dim: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if state_dim < 1:
+            raise ConfigurationError(f"state_dim must be >= 1, got {state_dim}")
+        self.capacity = int(capacity)
+        self.state_dim = int(state_dim)
+        self._states = np.zeros((capacity, state_dim))
+        self._actions = np.zeros((capacity, 1))
+        self._rewards = np.zeros((capacity, 1))
+        self._next_states = np.zeros((capacity, state_dim))
+        self._size = 0
+        self._head = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(
+        self,
+        state: np.ndarray,
+        action: float,
+        reward: float,
+        next_state: np.ndarray,
+    ) -> None:
+        i = self._head
+        self._states[i] = state
+        self._actions[i] = action
+        self._rewards[i] = reward
+        self._next_states[i] = next_state
+        self._head = (self._head + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(
+        self, batch_size: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if self._size == 0:
+            raise ConfigurationError("cannot sample from an empty buffer")
+        idx = self._rng.integers(0, self._size, size=min(batch_size, self._size))
+        return (
+            self._states[idx],
+            self._actions[idx],
+            self._rewards[idx],
+            self._next_states[idx],
+        )

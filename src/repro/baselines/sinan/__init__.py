@@ -1,0 +1,29 @@
+"""Sinan baseline: model-based ML-driven resource management (§VII-B).
+
+Pipeline: :class:`SinanDataCollector` gathers balanced training data,
+:class:`SinanPredictor` trains the latency MLP + violation GBDT pair, and
+:class:`SinanManager` drives deployments by batch-scoring candidate
+allocations with both models.
+"""
+
+from repro.baselines.sinan.data_collection import (
+    SinanDataCollector,
+    SinanDataset,
+    TrainingSample,
+)
+from repro.baselines.sinan.features import FeatureSchema
+from repro.baselines.sinan.gbdt import GradientBoostedClassifier
+from repro.baselines.sinan.nn import MlpRegressor
+from repro.baselines.sinan.predictor import SinanPredictor
+from repro.baselines.sinan.scheduler import SinanManager
+
+__all__ = [
+    "FeatureSchema",
+    "GradientBoostedClassifier",
+    "MlpRegressor",
+    "SinanDataCollector",
+    "SinanDataset",
+    "SinanManager",
+    "SinanPredictor",
+    "TrainingSample",
+]

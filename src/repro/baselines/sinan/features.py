@@ -1,0 +1,95 @@
+"""Feature engineering shared by Sinan's models and scheduler.
+
+A feature vector describes one (allocation, load, recent-latency) state:
+
+* per service (in spec order): replica count;
+* per request class (in spec order): client arrival rate (RPS);
+* per request class: recent end-to-end latency (p99 over the last window,
+  normalised by the class SLA target so the model sees "SLA pressure").
+
+Targets derived from the same telemetry: the next window's per-class p99
+latency (regression) and whether any class violates its SLA within the
+lookahead horizon (classification -- Sinan's "later into the future"
+violation predictor accounting for queueing inertia).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.topology import Application, AppSpec
+
+__all__ = ["FeatureSchema"]
+
+
+@dataclass
+class FeatureSchema:
+    """Feature vector layout for one application."""
+
+    services: list[str]
+    classes: list[str]
+
+    @classmethod
+    def for_spec(cls, spec: AppSpec) -> "FeatureSchema":
+        return cls(
+            services=[s.name for s in spec.services],
+            classes=[rc.name for rc in spec.request_classes],
+        )
+
+    @property
+    def dim(self) -> int:
+        return len(self.services) + 2 * len(self.classes)
+
+    def vector(
+        self,
+        replicas: dict[str, int],
+        loads: dict[str, float],
+        latency_ratio: dict[str, float],
+    ) -> np.ndarray:
+        """Assemble one feature vector."""
+        parts = [float(replicas.get(s, 0)) for s in self.services]
+        parts += [float(loads.get(c, 0.0)) for c in self.classes]
+        parts += [float(latency_ratio.get(c, 0.0)) for c in self.classes]
+        return np.asarray(parts)
+
+    def observe(self, app: Application, t0: float, t1: float) -> np.ndarray:
+        """Feature vector from the app's telemetry over ``[t0, t1)``."""
+        replicas = {
+            name: service.deployment.desired_replicas
+            for name, service in app.services.items()
+        }
+        loads = {
+            rc.name: app.hub.counter_rate(
+                "client_requests_total", t0, t1, {"request": rc.name}
+            )
+            for rc in app.spec.request_classes
+        }
+        ratios = {}
+        for rc in app.spec.request_classes:
+            dist = app.hub.latency_distribution(
+                "request_latency", t0, t1, {"request": rc.name}
+            )
+            if dist:
+                ratios[rc.name] = (
+                    dist.percentile(rc.sla.percentile) / rc.sla.target_s
+                )
+            else:
+                ratios[rc.name] = 0.0
+        return self.vector(replicas, loads, ratios)
+
+    def with_replicas(
+        self, base: np.ndarray, replicas: dict[str, int]
+    ) -> np.ndarray:
+        """Copy of ``base`` with the replica slots replaced (candidates)."""
+        out = base.copy()
+        for k, name in enumerate(self.services):
+            if name in replicas:
+                out[k] = float(replicas[name])
+        return out
+
+    def replicas_of(self, vector: np.ndarray) -> dict[str, int]:
+        return {
+            name: int(round(vector[k])) for k, name in enumerate(self.services)
+        }

@@ -1,0 +1,166 @@
+"""Gradient-boosted decision trees from scratch (Sinan's violation model).
+
+Sinan pairs its CNN with a boosted-trees model predicting whether a
+candidate allocation will cause an SLA violation *later in the future*
+(capturing queueing inertia).  This is a standard gradient-boosting
+implementation for binary classification with logistic loss: regression
+trees fitted to negative gradients, with per-leaf Newton steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GradientBoostedClassifier"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class _RegressionTree:
+    """CART regression tree on (gradient, hessian) targets."""
+
+    def __init__(self, max_depth: int, min_samples_leaf: int, reg_lambda: float):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.reg_lambda = reg_lambda
+        self.root: _Node | None = None
+
+    @staticmethod
+    def _leaf_value(g: np.ndarray, h: np.ndarray, reg: float) -> float:
+        return float(-g.sum() / (h.sum() + reg))
+
+    def fit(self, x: np.ndarray, g: np.ndarray, h: np.ndarray) -> None:
+        self.root = self._build(x, g, h, depth=0)
+
+    def _build(self, x: np.ndarray, g: np.ndarray, h: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=self._leaf_value(g, h, self.reg_lambda))
+        if depth >= self.max_depth or len(x) < 2 * self.min_samples_leaf:
+            return node
+        best_gain = 1e-9
+        best = None
+        base_score = g.sum() ** 2 / (h.sum() + self.reg_lambda)
+        for feature in range(x.shape[1]):
+            order = np.argsort(x[:, feature], kind="stable")
+            xs = x[order, feature]
+            gs = g[order]
+            hs = h[order]
+            g_left = np.cumsum(gs)[:-1]
+            h_left = np.cumsum(hs)[:-1]
+            g_right = g.sum() - g_left
+            h_right = h.sum() - h_left
+            # Candidate split positions: between distinct feature values,
+            # honouring the min-leaf constraint.
+            positions = np.arange(1, len(xs))
+            valid = (
+                (positions >= self.min_samples_leaf)
+                & (positions <= len(xs) - self.min_samples_leaf)
+                & (xs[1:] > xs[:-1])
+            )
+            if not valid.any():
+                continue
+            gains = (
+                g_left**2 / (h_left + self.reg_lambda)
+                + g_right**2 / (h_right + self.reg_lambda)
+                - base_score
+            )
+            gains = np.where(valid, gains, -np.inf)
+            k = int(np.argmax(gains))
+            if gains[k] > best_gain:
+                best_gain = float(gains[k])
+                best = (feature, (xs[k] + xs[k + 1]) / 2.0)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], g[mask], h[mask], depth + 1)
+        node.right = self._build(x[~mask], g[~mask], h[~mask], depth + 1)
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty(len(x))
+        for i, row in enumerate(x):
+            node = self.root
+            while node is not None and not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value if node is not None else 0.0
+        return out
+
+
+class GradientBoostedClassifier:
+    """Binary classifier: P(SLA violation | allocation, load, history)."""
+
+    def __init__(
+        self,
+        n_trees: int = 80,
+        max_depth: int = 5,
+        learning_rate: float = 0.15,
+        min_samples_leaf: int = 5,
+        reg_lambda: float = 1.0,
+    ) -> None:
+        if n_trees < 1:
+            raise ConfigurationError("need >= 1 tree")
+        if not 0 < learning_rate <= 1:
+            raise ConfigurationError("learning rate must be in (0, 1]")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.min_samples_leaf = min_samples_leaf
+        self.reg_lambda = reg_lambda
+        self.trees: list[_RegressionTree] = []
+        self.base_score = 0.0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> None:
+        """Fit on binary labels (1 = violation)."""
+        x = np.atleast_2d(np.asarray(features, dtype=float))
+        y = np.asarray(labels, dtype=float)
+        if set(np.unique(y)) - {0.0, 1.0}:
+            raise ConfigurationError("labels must be binary")
+        if len(x) != len(y):
+            raise ConfigurationError("features/labels length mismatch")
+        positive = y.mean()
+        positive = min(max(positive, 1e-4), 1 - 1e-4)
+        self.base_score = float(np.log(positive / (1 - positive)))
+        raw = np.full(len(y), self.base_score)
+        self.trees = []
+        for _ in range(self.n_trees):
+            p = 1.0 / (1.0 + np.exp(-raw))
+            gradient = p - y
+            hessian = p * (1.0 - p)
+            tree = _RegressionTree(
+                self.max_depth, self.min_samples_leaf, self.reg_lambda
+            )
+            tree.fit(x, gradient, hessian)
+            raw += self.learning_rate * tree.predict(x)
+            self.trees.append(tree)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Violation probabilities for rows of ``features``."""
+        x = np.atleast_2d(np.asarray(features, dtype=float))
+        raw = np.full(len(x), self.base_score)
+        for tree in self.trees:
+            raw += self.learning_rate * tree.predict(x)
+        return 1.0 / (1.0 + np.exp(-raw))
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        pred = self.predict(features)
+        return float((pred == np.asarray(labels)).mean())

@@ -1,0 +1,67 @@
+"""Sinan's model pair: latency regressor + violation classifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.sinan.data_collection import SinanDataset
+from repro.baselines.sinan.features import FeatureSchema
+from repro.baselines.sinan.gbdt import GradientBoostedClassifier
+from repro.baselines.sinan.nn import MlpRegressor
+from repro.errors import ConfigurationError
+
+__all__ = ["SinanPredictor"]
+
+
+@dataclass
+class SinanPredictor:
+    """Trained models answering "what happens under this allocation?"."""
+
+    schema: FeatureSchema
+    latency_model: MlpRegressor
+    violation_model: GradientBoostedClassifier
+    #: Hold-out accuracy of the violation model (the paper reports Sinan
+    #: reaching only 80-85 % with multiple request classes).
+    violation_accuracy: float
+
+    @classmethod
+    def train(
+        cls,
+        dataset: SinanDataset,
+        seed: int = 0,
+        epochs: int = 40,
+        holdout_fraction: float = 0.2,
+    ) -> "SinanPredictor":
+        if dataset.size < 20:
+            raise ConfigurationError(
+                f"need >= 20 samples to train Sinan, got {dataset.size}"
+            )
+        x, y, v = dataset.arrays()
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(x))
+        split = max(1, int(len(x) * holdout_fraction))
+        test_idx, train_idx = order[:split], order[split:]
+        latency_model = MlpRegressor(
+            input_dim=dataset.schema.dim,
+            output_dim=y.shape[1],
+            seed=seed,
+        )
+        latency_model.fit(x[train_idx], y[train_idx], epochs=epochs)
+        violation_model = GradientBoostedClassifier()
+        violation_model.fit(x[train_idx], v[train_idx])
+        accuracy = violation_model.accuracy(x[test_idx], v[test_idx])
+        return cls(
+            schema=dataset.schema,
+            latency_model=latency_model,
+            violation_model=violation_model,
+            violation_accuracy=accuracy,
+        )
+
+    def predict_latency(self, features: np.ndarray) -> np.ndarray:
+        """Per-class latency predictions (clipped to be non-negative)."""
+        return np.maximum(0.0, self.latency_model.predict(features))
+
+    def predict_violation_proba(self, features: np.ndarray) -> np.ndarray:
+        return self.violation_model.predict_proba(features)

@@ -1,0 +1,154 @@
+"""Sinan's centralised scheduler (§VII-B).
+
+Every control interval the scheduler assembles the current feature vector,
+generates a batch of candidate allocations around the current one, runs
+the *full model pair* over the batch (the CNN-equivalent latency model and
+the boosted-trees violation model are on the critical path of every
+decision -- the Table VI cost), and applies the cheapest candidate the
+models consider safe.  When no candidate is safe it scales up the
+bottleneck services.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.apps.topology import Application
+from repro.baselines.sinan.predictor import SinanPredictor
+from repro.errors import ConfigurationError
+
+__all__ = ["SinanManager"]
+
+
+class SinanManager:
+    """Deploy-time manager driving an app with Sinan's models."""
+
+    def __init__(
+        self,
+        app: Application,
+        predictor: SinanPredictor,
+        control_interval_s: float = 30.0,
+        candidates: int = 256,
+        safety_margin: float = 0.9,
+        violation_threshold: float = 0.5,
+        max_replicas: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if candidates < 8:
+            raise ConfigurationError("need >= 8 candidates")
+        self.app = app
+        self.predictor = predictor
+        self.control_interval_s = float(control_interval_s)
+        self.candidates = int(candidates)
+        self.safety_margin = float(safety_margin)
+        self.violation_threshold = float(violation_threshold)
+        self.max_replicas = int(max_replicas)
+        self._rng = np.random.default_rng(seed)
+        self.decisions = 0
+        self._started = False
+        schema = predictor.schema
+        self._cpus = {
+            s.name: s.cpus_per_replica for s in app.spec.services
+        }
+        self._sla_targets = np.asarray(
+            [rc.sla.target_s for rc in app.spec.request_classes]
+        )
+        if schema.classes != [rc.name for rc in app.spec.request_classes]:
+            raise ConfigurationError("predictor schema does not match app")
+
+    # ------------------------------------------------------------------
+    def initialize(self, replicas: dict[str, int] | int = 2) -> None:
+        """Apply a starting allocation."""
+        for name in self.app.services:
+            count = replicas if isinstance(replicas, int) else replicas.get(name, 2)
+            self.app.scale(name, count)
+
+    def start(self) -> None:
+        if self._started:
+            raise ConfigurationError("manager already started")
+        self._started = True
+        self.app.env.process(self._loop())
+
+    # ------------------------------------------------------------------
+    def _candidate_matrix(self, base: np.ndarray) -> np.ndarray:
+        """Batch of candidate feature vectors around the current state."""
+        schema = self.predictor.schema
+        current = schema.replicas_of(base)
+        rows = [base]
+        # Structured neighbours: +-1 on each service, +-1 globally.
+        for name in schema.services:
+            for delta in (-1, 1):
+                candidate = dict(current)
+                candidate[name] = int(
+                    np.clip(candidate[name] + delta, 1, self.max_replicas)
+                )
+                rows.append(schema.with_replicas(base, candidate))
+        for delta in (-1, 1):
+            candidate = {
+                name: int(np.clip(count + delta, 1, self.max_replicas))
+                for name, count in current.items()
+            }
+            rows.append(schema.with_replicas(base, candidate))
+        # Random neighbours fill the batch.
+        while len(rows) < self.candidates:
+            candidate = {
+                name: int(
+                    np.clip(count + self._rng.integers(-2, 3), 1, self.max_replicas)
+                )
+                for name, count in current.items()
+            }
+            rows.append(schema.with_replicas(base, candidate))
+        return np.vstack(rows)
+
+    def _allocation_cost(self, vector: np.ndarray) -> float:
+        replicas = self.predictor.schema.replicas_of(vector)
+        return sum(self._cpus[name] * count for name, count in replicas.items())
+
+    def decide(self) -> dict[str, int]:
+        """One full decision: candidate generation + batch inference."""
+        hub = self.app.hub
+        now = self.app.env.now
+        t0 = max(0.0, now - hub.window_s)
+        base = self.predictor.schema.observe(self.app, t0, now)
+        batch = self._candidate_matrix(base)
+        latencies = self.predictor.predict_latency(batch)
+        violation_p = self.predictor.predict_violation_proba(batch)
+        safe = (
+            (latencies <= self._sla_targets * self.safety_margin).all(axis=1)
+            & (violation_p < self.violation_threshold)
+        )
+        if safe.any():
+            costs = np.asarray(
+                [self._allocation_cost(row) for row in batch]
+            )
+            costs = np.where(safe, costs, np.inf)
+            chosen = batch[int(np.argmin(costs))]
+        else:
+            # No safe candidate: pick the one with the lowest predicted
+            # SLA pressure (scale-up fallback).
+            pressure = (latencies / self._sla_targets).max(axis=1)
+            chosen = batch[int(np.argmin(pressure))]
+        return self.predictor.schema.replicas_of(chosen)
+
+    def time_decision(self, repeats: int = 10) -> float:
+        """Mean wall-clock seconds per decision (Table VI)."""
+        start = time.perf_counter()
+        for _ in range(repeats):
+            self.decide()
+        return (time.perf_counter() - start) / repeats
+
+    def step(self) -> None:
+        target = self.decide()
+        for name, count in target.items():
+            if self.app.services[name].deployment.desired_replicas != count:
+                self.app.scale(name, count)
+        self.decisions += 1
+
+    def _loop(self):
+        env = self.app.env
+        yield env.timeout(self.app.hub.window_s)
+        while True:
+            self.step()
+            yield env.timeout(self.control_interval_s)

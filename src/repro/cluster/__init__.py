@@ -1,0 +1,16 @@
+"""Kubernetes-like cluster substrate: nodes, pods, deployments, scheduler."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.deployment import Deployment, Pod, PodState
+from repro.cluster.node import Node, default_testbed_nodes
+from repro.cluster.scheduler import Scheduler
+
+__all__ = [
+    "Cluster",
+    "Deployment",
+    "Node",
+    "Pod",
+    "PodState",
+    "Scheduler",
+    "default_testbed_nodes",
+]

@@ -1,0 +1,467 @@
+"""Allocation-space exploration: Algorithm 1 of the paper.
+
+Each microservice is explored *individually* on a fresh deployment of its
+application: every other service is provisioned generously, and the
+profiled service's replica count is reduced step by step.  At each step
+the controller collects a fixed number of one-window samples (the paper
+samples once per minute) recording
+
+* the per-replica load of each request class at the service (the LPR
+  vector candidate),
+* the service's per-class latency percentile rows (a row of ``D_i^j``),
+* the service's CPU utilisation, and
+* the end-to-end SLA-violation frequency of the application.
+
+Exploration stops -- *without* recording the current step -- as soon as
+the SLA-violation frequency reaches ``F_sla`` or the utilisation crosses
+the service's backpressure-free threshold, preserving the independence
+assumption of the performance model.  Because services are explored
+independently, the wall-clock exploration time of an application is the
+*maximum* over its services, while the sample budget is the sum
+(Table V's accounting).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.apps.topology import Application, AppSpec
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.errors import ExplorationError
+from repro.sim.engine import Environment
+from repro.sim.random import RandomStreams
+from repro.telemetry.metrics import MetricsHub
+from repro.stats.distributions import DEFAULT_PERCENTILE_GRID
+from repro.workload.generator import LoadGenerator
+from repro.workload.mixes import RequestMix
+from repro.workload.patterns import ConstantLoad
+
+__all__ = [
+    "LprOption",
+    "ServiceProfile",
+    "ExplorationResult",
+    "ExplorationController",
+    "provisioning_for",
+    "save_exploration",
+    "load_exploration",
+]
+
+
+@dataclass
+class LprOption:
+    """One recorded load-per-replica threshold candidate."""
+
+    replicas: int
+    #: class -> mean service-level load per replica (requests/second).
+    lpr: dict[str, float]
+    #: class -> per-window per-replica load samples (for the t-test scaler).
+    load_samples: dict[str, list[float]]
+    #: class -> latency percentiles on the grid (per access).
+    latency_rows: dict[str, list[float]]
+    utilization: float
+
+    def max_lpr(self) -> float:
+        return max(self.lpr.values()) if self.lpr else 0.0
+
+
+@dataclass
+class ServiceProfile:
+    """Exploration output for one service (the map of Algorithm 1)."""
+
+    service: str
+    cpus_per_replica: int
+    #: Options in exploration order: descending replicas = ascending LPR.
+    options: list[LprOption]
+    samples_collected: int
+    profiling_time_s: float
+    terminated_by: str  # "sla" | "backpressure" | "min_replicas"
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise ExplorationError(
+                f"exploration of {self.service!r} recorded no feasible LPR "
+                f"option (initial provisioning already violates its SLA?)"
+            )
+
+
+@dataclass
+class ExplorationResult:
+    """Exploration output for a whole application."""
+
+    app_name: str
+    profiles: dict[str, ServiceProfile]
+    #: Sum of samples over all services (Table V "Samples").
+    total_samples: int = field(init=False)
+    #: Max profiling time over services -- they are explored independently
+    #: and can run in parallel (Table V "Time").
+    exploration_time_s: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.total_samples = sum(p.samples_collected for p in self.profiles.values())
+        self.exploration_time_s = max(
+            (p.profiling_time_s for p in self.profiles.values()), default=0.0
+        )
+
+
+def provisioning_for(
+    spec: AppSpec,
+    mix: RequestMix,
+    rps: float,
+    target_utilization: float = 0.35,
+    headroom_replicas: int = 1,
+) -> dict[str, int]:
+    """Generous replica counts: enough to keep every service comfortable.
+
+    Uses handler means and per-class access counts to estimate each
+    service's CPU demand at ``rps``, then provisions for
+    ``target_utilization``.
+    """
+    if rps <= 0:
+        raise ExplorationError(f"rps must be > 0, got {rps}")
+    access: dict[str, dict[str, float]] = {}
+    for rc in spec.request_classes:
+        for service, count in rc.access_counts().items():
+            access.setdefault(service, {})[rc.name] = float(count)
+    replicas: dict[str, int] = {}
+    for service in spec.services:
+        demand = 0.0
+        for class_name, count in access.get(service.name, {}).items():
+            work = service.handlers.get(class_name)
+            if work is None:
+                continue
+            demand += rps * mix.fraction(class_name) * count * work.mean
+        cores = service.cpus_per_replica
+        needed = demand / (cores * target_utilization) if demand > 0 else 0.0
+        replicas[service.name] = max(1, math.ceil(needed) + headroom_replicas)
+    return replicas
+
+
+class ExplorationController:
+    """Runs Algorithm 1 for each service of an application."""
+
+    def __init__(
+        self,
+        streams: RandomStreams,
+        percentile_grid: Sequence[float] = DEFAULT_PERCENTILE_GRID,
+        window_s: float = 60.0,
+        samples_per_step: int = 10,
+        sla_violation_threshold: float = 0.10,
+        warmup_s: float = 60.0,
+        settle_s: float = 30.0,
+        min_window_samples: int = 30,
+        max_escalations: int = 3,
+        probe_beyond_min_replicas: bool = True,
+        probe_growth: float = 1.3,
+        probe_max_multiplier: float = 2.2,
+        cluster_factory: Callable[[Environment], Cluster] | None = None,
+    ) -> None:
+        if samples_per_step < 1:
+            raise ExplorationError("need >= 1 sample per step")
+        if not 0 < sla_violation_threshold <= 1:
+            raise ExplorationError("F_sla must be in (0, 1]")
+        self.streams = streams
+        self.grid = list(percentile_grid)
+        self.window_s = float(window_s)
+        self.samples_per_step = int(samples_per_step)
+        self.f_sla = float(sla_violation_threshold)
+        self.warmup_s = float(warmup_s)
+        self.settle_s = float(settle_s)
+        #: Windows with fewer completed requests of a class than this do
+        #: not evaluate that class's SLA (a p99 of a handful of samples is
+        #: just the maximum and would trigger spurious terminations).
+        self.min_window_samples = int(min_window_samples)
+        #: If the SLA is violated before any LPR option was recorded, the
+        #: initial provisioning was not "adequate CPUs to keep latency
+        #: low"; escalate the profiled service's replicas and retry.
+        self.max_escalations = int(max_escalations)
+        #: When the profiled service reaches 1 replica without violating,
+        #: replay the workload trace at growing intensity so exploration
+        #: still finds the service's true SLA-bounded capacity.
+        self.probe_beyond_min_replicas = bool(probe_beyond_min_replicas)
+        if probe_growth <= 1.0:
+            raise ExplorationError("probe_growth must be > 1")
+        self.probe_growth = float(probe_growth)
+        #: Probe intensity ceiling: bounds per-service exploration time at
+        #: the cost of capping the discoverable LPR range.
+        self.probe_max_multiplier = float(probe_max_multiplier)
+        self.cluster_factory = cluster_factory or (
+            lambda env: Cluster(
+                env, nodes=[Node(f"exp-{i}", 96, 256) for i in range(8)]
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def explore_app(
+        self,
+        spec: AppSpec,
+        mix: RequestMix,
+        rps: float,
+        backpressure_thresholds: Mapping[str, float],
+        services: Sequence[str] | None = None,
+        seed_salt: int = 0,
+    ) -> ExplorationResult:
+        """Explore every service (or the given subset) of ``spec``."""
+        names = list(services) if services is not None else [
+            s.name for s in spec.services
+        ]
+        profiles: dict[str, ServiceProfile] = {}
+        for k, name in enumerate(names):
+            profiles[name] = self.explore_service(
+                spec,
+                name,
+                mix,
+                rps,
+                backpressure_thresholds.get(name, 1.0),
+                seed_salt=seed_salt * 1000 + k,
+            )
+        return ExplorationResult(app_name=spec.name, profiles=profiles)
+
+    def explore_service(
+        self,
+        spec: AppSpec,
+        service_name: str,
+        mix: RequestMix,
+        rps: float,
+        backpressure_threshold: float = 1.0,
+        seed_salt: int = 0,
+    ) -> ServiceProfile:
+        """Algorithm 1 for one service on a fresh deployment."""
+        service_spec = spec.service(service_name)
+        provisioning = provisioning_for(spec, mix, rps)
+        initial = provisioning[service_name]
+
+        env = Environment()
+        cluster = self.cluster_factory(env)
+        # The telemetry hub's aggregation window matches the sampling
+        # window so per-sample latency distributions and rates are exact.
+        hub = MetricsHub(lambda: env.now, window_s=self.window_s)
+        app = Application(
+            spec,
+            env=env,
+            cluster=cluster,
+            hub=hub,
+            streams=self.streams.fork(seed_salt),
+            initial_replicas=provisioning,
+        )
+        generator = LoadGenerator(
+            app,
+            pattern=ConstantLoad(rps),
+            mix=mix,
+            streams=self.streams.fork(seed_salt + 1),
+        )
+        generator.start()
+        env.run(until=self.warmup_s)
+
+        # Classes that actually touch the profiled service.
+        touched = [
+            rc for rc in spec.request_classes
+            if service_name in rc.access_counts() and mix.fraction(rc.name) > 0
+        ]
+        if not touched:
+            raise ExplorationError(
+                f"service {service_name!r} receives no load under this mix"
+            )
+
+        options: list[LprOption] = []
+        samples = 0
+        replicas = initial
+        escalations = 0
+        terminated_by = "min_replicas"
+        t_start = env.now
+
+        while replicas > 0:
+            # -- one step: collect samples_per_step one-window samples ----
+            per_class_rates: dict[str, list[float]] = {rc.name: [] for rc in touched}
+            violated_windows = 0
+            util_sum = 0.0
+            step_t0 = env.now
+            for _ in range(self.samples_per_step):
+                w0 = env.now
+                env.run(until=w0 + self.window_s)
+                samples += 1
+                window_violated = False
+                for rc in spec.request_classes:
+                    dist = app.hub.latency_distribution(
+                        "request_latency", w0, env.now, {"request": rc.name}
+                    )
+                    if (
+                        dist
+                        and dist.count >= self.min_window_samples
+                        and dist.percentile(rc.sla.percentile) > rc.sla.target_s
+                    ):
+                        window_violated = True
+                if window_violated:
+                    violated_windows += 1
+                for rc in touched:
+                    rate = app.hub.counter_rate(
+                        "requests_total",
+                        w0,
+                        env.now,
+                        {"service": service_name, "request": rc.name},
+                    )
+                    per_class_rates[rc.name].append(rate)
+                util_sum += app.hub.gauge_mean(
+                    "cpu_utilization", w0, env.now, {"service": service_name},
+                    default=0.0,
+                )
+            utilization = util_sum / self.samples_per_step
+            f_sla = violated_windows / self.samples_per_step
+
+            # -- Algorithm 1's termination checks (do not record this step)
+            if f_sla >= self.f_sla and not options:
+                # Violations before any feasible option were recorded: the
+                # initial provisioning was inadequate -- escalate and retry.
+                if escalations >= self.max_escalations:
+                    terminated_by = "sla"
+                    break
+                escalations += 1
+                replicas += 1
+                app.scale(service_name, replicas)
+                env.run(until=env.now + self.settle_s)
+                continue
+            if utilization >= backpressure_threshold:
+                terminated_by = "backpressure"
+                break
+            if f_sla >= self.f_sla:
+                terminated_by = "sla"
+                break
+
+            # -- record the LPR option -----------------------------------
+            latency_rows: dict[str, list[float]] = {}
+            usable = True
+            for rc in touched:
+                dist = app.hub.latency_distribution(
+                    "service_latency",
+                    step_t0,
+                    env.now,
+                    {"service": service_name, "request": rc.name},
+                )
+                if not dist:
+                    usable = False
+                    break
+                latency_rows[rc.name] = dist.percentiles(self.grid)
+            if usable:
+                options.append(
+                    LprOption(
+                        replicas=replicas,
+                        lpr={
+                            name: sum(rates) / len(rates) / replicas
+                            for name, rates in per_class_rates.items()
+                        },
+                        load_samples={
+                            name: [r / replicas for r in rates]
+                            for name, rates in per_class_rates.items()
+                        },
+                        latency_rows=latency_rows,
+                        utilization=utilization,
+                    )
+                )
+
+            if replicas > 1:
+                replicas -= 1
+                app.scale(service_name, replicas)
+            else:
+                # One replica and still no violation: the base trace cannot
+                # push the per-replica load higher by removing replicas.
+                # Replay the trace hotter to keep probing LPR candidates,
+                # until the SLA/backpressure stop fires or the probe budget
+                # runs out.
+                next_multiplier = generator.rate_multiplier * self.probe_growth
+                limit = min(self.probe_max_multiplier, generator.max_multiplier)
+                if (
+                    not self.probe_beyond_min_replicas
+                    or next_multiplier > limit
+                ):
+                    terminated_by = "min_replicas"
+                    break
+                generator.set_rate_multiplier(next_multiplier)
+                # Keep every *other* service generously provisioned under
+                # the hotter trace so the profiled service stays the only
+                # bottleneck candidate.
+                for other, base_replicas in provisioning.items():
+                    if other != service_name:
+                        app.scale(other, math.ceil(base_replicas * next_multiplier))
+            env.run(until=env.now + self.settle_s)
+
+        return ServiceProfile(
+            service=service_name,
+            cpus_per_replica=service_spec.cpus_per_replica,
+            options=options,
+            samples_collected=samples,
+            profiling_time_s=env.now - t_start,
+            terminated_by=terminated_by,
+        )
+
+
+def save_exploration(result: ExplorationResult, path) -> None:
+    """Persist an exploration result as JSON (portable across versions).
+
+    Exploration is the expensive offline phase; persisting it lets
+    deployments reuse profiles without re-running Algorithm 1 (the paper's
+    re-exploration only touches updated services).
+    """
+    import json
+    from pathlib import Path
+
+    payload = {
+        "app_name": result.app_name,
+        "profiles": {
+            name: {
+                "service": p.service,
+                "cpus_per_replica": p.cpus_per_replica,
+                "samples_collected": p.samples_collected,
+                "profiling_time_s": p.profiling_time_s,
+                "terminated_by": p.terminated_by,
+                "options": [
+                    {
+                        "replicas": o.replicas,
+                        "lpr": o.lpr,
+                        "load_samples": o.load_samples,
+                        "latency_rows": o.latency_rows,
+                        "utilization": o.utilization,
+                    }
+                    for o in p.options
+                ],
+            }
+            for name, p in result.profiles.items()
+        },
+    }
+    with Path(path).open("w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def load_exploration(path) -> ExplorationResult:
+    """Load an exploration result saved by :func:`save_exploration`."""
+    import json
+    from pathlib import Path
+
+    with Path(path).open() as fh:
+        payload = json.load(fh)
+    profiles = {}
+    for name, p in payload["profiles"].items():
+        options = [
+            LprOption(
+                replicas=int(o["replicas"]),
+                lpr={k: float(v) for k, v in o["lpr"].items()},
+                load_samples={
+                    k: [float(x) for x in v] for k, v in o["load_samples"].items()
+                },
+                latency_rows={
+                    k: [float(x) for x in v] for k, v in o["latency_rows"].items()
+                },
+                utilization=float(o["utilization"]),
+            )
+            for o in p["options"]
+        ]
+        profiles[name] = ServiceProfile(
+            service=p["service"],
+            cpus_per_replica=int(p["cpus_per_replica"]),
+            options=options,
+            samples_collected=int(p["samples_collected"]),
+            profiling_time_s=float(p["profiling_time_s"]),
+            terminated_by=str(p["terminated_by"]),
+        )
+    return ExplorationResult(app_name=payload["app_name"], profiles=profiles)

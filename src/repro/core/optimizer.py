@@ -1,0 +1,177 @@
+"""The optimisation engine: exploration data + load -> LPR thresholds.
+
+Builds the §IV allocation MIP from per-service exploration profiles and
+the application's current per-class load, solves it exactly, and emits one
+:class:`ScalingThreshold` per service -- the artefact the resource
+controller scales against.  This is the component invoked at deployment
+time and re-invoked by the anomaly detector when the request mix shifts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.apps.topology import AppSpec
+from repro.core.exploration import ExplorationResult, LprOption
+from repro.errors import ConfigurationError
+from repro.solver import AllocationModel, ClassSla, ServiceOptions, Solution, solve
+from repro.stats.distributions import DEFAULT_PERCENTILE_GRID
+
+__all__ = ["ScalingThreshold", "OptimizationEngine", "OptimizationOutcome"]
+
+#: Per-class LPRs below this rate cannot size replica counts (the class
+#: effectively saw no load during exploration).
+_MIN_LPR = 1e-9
+
+
+@dataclass
+class ScalingThreshold:
+    """The per-service scaling rule Ursa deploys.
+
+    ``lpr`` is the chosen load-per-replica threshold vector; the resource
+    controller keeps every class's per-replica load below it.
+    ``load_samples`` are the per-window per-replica loads recorded during
+    exploration at this LPR -- the reference sample for the controller's
+    Welch t-test.
+    """
+
+    service: str
+    cpus_per_replica: int
+    lpr: dict[str, float]
+    load_samples: dict[str, list[float]]
+    utilization: float
+
+    def replicas_for(self, service_loads: Mapping[str, float]) -> int:
+        """Replicas needed so no class exceeds its per-replica threshold."""
+        needed = 1
+        for class_name, load in service_loads.items():
+            if load <= 0:
+                continue
+            threshold = self.lpr.get(class_name, 0.0)
+            if threshold <= _MIN_LPR:
+                continue  # class saw no exploration load; cannot size by it
+            needed = max(needed, math.ceil(load / threshold - 1e-9))
+        return needed
+
+
+@dataclass
+class OptimizationOutcome:
+    """Thresholds plus the raw solver artefacts (for accuracy analysis)."""
+
+    thresholds: dict[str, ScalingThreshold]
+    solution: Solution
+    #: class -> predicted end-to-end latency upper bound (seconds).
+    predicted_bounds: dict[str, float]
+    #: class -> the SLA percentile the bound applies to.
+    bound_percentiles: dict[str, float]
+
+
+class OptimizationEngine:
+    """Builds and solves the allocation MIP."""
+
+    def __init__(
+        self, percentile_grid: Sequence[float] = DEFAULT_PERCENTILE_GRID
+    ) -> None:
+        self.grid = list(percentile_grid)
+
+    # ------------------------------------------------------------------
+    def build_model(
+        self,
+        spec: AppSpec,
+        exploration: ExplorationResult,
+        class_loads: Mapping[str, float],
+    ) -> AllocationModel:
+        """Assemble MIP 1 for the given client-level per-class loads (RPS)."""
+        access: dict[str, dict[str, int]] = {}
+        for rc in spec.request_classes:
+            for service, count in rc.access_counts().items():
+                access.setdefault(service, {})[rc.name] = count
+
+        services = []
+        for name, profile in exploration.profiles.items():
+            if not profile.options:
+                raise ConfigurationError(
+                    f"service {name!r} has no exploration options"
+                )
+            resources = [
+                self._replicas_for_option(
+                    option, access.get(name, {}), class_loads
+                )
+                * profile.cpus_per_replica
+                for option in profile.options
+            ]
+            latency: dict[str, np.ndarray] = {}
+            classes = profile.options[0].latency_rows.keys()
+            for class_name in classes:
+                count = access.get(name, {}).get(class_name, 1)
+                rows = [
+                    np.asarray(option.latency_rows[class_name]) * count
+                    for option in profile.options
+                ]
+                latency[class_name] = np.vstack(rows)
+            services.append(
+                ServiceOptions(name=name, resources=resources, latency=latency)
+            )
+        profiled_classes = {
+            c for s in services for c in s.latency
+        }
+        slas = [
+            ClassSla(rc.name, rc.sla.percentile, rc.sla.target_s)
+            for rc in spec.request_classes
+            if rc.name in profiled_classes
+        ]
+        return AllocationModel(services, slas, self.grid)
+
+    @staticmethod
+    def _replicas_for_option(
+        option: LprOption,
+        access_counts: Mapping[str, int],
+        class_loads: Mapping[str, float],
+    ) -> int:
+        """Replica count Eq. 3 implies for one LPR option under a load."""
+        needed = 1
+        for class_name, lpr in option.lpr.items():
+            if lpr <= _MIN_LPR:
+                continue
+            load = class_loads.get(class_name, 0.0) * access_counts.get(
+                class_name, 1
+            )
+            if load > 0:
+                needed = max(needed, math.ceil(load / lpr - 1e-9))
+        return needed
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        spec: AppSpec,
+        exploration: ExplorationResult,
+        class_loads: Mapping[str, float],
+    ) -> OptimizationOutcome:
+        """Solve MIP 1 and emit the per-service scaling thresholds."""
+        model = self.build_model(spec, exploration, class_loads)
+        solution = solve(model)
+        thresholds: dict[str, ScalingThreshold] = {}
+        for name, profile in exploration.profiles.items():
+            option = profile.options[solution.lpr_choice[name]]
+            thresholds[name] = ScalingThreshold(
+                service=name,
+                cpus_per_replica=profile.cpus_per_replica,
+                lpr=dict(option.lpr),
+                load_samples={k: list(v) for k, v in option.load_samples.items()},
+                utilization=option.utilization,
+            )
+        percentiles = {
+            rc.name: rc.sla.percentile for rc in spec.request_classes
+        }
+        return OptimizationOutcome(
+            thresholds=thresholds,
+            solution=solution,
+            predicted_bounds=dict(solution.latency_bound),
+            bound_percentiles={
+                name: percentiles[name] for name in solution.latency_bound
+            },
+        )

@@ -1,0 +1,88 @@
+"""Theorem 1: percentile decomposition of end-to-end latency.
+
+For a chain of services with latency distributions ``t_1 .. t_n`` and any
+percentiles ``x_1 .. x_n``:
+
+    t_e2e(x_c) <= sum_i t_i(x_i)   whenever   100 - x_c >= sum_i (100 - x_i)
+
+i.e. the sum of per-service percentile latencies upper-bounds the
+end-to-end percentile as long as the per-service percentile *residuals*
+fit within the end-to-end residual.  The bound holds for arbitrary joint
+distributions (dependence allowed); the proof is a union bound: the event
+"end-to-end latency exceeds the sum" implies at least one service exceeded
+its own percentile, and those events' probabilities sum to at most the
+end-to-end residual.
+
+This module provides residual-budget helpers and an empirical checker used
+by the property-based tests and the model-accuracy experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+from repro.stats.distributions import EmpiricalDistribution
+
+__all__ = [
+    "residuals_fit",
+    "latency_upper_bound",
+    "split_residual_evenly",
+    "empirical_bound_holds",
+]
+
+
+def residuals_fit(e2e_percentile: float, per_service: Sequence[float]) -> bool:
+    """Check Theorem 1's side condition ``100 - x_c >= sum(100 - x_i)``."""
+    if not 0 < e2e_percentile < 100:
+        raise ConfigurationError(
+            f"end-to-end percentile must be in (0, 100), got {e2e_percentile}"
+        )
+    for x in per_service:
+        if not 0 < x < 100:
+            raise ConfigurationError(f"per-service percentile {x} out of range")
+    return 100.0 - e2e_percentile >= sum(100.0 - x for x in per_service) - 1e-9
+
+
+def latency_upper_bound(
+    distributions: Sequence[EmpiricalDistribution],
+    percentiles: Sequence[float],
+) -> float:
+    """``sum_i t_i(x_i)`` for the given per-service percentile choices."""
+    if len(distributions) != len(percentiles):
+        raise ConfigurationError(
+            f"{len(distributions)} distributions vs {len(percentiles)} percentiles"
+        )
+    return sum(d.percentile(x) for d, x in zip(distributions, percentiles))
+
+
+def split_residual_evenly(e2e_percentile: float, n_services: int) -> list[float]:
+    """The simplest valid split: each service gets ``residual / n``.
+
+    E.g. a p99 SLA over 2 services yields (99.5, 99.5).
+    """
+    if n_services < 1:
+        raise ConfigurationError(f"need >= 1 service, got {n_services}")
+    residual = (100.0 - e2e_percentile) / n_services
+    return [100.0 - residual] * n_services
+
+
+def empirical_bound_holds(
+    e2e: EmpiricalDistribution,
+    per_service: Sequence[EmpiricalDistribution],
+    e2e_percentile: float,
+    per_service_percentiles: Sequence[float],
+) -> bool:
+    """Empirically verify Theorem 1 on recorded samples.
+
+    Returns True when the side condition holds and the measured end-to-end
+    percentile is below the per-service percentile sum.  (On finite samples
+    the theorem can be violated by sampling noise only; the property tests
+    allow for that explicitly.)
+    """
+    if not residuals_fit(e2e_percentile, per_service_percentiles):
+        raise ConfigurationError(
+            "residual condition violated: the bound is not applicable"
+        )
+    bound = latency_upper_bound(per_service, per_service_percentiles)
+    return e2e.percentile(e2e_percentile) <= bound + 1e-12

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "SchedulingError",
+    "ExplorationError",
+    "InfeasibleModelError",
+    "SolverError",
+    "TelemetryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-supplied configuration (SLAs, topologies, parameters)."""
+
+
+class TopologyError(ReproError):
+    """Malformed service graph (cycles, unknown services, bad edges)."""
+
+
+class SchedulingError(ReproError):
+    """Cluster could not satisfy a placement or scaling request."""
+
+
+class ExplorationError(ReproError):
+    """The exploration controller could not collect usable profiles."""
+
+
+class SolverError(ReproError):
+    """The MIP solver was given a malformed model."""
+
+
+class InfeasibleModelError(SolverError):
+    """The resource-optimisation model has no feasible assignment.
+
+    Raised by the optimisation engine when no combination of profiled LPR
+    thresholds can satisfy the end-to-end SLAs; carries enough context to
+    tell the user which SLA is binding.
+    """
+
+    def __init__(self, message: str, binding_constraints: list[str] | None = None):
+        super().__init__(message)
+        self.binding_constraints = binding_constraints or []
+
+
+class TelemetryError(ReproError):
+    """Malformed metric queries or recordings."""

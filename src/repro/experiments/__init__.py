@@ -1,0 +1,27 @@
+"""Per-table/figure reproduction harnesses (see DESIGN.md's index).
+
+Modules:
+
+* :mod:`repro.experiments.fig02_backpressure` -- Fig. 2 heatmaps.
+* :mod:`repro.experiments.fig04_thresholds` -- Fig. 4 threshold curves.
+* :mod:`repro.experiments.table05_exploration` -- Table V overheads.
+* :mod:`repro.experiments.fig09_10_model_accuracy` -- Figs. 9/10.
+* :mod:`repro.experiments.fig11_12_performance` -- Figs. 11/12.
+* :mod:`repro.experiments.fig13_diurnal` -- Fig. 13 traces.
+* :mod:`repro.experiments.table06_control_plane` -- Table VI latencies.
+* :mod:`repro.experiments.fig14_service_change` -- Fig. 14 / §VII-G.
+
+Shared infrastructure: :mod:`repro.experiments.runner` (deployment loop,
+scale profiles), :mod:`repro.experiments.artifacts` (cached exploration
+data and trained baselines), :mod:`repro.experiments.managers` (manager
+factories), :mod:`repro.experiments.report` (table/series rendering).
+"""
+
+from repro.experiments.runner import (
+    DeploymentResult,
+    ScaleProfile,
+    run_deployment,
+    scale_profile,
+)
+
+__all__ = ["DeploymentResult", "ScaleProfile", "run_deployment", "scale_profile"]

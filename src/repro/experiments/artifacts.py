@@ -1,0 +1,170 @@
+"""Cached experiment artefacts: exploration data and trained baselines.
+
+Backpressure profiling, Algorithm-1 exploration, Sinan data collection /
+training and Firm agent training are expensive; every table and figure
+that needs them shares one cached copy per (application, scale profile).
+Artefacts are pickled under ``.repro_cache/`` in the repository root so
+separate benchmark processes reuse them; delete the directory to force
+regeneration.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Callable
+
+from repro.apps import (
+    build_media_service_spec,
+    build_social_network_spec,
+    build_vanilla_social_network_spec,
+    build_video_pipeline_spec,
+)
+from repro.apps.topology import AppSpec
+from repro.baselines.firm import FirmAgent, train_firm_agents
+from repro.baselines.sinan import SinanDataCollector, SinanDataset, SinanPredictor
+from repro.core.backpressure import BackpressureProfiler
+from repro.core.exploration import ExplorationController, ExplorationResult
+from repro.experiments.runner import DEFAULT_RPS, scale_profile
+from repro.sim.random import RandomStreams
+from repro.workload.defaults import default_mix_for
+from repro.workload.mixes import RequestMix
+
+__all__ = [
+    "app_spec",
+    "app_rps",
+    "backpressure_thresholds",
+    "exploration_result",
+    "sinan_predictor",
+    "sinan_dataset",
+    "firm_agents",
+    "cache_dir",
+]
+
+_BUILDERS: dict[str, Callable[[], AppSpec]] = {
+    "social-network": build_social_network_spec,
+    "vanilla-social-network": build_vanilla_social_network_spec,
+    "media-service": build_media_service_spec,
+    "video-pipeline": build_video_pipeline_spec,
+}
+
+
+def app_spec(app_name: str) -> AppSpec:
+    try:
+        return _BUILDERS[app_name]()
+    except KeyError:
+        raise ValueError(f"unknown application {app_name!r}") from None
+
+
+def app_rps(app_name: str) -> float:
+    return DEFAULT_RPS[app_name]
+
+
+def cache_dir() -> Path:
+    path = Path(__file__).resolve().parents[3] / ".repro_cache"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def _cached(key: str, build: Callable[[], object]):
+    path = cache_dir() / f"{key}-{scale_profile().name}.pkl"
+    if path.exists():
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    artefact = build()
+    with path.open("wb") as fh:
+        pickle.dump(artefact, fh)
+    return artefact
+
+
+# ----------------------------------------------------------------------
+def backpressure_thresholds(app_name: str) -> dict[str, float]:
+    """Per-service backpressure-free CPU-utilisation thresholds (§III)."""
+
+    def build() -> dict[str, float]:
+        spec = app_spec(app_name)
+        mix = default_mix_for(app_name)
+        profile = scale_profile()
+        profiler = BackpressureProfiler(
+            RandomStreams(101),
+            window_s=profile.bp_window_s,
+            samples_per_limit=profile.bp_samples_per_limit,
+        )
+        # Only RPC-connected services can propagate backpressure (§III);
+        # MQ-only consumers are unconstrained (threshold 1.0).
+        rpc_called = spec.rpc_called_services()
+        thresholds = {}
+        for service in spec.services:
+            if service.name in rpc_called:
+                result = profiler.profile_spec(service, mix)
+                thresholds[service.name] = result.threshold_utilization
+            else:
+                thresholds[service.name] = 1.0
+        return thresholds
+
+    return _cached(f"bp-{app_name}", build)
+
+
+def exploration_result(
+    app_name: str, mix: RequestMix | None = None, tag: str = "default"
+) -> ExplorationResult:
+    """Algorithm-1 exploration for one app under its default mix."""
+
+    def build() -> ExplorationResult:
+        spec = app_spec(app_name)
+        profile = scale_profile()
+        controller = ExplorationController(
+            RandomStreams(202),
+            window_s=profile.exploration_window_s,
+            samples_per_step=profile.exploration_samples_per_step,
+            warmup_s=profile.exploration_warmup_s,
+            settle_s=profile.exploration_settle_s,
+        )
+        return controller.explore_app(
+            spec,
+            mix if mix is not None else default_mix_for(app_name),
+            app_rps(app_name),
+            backpressure_thresholds(app_name),
+        )
+
+    return _cached(f"exploration-{app_name}-{tag}", build)
+
+
+def sinan_dataset(app_name: str) -> SinanDataset:
+    def build() -> SinanDataset:
+        spec = app_spec(app_name)
+        profile = scale_profile()
+        collector = SinanDataCollector(
+            RandomStreams(303), window_s=30.0, settle_s=10.0
+        )
+        return collector.collect(
+            spec,
+            default_mix_for(app_name),
+            app_rps(app_name),
+            n_samples=profile.sinan_samples,
+        )
+
+    return _cached(f"sinan-data-{app_name}", build)
+
+
+def sinan_predictor(app_name: str) -> SinanPredictor:
+    def build() -> SinanPredictor:
+        return SinanPredictor.train(sinan_dataset(app_name), epochs=40)
+
+    return _cached(f"sinan-model-{app_name}", build)
+
+
+def firm_agents(app_name: str) -> dict[str, FirmAgent]:
+    def build() -> dict[str, FirmAgent]:
+        spec = app_spec(app_name)
+        profile = scale_profile()
+        agents, _time = train_firm_agents(
+            spec,
+            default_mix_for(app_name),
+            app_rps(app_name),
+            RandomStreams(404),
+            n_samples=profile.firm_samples,
+        )
+        return agents
+
+    return _cached(f"firm-agents-{app_name}", build)

@@ -1,0 +1,106 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Runs a single paper experiment and prints its rendered tables/series --
+convenient for exploring results without pytest.  Expensive shared
+artefacts are cached exactly as in the benchmarks (``.repro_cache/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+EXPERIMENTS = (
+    "fig02",
+    "fig04",
+    "table05",
+    "fig09",
+    "fig10",
+    "fig11-12",
+    "fig13",
+    "table06",
+    "fig14",
+    "summary",
+)
+
+
+def _run(name: str, apps: list[str] | None) -> str:
+    if name == "fig02":
+        from repro.experiments.fig02_backpressure import run_all_chains
+
+        return "\n\n".join(hm.render() for hm in run_all_chains().values())
+    if name == "fig04":
+        from repro.experiments.fig04_thresholds import run_threshold_profiling
+
+        return run_threshold_profiling().render()
+    if name == "table05":
+        from repro.experiments.table05_exploration import run_table05
+
+        return run_table05().render()
+    if name == "fig09":
+        from repro.experiments.fig09_10_model_accuracy import (
+            FIG9_CLASSES,
+            run_model_accuracy,
+        )
+
+        return run_model_accuracy("social-network", FIG9_CLASSES).render()
+    if name == "fig10":
+        from repro.experiments.fig09_10_model_accuracy import run_model_accuracy
+
+        return run_model_accuracy(
+            "video-pipeline", ("high-priority", "low-priority")
+        ).render()
+    if name == "fig11-12":
+        from repro.experiments.fig11_12_performance import run_performance_grid
+
+        grid = run_performance_grid(
+            tuple(apps)
+            if apps
+            else (
+                "social-network",
+                "vanilla-social-network",
+                "media-service",
+                "video-pipeline",
+            )
+        )
+        return grid.violation_table() + "\n\n" + grid.cpu_table()
+    if name == "fig13":
+        from repro.experiments.fig13_diurnal import run_diurnal_trace
+
+        return run_diurnal_trace().render()
+    if name == "table06":
+        from repro.experiments.table06_control_plane import run_table06
+
+        return run_table06().render()
+    if name == "fig14":
+        from repro.experiments.fig14_service_change import run_service_change
+
+        return run_service_change().render()
+    if name == "summary":
+        from repro.experiments.summary import summarize
+
+        return summarize()
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce one Ursa (HPCA 2024) table or figure.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument(
+        "--apps",
+        help="comma-separated application subset (fig11-12 only)",
+        default=None,
+    )
+    args = parser.parse_args(argv)
+    apps = args.apps.split(",") if args.apps else None
+    print(_run(args.experiment, apps))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

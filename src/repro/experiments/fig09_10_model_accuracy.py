@@ -1,0 +1,135 @@
+"""Figs. 9 & 10 -- estimated vs measured latency.
+
+Runs an Ursa-managed deployment, and every evaluation window compares the
+measured SLA-percentile latency of each request class against the model's
+estimate: the MIP's sum-of-percentiles bound multiplied by the expected
+overestimation ratio (§IV's mitigation, tracked online with an EWMA).  The
+estimate for window *k* uses only observations from windows before *k*,
+so the comparison is out-of-sample.
+
+Paper shapes: estimates track measurements closely, with mean
+estimated/measured ratios of 0.97-1.05 (social network, Fig. 9) and
+0.96 / 1.00 (video pipeline priorities, Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.manager import UrsaManager
+from repro.core.overestimation import OverestimationTracker
+from repro.experiments import artifacts
+from repro.experiments.report import render_series
+from repro.experiments.runner import make_app, scale_profile
+from repro.sim.random import RandomStreams
+from repro.workload.defaults import default_mix_for
+from repro.workload.generator import LoadGenerator
+from repro.workload.patterns import ConstantLoad
+
+__all__ = ["AccuracySeries", "ModelAccuracyResult", "run_model_accuracy"]
+
+#: Fig. 9's four representative social-network request types.
+FIG9_CLASSES = (
+    "upload-post",
+    "update-timeline",
+    "object-detect",
+    "sentiment-analysis",
+)
+
+
+@dataclass
+class AccuracySeries:
+    request_class: str
+    percentile: float
+    #: (window start time, measured, estimated) triples.
+    points: list[tuple[float, float, float]] = field(default_factory=list)
+
+    @property
+    def mean_ratio(self) -> float:
+        """Mean estimated/measured ratio (the paper's summary statistic)."""
+        ratios = [e / m for _, m, e in self.points if m > 0]
+        if not ratios:
+            return float("nan")
+        return sum(ratios) / len(ratios)
+
+    def render(self) -> str:
+        measured = render_series(
+            f"measured p{self.percentile:g} [{self.request_class}]",
+            [(t, m) for t, m, _ in self.points],
+            "t_s",
+            "latency_s",
+        )
+        estimated = render_series(
+            f"estimated p{self.percentile:g} [{self.request_class}]",
+            [(t, e) for t, _, e in self.points],
+            "t_s",
+            "latency_s",
+        )
+        return f"{measured}\n{estimated}\nmean est/meas ratio: {self.mean_ratio:.3f}"
+
+
+@dataclass
+class ModelAccuracyResult:
+    app_name: str
+    series: dict[str, AccuracySeries]
+
+    def render(self) -> str:
+        return "\n\n".join(s.render() for s in self.series.values())
+
+
+def run_model_accuracy(
+    app_name: str,
+    classes: tuple[str, ...] | None = None,
+    window_s: float = 60.0,
+    seed: int = 17,
+    duration_s: float | None = None,
+) -> ModelAccuracyResult:
+    """Deploy under Ursa and collect measured-vs-estimated series."""
+    profile = scale_profile()
+    duration = duration_s if duration_s is not None else profile.deployment_s
+    spec = artifacts.app_spec(app_name)
+    mix = default_mix_for(app_name)
+    rps = artifacts.app_rps(app_name)
+    exploration = artifacts.exploration_result(app_name)
+    app = make_app(spec, seed=seed)
+    app.env.run(until=10)
+    manager = UrsaManager(app, exploration)
+    class_loads = {c: rps * mix.fraction(c) for c in mix.classes()}
+    manager.initialize(class_loads)
+    manager.start()
+    LoadGenerator(
+        app,
+        pattern=ConstantLoad(rps),
+        mix=mix,
+        streams=RandomStreams(seed + 1),
+        stop_at_s=duration,
+    ).start()
+
+    wanted = classes if classes is not None else tuple(
+        rc.name for rc in spec.request_classes
+    )
+    slas = {rc.name: rc.sla for rc in spec.request_classes}
+    tracker = OverestimationTracker()
+    series = {
+        name: AccuracySeries(name, slas[name].percentile) for name in wanted
+    }
+    env = app.env
+    start = profile.measure_from_s
+    env.run(until=start)
+    t = start
+    while t + window_s <= duration:
+        env.run(until=t + window_s)
+        assert manager.outcome is not None
+        for name in wanted:
+            dist = app.hub.latency_distribution(
+                "request_latency", t, t + window_s, {"request": name}
+            )
+            bound = manager.outcome.predicted_bounds.get(name)
+            if not dist or bound is None or dist.count < 10:
+                continue
+            measured = dist.percentile(slas[name].percentile)
+            estimate = tracker.estimate(name, bound)  # pre-observation
+            series[name].points.append((t, measured, estimate))
+            tracker.observe(name, measured, bound)
+        t += window_s
+    return ModelAccuracyResult(app_name=app_name, series=series)

@@ -1,0 +1,128 @@
+"""Fig. 13 -- Ursa's CPU allocation tracking a diurnal load.
+
+Runs the social network under Ursa with a diurnal pattern and records,
+for representative microservices, the per-window RPS at the service and
+the CPUs allocated to it.  The paper's shape: allocations scale out as the
+load ramps up and scale back in as it subsides, promptly, per service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.manager import UrsaManager
+from repro.experiments import artifacts
+from repro.experiments.report import render_series
+from repro.experiments.runner import make_app, scale_profile
+from repro.sim.random import RandomStreams
+from repro.workload.defaults import default_mix_for
+from repro.workload.generator import LoadGenerator
+from repro.workload.patterns import DiurnalLoad
+
+__all__ = ["DiurnalTrace", "run_diurnal_trace", "FIG13_SERVICES"]
+
+#: Four representative social-network microservices (paper Fig. 13 shows
+#: individual, representative services).
+FIG13_SERVICES = (
+    "frontend",
+    "timeline-service",
+    "post-storage",
+    "object-detect-ml",
+)
+
+
+@dataclass
+class ServiceTrace:
+    service: str
+    #: (window start, service RPS) and (window start, allocated CPUs).
+    load: list[tuple[float, float]]
+    cpus: list[tuple[float, float]]
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                render_series(f"{self.service} load", self.load, "t_s", "rps"),
+                render_series(f"{self.service} cpus", self.cpus, "t_s", "cpus"),
+            ]
+        )
+
+    def correlation(self) -> float:
+        """Pearson correlation between load and allocation over time."""
+        import numpy as np
+
+        if len(self.load) < 3:
+            return float("nan")
+        x = np.asarray([v for _, v in self.load])
+        y = np.asarray([v for _, v in self.cpus])
+        if x.std() == 0 or y.std() == 0:
+            return 0.0
+        return float(np.corrcoef(x, y)[0, 1])
+
+
+@dataclass
+class DiurnalTrace:
+    traces: dict[str, ServiceTrace]
+
+    def render(self) -> str:
+        return "\n\n".join(t.render() for t in self.traces.values())
+
+
+def run_diurnal_trace(
+    app_name: str = "social-network",
+    services: tuple[str, ...] = FIG13_SERVICES,
+    window_s: float = 60.0,
+    seed: int = 29,
+    duration_s: float | None = None,
+) -> DiurnalTrace:
+    profile = scale_profile()
+    duration = duration_s if duration_s is not None else profile.deployment_s * 1.5
+    spec = artifacts.app_spec(app_name)
+    mix = default_mix_for(app_name)
+    rps = artifacts.app_rps(app_name)
+    exploration = artifacts.exploration_result(app_name)
+    app = make_app(spec, seed=seed)
+    app.env.run(until=10)
+    manager = UrsaManager(app, exploration)
+    manager.initialize({c: rps * 0.7 * mix.fraction(c) for c in mix.classes()})
+    manager.start()
+    LoadGenerator(
+        app,
+        pattern=DiurnalLoad(low=rps * 0.7, high=rps * 1.8, period_s=duration),
+        mix=mix,
+        streams=RandomStreams(seed + 1),
+        stop_at_s=duration,
+    ).start()
+    app.env.run(until=duration)
+
+    traces = {}
+    for service in services:
+        if service not in app.services:
+            continue
+        load_series = []
+        cpu_series = []
+        t = 0.0
+        while t + window_s <= duration:
+            total_rps = 0.0
+            for rc in spec.request_classes:
+                total_rps += app.hub.counter_rate(
+                    "requests_total",
+                    t,
+                    t + window_s,
+                    {"service": service, "request": rc.name},
+                )
+            load_series.append((t, total_rps))
+            cpu_series.append(
+                (
+                    t,
+                    app.hub.gauge_mean(
+                        "cpu_allocated",
+                        t,
+                        t + window_s,
+                        {"service": service},
+                        default=0.0,
+                    ),
+                )
+            )
+            t += window_s
+        traces[service] = ServiceTrace(service, load_series, cpu_series)
+    return DiurnalTrace(traces=traces)

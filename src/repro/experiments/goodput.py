@@ -1,0 +1,74 @@
+"""Throughput-per-dollar and goodput-per-dollar analysis (§VII-E
+Discussion).
+
+All systems are evaluated under identical workloads, so relative
+throughput-per-dollar improvements equal the inverse of relative resource
+consumption: if Ursa allocates a fraction ``f`` of a baseline's CPUs, it
+achieves ``1/f`` of its throughput per dollar.  Goodput-per-dollar
+additionally discounts requests that violate their SLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import DeploymentResult
+
+__all__ = ["CostEfficiency", "compare_cost_efficiency"]
+
+
+@dataclass(frozen=True)
+class CostEfficiency:
+    """Relative cost-efficiency of a system against a baseline."""
+
+    system: str
+    baseline: str
+    #: baseline CPUs / system CPUs: >1 means the system is cheaper.
+    throughput_per_dollar_x: float
+    #: same, additionally scaled by the goodput ratio.
+    goodput_per_dollar_x: float
+
+
+def _goodput_fraction(result: DeploymentResult) -> float:
+    """Fraction of completed requests meeting their SLA.
+
+    Uses per-class per-request violation rates weighted equally per class
+    (the per-class request counts are workload-determined and identical
+    across the systems being compared).
+    """
+    rates = list(result.per_class_violation_rate.values())
+    if not rates:
+        return 1.0
+    return 1.0 - sum(rates) / len(rates)
+
+
+def compare_cost_efficiency(
+    system: DeploymentResult, baseline: DeploymentResult
+) -> CostEfficiency:
+    """Cost-efficiency of ``system`` relative to ``baseline``.
+
+    Both results must come from the same application and load (identical
+    workloads are what make the inverse-resource argument valid).
+    """
+    if system.app_name != baseline.app_name:
+        raise ConfigurationError(
+            f"cannot compare {system.app_name!r} against {baseline.app_name!r}"
+        )
+    if system.load_name != baseline.load_name:
+        raise ConfigurationError(
+            f"cannot compare load {system.load_name!r} against "
+            f"{baseline.load_name!r}"
+        )
+    if system.mean_cpu_allocation <= 0 or baseline.mean_cpu_allocation <= 0:
+        raise ConfigurationError("both runs need positive CPU allocations")
+    throughput_x = baseline.mean_cpu_allocation / system.mean_cpu_allocation
+    goodput_x = throughput_x * (
+        _goodput_fraction(system) / max(1e-9, _goodput_fraction(baseline))
+    )
+    return CostEfficiency(
+        system=system.manager,
+        baseline=baseline.manager,
+        throughput_per_dollar_x=throughput_x,
+        goodput_per_dollar_x=goodput_x,
+    )

@@ -1,0 +1,71 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and diff-friendly
+(EXPERIMENTS.md embeds their output).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "render_heatmap"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule."""
+    materialised = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    points: Iterable[tuple[float, float]],
+    x_label: str = "x",
+    y_label: str = "y",
+    fmt: str = "{:.4g}",
+) -> str:
+    """One figure series as aligned (x, y) pairs."""
+    lines = [f"{name}  [{x_label} -> {y_label}]"]
+    for x, y in points:
+        lines.append(f"  {fmt.format(x):>12s}  {fmt.format(y)}")
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Sequence[Sequence[float]],
+    fmt: str = "{:7.1f}",
+) -> str:
+    """A row-per-line heatmap (Fig. 2's tier x minute layout)."""
+    if len(values) != len(row_labels):
+        raise ValueError("row count mismatch")
+    width = max(len(fmt.format(0.0)), *(len(c) for c in col_labels)) + 1
+    lines = [title]
+    label_width = max(len(r) for r in row_labels) + 1
+    header = " " * label_width + "".join(c.rjust(width) for c in col_labels)
+    lines.append(header)
+    for label, row in zip(row_labels, values):
+        if len(row) != len(col_labels):
+            raise ValueError("column count mismatch")
+        cells = "".join(fmt.format(v).rjust(width) for v in row)
+        lines.append(label.ljust(label_width) + cells)
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Shared experiment harness: deployments under managed load.
+
+Every §VII experiment boils down to: instantiate an application on a
+fresh cluster, attach one of the five resource managers, drive a load
+pattern, and read violation/allocation metrics.  This module provides that
+loop plus the scale profile (quick vs full) used by the benchmarks.
+
+Scale profiles: the ``REPRO_SCALE`` environment variable selects ``quick``
+(default -- minutes of simulated time per run, suitable for CI) or
+``full`` (closer to the paper's durations).  All benchmarks honour it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.apps.topology import Application, AppSpec
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.sim.engine import Environment
+from repro.sim.random import RandomStreams
+from repro.workload.generator import LoadGenerator
+from repro.workload.mixes import RequestMix
+
+__all__ = ["ScaleProfile", "scale_profile", "DeploymentResult", "run_deployment"]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Knobs trading fidelity for wall-clock time."""
+
+    name: str
+    #: Deployment run length and measurement start (simulated seconds).
+    deployment_s: float
+    measure_from_s: float
+    #: Exploration (Algorithm 1) parameters.
+    exploration_window_s: float
+    exploration_samples_per_step: int
+    exploration_warmup_s: float
+    exploration_settle_s: float
+    #: ML baseline training budgets (actually simulated).
+    sinan_samples: int
+    firm_samples: int
+    #: Backpressure profiling.
+    bp_window_s: float
+    bp_samples_per_limit: int
+
+
+_PROFILES = {
+    "quick": ScaleProfile(
+        name="quick",
+        deployment_s=540.0,
+        measure_from_s=120.0,
+        exploration_window_s=20.0,
+        exploration_samples_per_step=5,
+        exploration_warmup_s=40.0,
+        exploration_settle_s=10.0,
+        sinan_samples=100,
+        firm_samples=80,
+        bp_window_s=6.0,
+        bp_samples_per_limit=6,
+    ),
+    "full": ScaleProfile(
+        name="full",
+        deployment_s=2000.0,
+        measure_from_s=300.0,
+        exploration_window_s=60.0,
+        exploration_samples_per_step=10,
+        exploration_warmup_s=60.0,
+        exploration_settle_s=30.0,
+        sinan_samples=1000,
+        firm_samples=500,
+        bp_window_s=10.0,
+        bp_samples_per_limit=8,
+    ),
+}
+
+
+def scale_profile() -> ScaleProfile:
+    """The active scale profile (``REPRO_SCALE`` env var)."""
+    name = os.environ.get("REPRO_SCALE", "quick")
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown REPRO_SCALE {name!r}; choose from {sorted(_PROFILES)}"
+        ) from None
+
+
+#: Default base RPS per application, sized so that key services need
+#: several replicas (scaling decisions matter) while runs stay tractable.
+DEFAULT_RPS = {
+    "social-network": 150.0,
+    "vanilla-social-network": 150.0,
+    "media-service": 50.0,
+    "video-pipeline": 2.5,
+}
+
+
+@dataclass
+class DeploymentResult:
+    """Outcome of one managed deployment run."""
+
+    app_name: str
+    manager: str
+    load_name: str
+    windowed_violation_rate: float
+    mean_cpu_allocation: float
+    per_class_violation_rate: dict[str, float]
+    completed_requests: int
+    wall_seconds: float
+    app: Application = field(repr=False, default=None)
+
+
+def make_app(
+    spec: AppSpec,
+    seed: int,
+    initial_replicas: Mapping[str, int] | int = 2,
+) -> Application:
+    """An application on a fresh default (8-node testbed) cluster."""
+    env = Environment()
+    cluster = Cluster(env, nodes=[Node(f"run-{i}", 96, 256) for i in range(8)])
+    return Application(
+        spec,
+        env=env,
+        cluster=cluster,
+        streams=RandomStreams(seed),
+        initial_replicas=initial_replicas,
+    )
+
+
+def run_deployment(
+    spec: AppSpec,
+    mix: RequestMix,
+    pattern,
+    attach_manager: Callable[[Application], object],
+    manager_name: str,
+    load_name: str,
+    seed: int = 0,
+    duration_s: float | None = None,
+    measure_from_s: float | None = None,
+) -> DeploymentResult:
+    """One managed deployment run under ``pattern`` with ``mix``."""
+    profile = scale_profile()
+    duration = duration_s if duration_s is not None else profile.deployment_s
+    measure_from = (
+        measure_from_s if measure_from_s is not None else profile.measure_from_s
+    )
+    app = make_app(spec, seed)
+    app.env.run(until=10)
+    attach_manager(app)
+    generator = LoadGenerator(
+        app,
+        pattern=pattern,
+        mix=mix,
+        streams=RandomStreams(seed + 7),
+        stop_at_s=duration - 30.0,
+    )
+    generator.start()
+    wall_start = time.perf_counter()
+    app.env.run(until=duration)
+    wall = time.perf_counter() - wall_start
+    completed = sum(
+        app.hub.latency_distribution(
+            "request_latency", measure_from, duration, {"request": rc.name}
+        ).count
+        for rc in spec.request_classes
+    )
+    return DeploymentResult(
+        app_name=spec.name,
+        manager=manager_name,
+        load_name=load_name,
+        windowed_violation_rate=app.windowed_violation_rate(measure_from, duration),
+        mean_cpu_allocation=app.mean_cpu_allocation(measure_from, duration),
+        per_class_violation_rate=app.per_class_violation_rate(
+            measure_from, duration
+        ),
+        completed_requests=completed,
+        wall_seconds=wall,
+        app=app,
+    )

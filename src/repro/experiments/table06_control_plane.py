@@ -1,0 +1,135 @@
+"""Table VI -- control-plane latency (milliseconds).
+
+Measures the wall-clock cost of each system's decision paths on this
+machine:
+
+* **Deploy** (the per-interval decision): Ursa's threshold check per
+  service; Sinan's candidate batch through the MLP + GBDT; Firm's
+  per-service actor forward passes; the autoscaler's utilisation
+  comparison.
+* **Update** (adapting to changed logic/mix): Ursa re-solves the MIP;
+  Firm runs an online RL update iteration (the paper notes thousands of
+  iterations are needed for full adaptation); Sinan requires a full
+  retraining, reported out-of-band (the paper lists N/A); the autoscaler
+  has nothing to update.
+
+Absolute numbers depend on the host; the shape to reproduce is
+``autoscaler < Ursa << Firm << Sinan`` for deployment and
+``Ursa << Firm-per-iteration`` for updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.autoscaler import StepAutoscaler, auto_a
+from repro.baselines.firm import FirmManager
+from repro.baselines.sinan import SinanManager
+from repro.core.manager import UrsaManager
+from repro.experiments import artifacts
+from repro.experiments.report import render_table
+from repro.experiments.runner import make_app
+from repro.sim.random import RandomStreams
+from repro.workload.defaults import default_mix_for
+from repro.workload.generator import LoadGenerator
+from repro.workload.patterns import ConstantLoad
+
+__all__ = ["ControlPlaneLatency", "run_table06"]
+
+import time
+
+
+@dataclass
+class ControlPlaneLatency:
+    """All measurements in milliseconds."""
+
+    deploy_ms: dict[str, float]
+    update_ms: dict[str, float | None]
+
+    def render(self) -> str:
+        systems = ["ursa", "sinan", "firm", "autoscaling"]
+        rows = [
+            ["Deploy"] + [f"{self.deploy_ms[s]:.3f}" for s in systems],
+            ["Update"]
+            + [
+                "N/A" if self.update_ms[s] is None else f"{self.update_ms[s]:.1f}"
+                for s in systems
+            ],
+        ]
+        return render_table(
+            ["", *systems], rows, title="Table VI: control plane latency (ms)"
+        )
+
+
+def run_table06(
+    app_name: str = "social-network", seed: int = 31, warm_s: float = 150.0
+) -> ControlPlaneLatency:
+    """Measure decision latencies on a warmed-up deployment."""
+    spec = artifacts.app_spec(app_name)
+    mix = default_mix_for(app_name)
+    rps = artifacts.app_rps(app_name)
+    exploration = artifacts.exploration_result(app_name)
+    predictor = artifacts.sinan_predictor(app_name)
+    agents = artifacts.firm_agents(app_name)
+
+    def warmed_app():
+        app = make_app(spec, seed=seed)
+        app.env.run(until=10)
+        LoadGenerator(
+            app,
+            pattern=ConstantLoad(rps),
+            mix=mix,
+            streams=RandomStreams(seed + 1),
+            stop_at_s=warm_s,
+        ).start()
+        return app
+
+    class_loads = {c: rps * mix.fraction(c) for c in mix.classes()}
+    deploy_ms: dict[str, float] = {}
+    update_ms: dict[str, float | None] = {}
+
+    # ---- Ursa ---------------------------------------------------------
+    app = warmed_app()
+    ursa = UrsaManager(app, exploration)
+    ursa.initialize(class_loads)
+    app.env.run(until=warm_s)
+    deploy_ms["ursa"] = ursa.time_deploy_decision(repeats=50) * 1000.0
+    update_ms["ursa"] = ursa.time_update_decision(class_loads) * 1000.0
+
+    # ---- Sinan --------------------------------------------------------
+    app = warmed_app()
+    sinan = SinanManager(app, predictor)
+    sinan.initialize(2)
+    app.env.run(until=warm_s)
+    deploy_ms["sinan"] = sinan.time_decision(repeats=10) * 1000.0
+    update_ms["sinan"] = None  # full retraining; not an online operation
+
+    # ---- Firm ---------------------------------------------------------
+    app = warmed_app()
+    firm = FirmManager(app, agents)
+    firm.initialize(2)
+    app.env.run(until=warm_s)
+    # Fill the replay buffers so the update is representative.
+    for agent in agents.values():
+        if len(agent.buffer) < 64:
+            import numpy as np
+
+            for _ in range(64):
+                state = np.random.default_rng(0).uniform(0, 1, 4)
+                agent.remember(state, 0.0, -1.0, state)
+    deploy_ms["firm"] = firm.time_decision(repeats=20) * 1000.0
+    update_ms["firm"] = firm.time_update(iterations=1) * 1000.0
+
+    # ---- Autoscaling ----------------------------------------------------
+    app = warmed_app()
+    scaler = StepAutoscaler(app, auto_a())
+    app.env.run(until=warm_s)
+    start = time.perf_counter()
+    repeats = 100
+    for _ in range(repeats):
+        for service in app.services:
+            scaler.decide(service)
+    deploy_ms["autoscaling"] = (time.perf_counter() - start) / repeats * 1000.0
+    update_ms["autoscaling"] = deploy_ms["autoscaling"]
+
+    return ControlPlaneLatency(deploy_ms=deploy_ms, update_ms=update_ms)

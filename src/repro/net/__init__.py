@@ -1,0 +1,12 @@
+"""Communication substrate: call trees, requests and message queues.
+
+The RPC semantics themselves (worker-thread holding for nested RPC, daemon
+pools for event-driven RPC) are implemented by the service runtime in
+:mod:`repro.services.base`; this package defines the shared vocabulary and
+the message-queue primitive.
+"""
+
+from repro.net.messages import Call, CallMode, Request
+from repro.net.mq import MessageQueue
+
+__all__ = ["Call", "CallMode", "MessageQueue", "Request"]

@@ -1,0 +1,63 @@
+"""Message queues (Redis-streams substitute).
+
+A :class:`MessageQueue` is a shared, priority-ordered buffer in front of a
+consuming microservice.  Producers publish without blocking (Redis streams
+are effectively unbounded for these workloads); consumer replicas pull
+messages when they have a free worker.  Because producers never wait on
+consumers, MQ edges propagate **no backpressure** -- the property §III
+measures and Ursa's independence assumption relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.sim.engine import Environment
+from repro.sim.resources import PriorityStore
+
+__all__ = ["MessageQueue"]
+
+
+class MessageQueue:
+    """Priority-ordered message buffer with publish/consume semantics."""
+
+    def __init__(self, env: Environment, name: str) -> None:
+        self.env = env
+        self.name = name
+        self._store = PriorityStore(env)
+        self._seq = itertools.count()
+        self.published = 0
+        self.consumed = 0
+
+    def publish(self, payload: Any, priority: int = 0) -> None:
+        """Enqueue ``payload``; never blocks the producer.
+
+        Lower ``priority`` values are consumed first; equal priorities are
+        consumed in publish order.
+        """
+        self.published += 1
+        accepted = self._store.try_put((priority, next(self._seq), payload))
+        assert accepted  # unbounded store
+
+    def consume(self):
+        """Event that fires with the next ``payload`` (best priority first).
+
+        Consumers that stop (replica scale-down) must withdraw pending
+        consumes via :meth:`cancel_consume`.
+        """
+        return self._store.get()
+
+    def cancel_consume(self, event) -> None:
+        """Withdraw a pending consume that has not fired yet."""
+        self._store.cancel_get(event)
+
+    @staticmethod
+    def payload_of(item: tuple[int, int, Any]) -> Any:
+        """Extract the payload from a consumed store item."""
+        return item[2]
+
+    @property
+    def depth(self) -> int:
+        """Messages currently waiting."""
+        return len(self._store)

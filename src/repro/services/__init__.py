@@ -1,0 +1,6 @@
+"""Microservice runtime: specs, replicas and call-execution semantics."""
+
+from repro.services.base import Microservice, Replica
+from repro.services.spec import ServiceSpec
+
+__all__ = ["Microservice", "Replica", "ServiceSpec"]

@@ -1,0 +1,428 @@
+"""The microservice runtime: replicas, thread/CPU pools, call semantics.
+
+Each replica models two distinct resources:
+
+* a **thread pool** (``threads_per_cpu`` threads per core) -- a thread is
+  held for a request's entire residency at the service, *including* time
+  blocked on downstream nested-RPC responses;
+* the **CPU** (one slot per core, static policy) -- held only while the
+  handler actually executes.
+
+This separation is what reproduces §III's backpressure behaviour:
+
+* **Nested RPC** -- a slow downstream keeps upstream threads blocked;
+  once the finite thread pool is exhausted, new requests queue *before*
+  getting a thread and upstream response times inflate: backpressure.
+  The effect attenuates tier by tier (each pool absorbs part of it),
+  matching Fig. 2's "most pronounced in the parent" observation.
+* **Event-driven RPC** -- the worker thread hands the downstream call to a
+  daemon thread and acknowledges immediately; backpressure appears only
+  when the (larger) daemon pool saturates: present but weaker.
+* **Message queues** -- producers publish and continue; consumers pull
+  when they have capacity.  No producer thread ever waits on a consumer:
+  no backpressure.
+
+Metric semantics (matching §III's measurement): each request contributes a
+``service_latency`` sample equal to its response time at the tier *minus*
+time spent waiting for nested-RPC downstream responses -- i.e. thread/CPU
+queueing plus own processing (plus daemon-dispatch wait for event-driven
+RPC, plus queue residency for MQ consumers).  End-to-end request latency
+is the completion time of the whole call tree.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.net.messages import Call, CallMode, Request
+from repro.net.mq import MessageQueue
+from repro.sim.engine import AnyOf, Environment, Event
+from repro.sim.resources import Resource
+from repro.telemetry.metrics import MetricsHub
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.deployment import Pod
+    from repro.services.spec import ServiceSpec
+    from repro.sim.random import RandomStreams
+
+__all__ = ["Microservice", "Replica"]
+
+
+class Replica:
+    """One running replica: thread pool, CPU cores, daemon pool."""
+
+    def __init__(self, env: Environment, pod: "Pod", spec: "ServiceSpec") -> None:
+        self.env = env
+        self.pod = pod
+        self.cpu = Resource(env, pod.cpus)
+        self.threads = Resource(env, pod.cpus * spec.threads_per_cpu)
+        self.daemons = Resource(
+            env,
+            max(1, int(pod.cpus * spec.threads_per_cpu * spec.daemon_pool_factor)),
+        )
+        self.inflight = 0
+        self.busy_time = 0.0
+        self.stopping = False
+        self.stop_event: Event = env.event()
+
+    @property
+    def cpus(self) -> int:
+        return self.cpu.capacity
+
+    def set_cpu_limit(self, cpus: int, spec: "ServiceSpec") -> None:
+        """In-place CPU resize (profiling-engine hook, like VPA in-place)."""
+        self.cpu.resize(cpus)
+        self.threads.resize(cpus * spec.threads_per_cpu)
+        self.daemons.resize(
+            max(1, int(cpus * spec.threads_per_cpu * spec.daemon_pool_factor))
+        )
+
+
+class Microservice:
+    """Runtime for one microservice: dispatch, execution, telemetry.
+
+    Construction registers a deployment with the cluster; scaling happens
+    through :meth:`scale_to` (what resource managers call) and takes effect
+    after the container startup delay.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: "ServiceSpec",
+        cluster: "Cluster",
+        hub: MetricsHub,
+        streams: "RandomStreams",
+        initial_replicas: int = 1,
+        network_delay_s: float = 0.0005,
+        utilization_sample_interval_s: float = 5.0,
+    ) -> None:
+        self.env = env
+        self.spec = spec
+        self.cluster = cluster
+        self.hub = hub
+        self.name = spec.name
+        self._rng = streams.stream(f"service:{spec.name}")
+        self._work = dict(spec.handlers)
+        self.network_delay_s = float(network_delay_s)
+        #: CPU throttling factor in (0, 1]; Fig. 2 injects anomalies here.
+        self.speed_factor = 1.0
+        self._cpu_limit_override: int | None = None
+        self.queue = MessageQueue(env, spec.name)
+        self._label_sets: dict[str, tuple] = {}
+        self._replicas: dict[str, Replica] = {}
+        self._running: list[Replica] = []
+        self._rr = 0
+        self._replica_waiters: list[Event] = []
+        #: service name -> Microservice; wired by the application topology.
+        self.peers: dict[str, "Microservice"] = {}
+        self.deployment = cluster.create_deployment(
+            name=spec.name,
+            cpus_per_replica=spec.cpus_per_replica,
+            memory_per_replica_gb=spec.memory_per_replica_gb,
+            replicas=initial_replicas,
+            startup_delay_s=spec.startup_delay_s,
+            on_pod_running=self._on_pod_running,
+            on_pod_stopping=self._on_pod_stopping,
+        )
+        if utilization_sample_interval_s > 0:
+            env.process(self._monitor(utilization_sample_interval_s))
+
+    # ------------------------------------------------------------------
+    # Replica lifecycle
+    # ------------------------------------------------------------------
+    def _on_pod_running(self, pod: "Pod") -> None:
+        replica = Replica(self.env, pod, self.spec)
+        if self._cpu_limit_override is not None:
+            replica.set_cpu_limit(self._cpu_limit_override, self.spec)
+        self._replicas[pod.name] = replica
+        self._running.append(replica)
+        self.env.process(self._consumer_loop(replica))
+        waiters, self._replica_waiters = self._replica_waiters, []
+        for waiter in waiters:
+            waiter.succeed()
+
+    def _on_pod_stopping(self, pod: "Pod") -> None:
+        replica = self._replicas.get(pod.name)
+        if replica is None:  # pragma: no cover - defensive
+            pod.drained.succeed()
+            return
+        replica.stopping = True
+        if replica in self._running:
+            self._running.remove(replica)
+        replica.stop_event.succeed()
+        self._maybe_drained(replica)
+
+    def _maybe_drained(self, replica: Replica) -> None:
+        if replica.stopping and replica.inflight == 0:
+            if not replica.pod.drained.triggered:
+                replica.pod.drained.succeed()
+
+    # ------------------------------------------------------------------
+    # Control-plane API
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self) -> int:
+        """Running replica count."""
+        return len(self._running)
+
+    @property
+    def allocated_cpus(self) -> int:
+        return self.deployment.allocated_cpus
+
+    def scale_to(self, replicas: int) -> None:
+        """Set the desired replica count (the knob all managers turn)."""
+        self.deployment.scale_to(replicas)
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Throttle/restore CPU speed (anomaly injection, Fig. 2)."""
+        if factor <= 0:
+            raise ConfigurationError(f"speed factor must be > 0, got {factor}")
+        self.speed_factor = float(factor)
+
+    def set_cpu_limit(self, cpus: int) -> None:
+        """In-place per-replica CPU resize (backpressure profiling hook)."""
+        if cpus < 1:
+            raise ConfigurationError(f"cpu limit must be >= 1, got {cpus}")
+        self._cpu_limit_override = int(cpus)
+        for replica in self._replicas.values():
+            if not replica.stopping:
+                replica.set_cpu_limit(cpus, self.spec)
+
+    def set_handler(self, request_class: str, work) -> None:
+        """Swap a handler's work distribution (§VII-G logic update)."""
+        self._work[request_class] = work
+
+    def utilization(self) -> float:
+        """Instantaneous view: busy cores / cores across replicas."""
+        capacity = sum(r.cpu.capacity for r in self._running)
+        if capacity == 0:
+            return 0.0
+        busy = sum(r.cpu.in_use for r in self._running)
+        return busy / capacity
+
+    def queue_depth(self) -> int:
+        """Pending work: MQ backlog plus thread-queue waiters."""
+        return self.queue.depth + sum(r.threads.queue_len for r in self._running)
+
+    # ------------------------------------------------------------------
+    # Request entry points
+    # ------------------------------------------------------------------
+    def submit(self, request: Request, call: Call) -> tuple[Event, Event]:
+        """Invoke this service via RPC for one call-tree node.
+
+        Returns ``(response, done)``: ``response`` fires when the service
+        answers its caller (nested-RPC semantics), ``done`` when the whole
+        subtree rooted at ``call`` has completed.
+        """
+        if call.service != self.name:
+            raise TopologyError(
+                f"call for {call.service!r} submitted to {self.name!r}"
+            )
+        response = self.env.event()
+        done = self.env.event()
+        self.env.process(self._execute(request, call, response, done))
+        return response, done
+
+    def publish(self, request: Request, call: Call) -> Event:
+        """Invoke this service via its message queue.
+
+        Returns the ``done`` event for the subtree.  Never blocks the
+        caller: the message waits in the queue until a consumer picks it up.
+        """
+        if call.service != self.name:
+            raise TopologyError(
+                f"call for {call.service!r} published to {self.name!r}"
+            )
+        done = self.env.event()
+        self.queue.publish(
+            (request, call, done, self.env.now), priority=request.priority
+        )
+        self.hub.inc_counter(
+            "mq_published_total", labels=self._label_set(request.request_class)
+        )
+        return done
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _label_set(self, request_class: str):
+        """Cached canonical label tuple for (service, request) metrics."""
+        key = self._label_sets.get(request_class)
+        if key is None:
+            key = (("request", request_class), ("service", self.name))
+            self._label_sets[request_class] = key
+        return key
+
+    def _sample_work(self, request_class: str) -> float:
+        dist = self._work.get(request_class)
+        if dist is None:
+            raise TopologyError(
+                f"service {self.name!r} has no handler for request class "
+                f"{request_class!r}"
+            )
+        return dist.sample(self._rng)
+
+    def _peer(self, name: str) -> "Microservice":
+        try:
+            return self.peers[name]
+        except KeyError:
+            raise TopologyError(
+                f"service {self.name!r} has no wired peer {name!r}"
+            ) from None
+
+    def _pick_replica(self):
+        """Round-robin over running replicas; waits if none are running."""
+        while not self._running:
+            waiter = self.env.event()
+            self._replica_waiters.append(waiter)
+            yield waiter
+        self._rr += 1
+        return self._running[self._rr % len(self._running)]
+
+    def _execute(
+        self,
+        request: Request,
+        call: Call,
+        response: Event,
+        done: Event,
+        replica: Replica | None = None,
+        publish_time: float | None = None,
+    ):
+        """Serve one call-tree node (runs as a simulation process).
+
+        For RPC entry (``replica is None``) a replica is chosen here and a
+        thread acquired; for MQ entry the consumer loop already owns both.
+        """
+        env = self.env
+        t_submit = publish_time if publish_time is not None else env.now
+        labels = self._label_set(request.request_class)
+        self.hub.inc_counter("requests_total", labels=labels)
+        if replica is None:
+            replica = yield from self._pick_replica()
+            replica.inflight += 1
+            yield replica.threads.acquire(priority=request.priority)
+
+        # Local processing: occupy one core for the sampled work.
+        work = self._sample_work(request.request_class)
+        ptime = work / self.speed_factor
+        yield replica.cpu.acquire(priority=request.priority)
+        yield env.timeout(ptime)
+        replica.cpu.release()
+        replica.busy_time += ptime
+
+        child_dones: list[Event] = []
+        downstream_wait = 0.0
+
+        # Fire-and-forget MQ children first: publishing never blocks.
+        for child in call.children:
+            if child.mode == CallMode.MQ:
+                for _ in range(child.repeat):
+                    child_dones.append(self._peer(child.service).publish(request, child))
+
+        # Nested RPC children: sequential, holding this service's thread.
+        for child in call.children:
+            if child.mode == CallMode.RPC:
+                for _ in range(child.repeat):
+                    t0 = env.now
+                    child_response, child_done = self._peer(child.service).submit(
+                        request, child
+                    )
+                    yield child_response
+                    downstream_wait += env.now - t0
+                    child_dones.append(child_done)
+
+        event_children = [c for c in call.children if c.mode == CallMode.EVENT]
+        daemon_held = False
+        if event_children:
+            # Hand off to a daemon thread; dispatch blocks (holding the
+            # worker thread) when the daemon pool is exhausted -- the
+            # event-driven backpressure path.
+            yield replica.daemons.acquire(priority=request.priority)
+            daemon_held = True
+
+        replica.threads.release()
+        if self.network_delay_s > 0:
+            # Both network legs (request + response) in one event.
+            yield env.timeout(2.0 * self.network_delay_s)
+        service_latency = env.now - t_submit - downstream_wait
+        self.hub.record_latency("service_latency", service_latency, labels)
+        response.succeed()
+
+        if daemon_held:
+            # Daemon leg: perform the event-driven calls, waiting for each
+            # downstream response (the R1 step of Fig. 1(b)).
+            for child in event_children:
+                for _ in range(child.repeat):
+                    child_response, child_done = self._peer(child.service).submit(
+                        request, child
+                    )
+                    yield child_response
+                    child_dones.append(child_done)
+            replica.daemons.release()
+
+        replica.inflight -= 1
+        self._maybe_drained(replica)
+
+        pending = [ev for ev in child_dones if not ev.processed]
+        if pending:
+            yield env.all_of(pending)
+        done.succeed()
+
+    def _consumer_loop(self, replica: Replica):
+        """Consume MQ messages: pull one, wait for a thread, process async.
+
+        The loop never holds an idle thread: it pulls a message first and
+        only then contends for a thread slot (with the message's priority),
+        so MQ consumption cannot starve RPC traffic on small replicas.
+        """
+        env = self.env
+        while not replica.stopping:
+            get_ev = self.queue.consume()
+            if not get_ev.triggered:
+                yield AnyOf(env, [get_ev, replica.stop_event])
+            if not get_ev.triggered:
+                self.queue.cancel_consume(get_ev)
+                break
+            self.queue.consumed += 1
+            request, call, done, publish_time = MessageQueue.payload_of(get_ev.value)
+            # The pulled message is owned by this replica from here on; it
+            # counts as in-flight so scale-down drains wait for it.
+            replica.inflight += 1
+            yield replica.threads.acquire(priority=request.priority)
+            response = env.event()
+            env.process(
+                self._execute(
+                    request,
+                    call,
+                    response,
+                    done,
+                    replica=replica,
+                    publish_time=publish_time,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _monitor(self, interval: float):
+        env = self.env
+        last_busy = 0.0
+        labels = {"service": self.name}
+        while True:
+            yield env.timeout(interval)
+            replicas = [r for r in self._replicas.values() if not r.stopping]
+            capacity = sum(r.cpu.capacity for r in replicas)
+            busy_now = sum(r.busy_time for r in self._replicas.values())
+            delta = busy_now - last_busy
+            last_busy = busy_now
+            if capacity > 0:
+                utilization = min(1.0, delta / (capacity * interval))
+                self.hub.observe_gauge("cpu_utilization", utilization, labels)
+            self.hub.observe_gauge("replicas", float(self.replicas), labels)
+            self.hub.observe_gauge(
+                "cpu_allocated", float(self.deployment.allocated_cpus), labels
+            )
+            self.hub.observe_gauge("queue_depth", float(self.queue_depth()), labels)

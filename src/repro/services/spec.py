@@ -1,0 +1,75 @@
+"""Service specifications: the static description of one microservice.
+
+A :class:`ServiceSpec` captures everything the runtime needs to instantiate
+a microservice: its per-replica container shape (CPU/memory, mirroring the
+paper's practice of sizing containers from low-RPS profiles), the CPU work
+its handlers perform per request class, and its thread-pool configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.sim.random import Distribution
+
+__all__ = ["ServiceSpec"]
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Static configuration of one microservice.
+
+    ``handlers`` maps each request class the service participates in to the
+    distribution of CPU work (in core-seconds) its handler performs per
+    request of that class.  A request of an unknown class reaching the
+    service is a topology bug and raises at runtime.
+    """
+
+    name: str
+    cpus_per_replica: int
+    handlers: Mapping[str, Distribution] = field(default_factory=dict)
+    memory_per_replica_gb: float = 1.0
+    #: Request-handling threads per core.  Threads are held for the whole
+    #: request (including downstream RPC waits); cores only during actual
+    #: processing.  Finite thread pools are what propagates backpressure.
+    threads_per_cpu: int = 8
+    #: Daemon threads per worker thread for event-driven RPC dispatch
+    #: (§III): the daemon pool is larger than the worker pool, which is why
+    #: event-driven backpressure is weaker but still present.
+    daemon_pool_factor: float = 4.0
+    #: Container start time when scaling up.
+    startup_delay_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("service needs a name")
+        if self.cpus_per_replica < 1:
+            raise ConfigurationError(
+                f"{self.name}: cpus_per_replica must be >= 1 "
+                f"(integer CPUs, static policy)"
+            )
+        if self.memory_per_replica_gb <= 0:
+            raise ConfigurationError(f"{self.name}: memory must be > 0")
+        if self.threads_per_cpu < 1:
+            raise ConfigurationError(f"{self.name}: threads_per_cpu must be >= 1")
+        if self.daemon_pool_factor < 1:
+            raise ConfigurationError(f"{self.name}: daemon_pool_factor must be >= 1")
+        if self.startup_delay_s < 0:
+            raise ConfigurationError(f"{self.name}: negative startup delay")
+        object.__setattr__(self, "handlers", dict(self.handlers))
+
+    def with_handler(self, request_class: str, work: Distribution) -> "ServiceSpec":
+        """A copy with one handler replaced (used for §VII-G logic updates)."""
+        handlers = dict(self.handlers)
+        handlers[request_class] = work
+        return ServiceSpec(
+            name=self.name,
+            cpus_per_replica=self.cpus_per_replica,
+            handlers=handlers,
+            memory_per_replica_gb=self.memory_per_replica_gb,
+            threads_per_cpu=self.threads_per_cpu,
+            daemon_pool_factor=self.daemon_pool_factor,
+            startup_delay_s=self.startup_delay_s,
+        )

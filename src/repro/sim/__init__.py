@@ -1,0 +1,58 @@
+"""Discrete-event simulation kernel (SimPy-style, self-contained).
+
+Public surface:
+
+* :class:`~repro.sim.engine.Environment`, :class:`~repro.sim.engine.Event`,
+  :class:`~repro.sim.engine.Process`, :class:`~repro.sim.engine.Timeout`,
+  :class:`~repro.sim.engine.Interrupt` -- the event loop.
+* :class:`~repro.sim.resources.Resource`, :class:`~repro.sim.resources.Store`,
+  :class:`~repro.sim.resources.PriorityStore` -- shared resources.
+* :class:`~repro.sim.random.RandomStreams` and the distribution classes --
+  reproducible stochastic inputs.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.random import (
+    Constant,
+    Distribution,
+    Exponential,
+    Hyperexponential,
+    LogNormal,
+    Mixture,
+    Pareto,
+    RandomStreams,
+    Uniform,
+)
+from repro.sim.resources import PriorityStore, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Constant",
+    "Distribution",
+    "Environment",
+    "Event",
+    "Exponential",
+    "Hyperexponential",
+    "Interrupt",
+    "LogNormal",
+    "Mixture",
+    "Pareto",
+    "PriorityStore",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "Uniform",
+]

@@ -1,0 +1,402 @@
+"""Discrete-event simulation engine.
+
+This module is the foundation of the cluster substrate: a small,
+self-contained discrete-event kernel in the style of SimPy.  Processes are
+Python generators that ``yield`` events; the environment resumes a process
+when the event it waits on fires.  The engine provides:
+
+* :class:`Environment` -- the event loop and simulation clock.
+* :class:`Event` -- a one-shot occurrence that processes can wait on.
+* :class:`Timeout` -- an event that fires after a simulated delay.
+* :class:`Process` -- a running generator, itself awaitable as an event.
+* :class:`AnyOf` / :class:`AllOf` -- condition events over several events.
+* :class:`Interrupt` -- exception thrown into a process by another process.
+
+The engine is deterministic: events scheduled at the same simulated time
+fire in scheduling order (a monotonically increasing sequence number breaks
+ties), so runs with the same seed are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any, Callable
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states
+_PENDING = 0
+_TRIGGERED = 1  # scheduled, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* the event: it is placed on the environment's queue and its
+    callbacks run at the current simulation time.  A process waits on an
+    event by yielding it from its generator.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = None
+        self._ok = True
+        self._state = _PENDING
+        #: Failure value consumed flag -- an unhandled failed event is an
+        #: error surfaced by :meth:`Environment.step`.
+        self._defused = False
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (result or failure exception)."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure carrying ``exception``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run at once (still at current sim time).
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        env._schedule(self, delay=delay)
+
+
+class _ConditionValue(dict):
+    """Mapping of event -> value for fired events of a condition."""
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._fired: list[Event] = []
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+            event._add_callback(self._on_fire)
+        if not self._events and self._state == _PENDING:
+            self.succeed(_ConditionValue())
+
+    def _on_fire(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        self._fired.append(event)
+        if self._satisfied():
+            fired = set(map(id, self._fired))
+            value = _ConditionValue()
+            for ev in self._events:
+                if id(ev) in fired:
+                    value[ev] = ev.value
+            self.succeed(value)
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when at least one of the given events has fired."""
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) >= 1
+
+
+class AllOf(_Condition):
+    """Fires when all of the given events have fired."""
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) == len(self._events)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an event that fires with the generator's return
+    value when it finishes, so processes can wait for each other::
+
+        def child(env):
+            yield env.timeout(5)
+            return "done"
+
+        def parent(env):
+            result = yield env.process(child(env))
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        # Bootstrap: resume the process at the current time.
+        init = Event(env)
+        init._ok = True
+        init._state = _TRIGGERED
+        env._schedule(init)
+        init._add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if self._state != _PENDING:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event._state = _TRIGGERED
+        self.env._schedule(interrupt_event, priority=0)
+        interrupt_event._add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return  # process already finished (e.g. interrupt raced finish)
+        env = self.env
+        # Detach from the previous target if we were interrupted away.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        env._active_process = self
+        while True:
+            try:
+                if event.ok:
+                    next_event = self._generator.send(event.value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event.value)
+            except StopIteration as stop:
+                env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                env._active_process = None
+                self.fail(exc)
+                return
+            if not isinstance(next_event, Event):
+                env._active_process = None
+                self.fail(
+                    SimulationError(
+                        f"process yielded a non-event: {next_event!r}"
+                    )
+                )
+                return
+            if next_event.callbacks is not None:
+                # Event still pending or triggered-not-processed: wait.
+                self._target = next_event
+                next_event._add_callback(self._resume)
+                env._active_process = None
+                return
+            # Event already processed -- continue immediately with its value.
+            event = next_event
+
+
+class Environment:
+    """The simulation environment: clock plus event queue.
+
+    Typical use::
+
+        env = Environment()
+        env.process(my_generator(env))
+        env.run(until=100.0)
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises the failure exception of any failed event that no process
+        handled (mirroring SimPy's "dead process" detection), so bugs do not
+        silently vanish.
+        """
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._state = _PROCESSED
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a simulation time (run to that time), an
+        :class:`Event` (run until it fires and return its value), or ``None``
+        (run until no events remain).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed and self._queue:
+                self.step()
+            if not stop.triggered:
+                raise SimulationError("run(until=event): event never fired")
+            if not stop.ok:
+                raise stop.value
+            return stop.value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"run(until={horizon}) is in the past (now={self._now})"
+                )
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+        while self._queue:
+            self.step()
+        return None

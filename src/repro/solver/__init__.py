@@ -1,0 +1,13 @@
+"""Exact solver for the §IV resource-allocation MIP (Gurobi substitute)."""
+
+from repro.solver.branch_and_bound import solve, solve_exhaustive
+from repro.solver.model import AllocationModel, ClassSla, ServiceOptions, Solution
+
+__all__ = [
+    "AllocationModel",
+    "ClassSla",
+    "ServiceOptions",
+    "Solution",
+    "solve",
+    "solve_exhaustive",
+]

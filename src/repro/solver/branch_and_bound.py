@@ -1,0 +1,387 @@
+"""Exact branch-and-bound solver for the §IV allocation MIP.
+
+The model's only bilinear coupling is between a service's LPR choice and
+its per-class percentile choices, so the solver branches on LPR choices;
+for any (partial) LPR assignment, the percentile subproblem decomposes per
+request class into a small resource-constrained shortest-path problem:
+
+    minimise   sum_i latency_i(beta_i)
+    subject to sum_i residual(beta_i) <= residual budget,
+
+solved exactly by dynamic programming over quantised residual units.
+
+The search keeps, per class, an incrementally-maintained *prefix* DP over
+the already-assigned services and a precomputed optimistic *suffix* DP
+over the not-yet-assigned ones (column-minimum rows).  Their convolution
+is an admissible lower bound on the class's achievable latency sum, so
+pruning never cuts the optimum; leaves are exact.  The objective bound is
+the assigned resources plus each unassigned service's cheapest option.
+
+This replaces Gurobi for MIP 1 while staying exact; the test suite
+cross-checks it against exhaustive enumeration on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from repro.errors import InfeasibleModelError, SolverError
+from repro.solver.model import AllocationModel, Solution
+
+__all__ = ["solve", "solve_exhaustive"]
+
+#: Residuals are quantised to this many units per percentile point.
+#: A grid of {50, 90, 95, 99, 99.5, 99.9} gives residuals that are exact
+#: multiples of 0.1, i.e. of one unit at scale 10.
+RESIDUAL_SCALE = 10
+
+_INF = math.inf
+
+
+def _residual_units(model: AllocationModel) -> list[int]:
+    units = []
+    for residual in model.residuals:
+        scaled = residual * RESIDUAL_SCALE
+        if abs(scaled - round(scaled)) > 1e-6:
+            raise SolverError(
+                f"percentile residual {residual} is not a multiple of "
+                f"1/{RESIDUAL_SCALE}; adjust the percentile grid"
+            )
+        units.append(int(round(scaled)))
+    return units
+
+
+def _class_budget_units(percentile: float) -> int:
+    scaled = (100.0 - percentile) * RESIDUAL_SCALE
+    return int(math.floor(scaled + 1e-9))
+
+
+def _combine(row: list[float], dp: list[float], units: list[int]) -> list[float]:
+    """Front-extend an "at most u units" DP with one service's row.
+
+    ``new[u] = min over beta with r_beta <= u of row[beta] + dp[u - r_beta]``.
+    Both inputs are non-increasing in u, so the result is too.
+    """
+    budget = len(dp) - 1
+    new = [_INF] * (budget + 1)
+    for beta, r in enumerate(units):
+        if r > budget:
+            continue
+        lat = row[beta]
+        if lat == _INF:
+            continue
+        for u in range(r, budget + 1):
+            candidate = lat + dp[u - r]
+            if candidate < new[u]:
+                new[u] = candidate
+    return new
+
+
+def _min_split(prefix: list[float], suffix: list[float]) -> float:
+    """min over u of prefix[u] + suffix[budget - u] (same budget length)."""
+    budget = len(prefix) - 1
+    best = _INF
+    for u in range(budget + 1):
+        p = prefix[u]
+        if p == _INF:
+            continue
+        s = suffix[budget - u]
+        if s == _INF:
+            continue
+        total = p + s
+        if total < best:
+            best = total
+    return best
+
+
+def _dp_with_choices(
+    rows: list[list[float]], units: list[int], budget: int
+) -> tuple[float, list[int] | None]:
+    """Exact DP over fixed rows, with argmin backtracking."""
+    h = len(units)
+    traces: list[list[int]] = []
+    dp = [0.0] * (budget + 1)  # zero services cost nothing at any budget
+    for row in rows:
+        new = [_INF] * (budget + 1)
+        trace = [-1] * (budget + 1)
+        for beta in range(h):
+            r = units[beta]
+            if r > budget:
+                continue
+            lat = row[beta]
+            for u in range(r, budget + 1):
+                candidate = lat + dp[u - r]
+                if candidate < new[u]:
+                    new[u] = candidate
+                    trace[u] = beta
+        dp = new
+        traces.append(trace)
+    total = dp[budget]
+    if total == _INF:
+        return _INF, None
+    choices: list[int] = []
+    u = budget
+    for k in range(len(rows) - 1, -1, -1):
+        # Find the tightest u' <= u achieving dp value (trace stored at the
+        # exact split); walk down while no beta is recorded.
+        trace = traces[k]
+        while u > 0 and trace[u] == -1:
+            u -= 1
+        beta = trace[u]
+        if beta < 0:  # pragma: no cover - defensive
+            return _INF, None
+        choices.append(beta)
+        u -= units[beta]
+    choices.reverse()
+    return total, choices
+
+
+class _ClassState:
+    """Per-class search state: service order, suffix DPs, prefix stack."""
+
+    def __init__(
+        self,
+        name: str,
+        budget: int,
+        target: float,
+        service_indices: list[int],
+        matrices: list[list[list[float]]],
+        optimistic: list[list[float]],
+        units: list[int],
+    ) -> None:
+        self.name = name
+        self.budget = budget
+        self.target = target
+        self.service_indices = service_indices
+        #: branch index -> position within this class's service list.
+        self.position = {k: i for i, k in enumerate(service_indices)}
+        self.matrices = matrices
+        self.units = units
+        # suffix[i][u]: optimistic min latency over services i.. using <= u.
+        n = len(service_indices)
+        self.suffix: list[list[float]] = [None] * (n + 1)  # type: ignore[list-item]
+        self.suffix[n] = [0.0] * (budget + 1)
+        for i in range(n - 1, -1, -1):
+            self.suffix[i] = _combine(optimistic[i], self.suffix[i + 1], units)
+        # prefix stack: prefix[i] = DP over the first i services (assigned).
+        self.prefix_stack: list[list[float]] = [[0.0] * (budget + 1)]
+
+    def root_feasible(self) -> bool:
+        return self.suffix[0][self.budget] <= self.target + 1e-12
+
+    def push(self, branch_index: int, option: int) -> bool:
+        """Extend the prefix with the assigned row; True if still feasible."""
+        i = self.position[branch_index]
+        row = self.matrices[i][option]
+        new_prefix = _combine(row, self.prefix_stack[-1], self.units)
+        bound = _min_split(new_prefix, self.suffix[i + 1])
+        self.prefix_stack.append(new_prefix)
+        return bound <= self.target + 1e-12
+
+    def pop(self) -> None:
+        self.prefix_stack.pop()
+
+
+def solve(model: AllocationModel, node_limit: int = 200_000) -> Solution:
+    """Solve MIP 1; raises :class:`InfeasibleModelError` when infeasible.
+
+    The search is exact when it terminates within ``node_limit``
+    branch-and-bound nodes (always the case for exploration-sized models);
+    on adversarial tie-heavy instances it returns the best incumbent found
+    (``Solution.optimal`` is False then) -- the same anytime behaviour a
+    time-limited Gurobi run has.
+    """
+    residual_units = _residual_units(model)
+    min_units = min(residual_units)
+    # Branch most-constrained services first: those contributing the most
+    # unavoidable latency fail fastest, keeping the search tree small.
+    constraint_weight = []
+    for s in model.services:
+        weight = sum(float(m.min()) for m in s.latency.values())
+        constraint_weight.append(weight)
+    order = sorted(
+        range(len(model.services)),
+        key=lambda k: -constraint_weight[k],
+    )
+    services = [model.services[k] for k in order]
+    budgets = {sla.name: _class_budget_units(sla.percentile) for sla in model.slas}
+
+    # Structural infeasibility: path longer than the residual budget.
+    binding = []
+    for sla in model.slas:
+        on_path = model.services_for(sla.name)
+        need = len(on_path) * min_units
+        if need > budgets[sla.name]:
+            binding.append(
+                f"class {sla.name!r}: {len(on_path)} services need {need} "
+                f"residual units, budget is {budgets[sla.name]}"
+            )
+    if binding:
+        raise InfeasibleModelError(
+            "residual budgets cannot cover the service paths", binding
+        )
+
+    index_of = {s.name: k for k, s in enumerate(services)}
+    class_states: list[_ClassState] = []
+    for sla in model.slas:
+        on_path = model.services_for(sla.name)
+        indices = sorted(index_of[s.name] for s in on_path)
+        matrices = []
+        optimistic = []
+        for k in indices:
+            matrix = services[k].latency[sla.name]
+            matrices.append([list(map(float, row)) for row in matrix])
+            optimistic.append(list(map(float, matrix.min(axis=0))))
+        class_states.append(
+            _ClassState(
+                name=sla.name,
+                budget=budgets[sla.name],
+                target=sla.target_s,
+                service_indices=indices,
+                matrices=matrices,
+                optimistic=optimistic,
+                units=residual_units,
+            )
+        )
+    #: branch index -> class states that advance at that index.
+    classes_at: list[list[_ClassState]] = [[] for _ in services]
+    for state in class_states:
+        for k in state.service_indices:
+            classes_at[k].append(state)
+
+    failing = [s.name for s in class_states if not s.root_feasible()]
+    if failing:
+        raise InfeasibleModelError(
+            "SLA targets unreachable",
+            [f"class {name!r}: optimistic bound exceeds target" for name in failing],
+        )
+
+    option_order = [
+        sorted(range(s.num_options), key=lambda a: s.resources[a])
+        for s in services
+    ]
+    min_resource = [min(s.resources) for s in services]
+    suffix_min_resource = [0.0] * (len(services) + 1)
+    for k in range(len(services) - 1, -1, -1):
+        suffix_min_resource[k] = suffix_min_resource[k + 1] + min_resource[k]
+
+    best_objective = _INF
+    best_assignment: list[int] | None = None
+    assignment: list[int] = [0] * len(services)
+    nodes = 0
+    truncated = False
+
+    def descend(k: int, spent: float) -> None:
+        nonlocal best_objective, best_assignment, nodes, truncated
+        if truncated:
+            return
+        if k == len(services):
+            if spent < best_objective:
+                best_objective = spent
+                best_assignment = list(assignment)
+            return
+        service = services[k]
+        for option in option_order[k]:
+            cost = service.resources[option]
+            if spent + cost + suffix_min_resource[k + 1] >= best_objective - 1e-12:
+                break  # cost-ordered: nothing further improves
+            nodes += 1
+            if nodes > node_limit and best_assignment is not None:
+                truncated = True
+                return
+            feasible = True
+            pushed = 0
+            for state in classes_at[k]:
+                pushed += 1
+                if not state.push(k, option):
+                    feasible = False
+                    break
+            if feasible:
+                assignment[k] = option
+                descend(k + 1, spent + cost)
+            for state in classes_at[k][:pushed]:
+                state.pop()
+            if truncated:
+                return
+
+    descend(0, 0.0)
+
+    if best_assignment is None:
+        raise InfeasibleModelError(
+            "no LPR assignment satisfies all SLA constraints",
+            [f"explored {nodes} nodes"],
+        )
+
+    # Recover percentile choices and exact bounds at the optimum.
+    lpr_choice = {s.name: best_assignment[k] for k, s in enumerate(services)}
+    percentile_choice: dict[tuple[str, str], int] = {}
+    latency_bound: dict[str, float] = {}
+    for state in class_states:
+        rows = [
+            state.matrices[i][best_assignment[k]]
+            for i, k in enumerate(state.service_indices)
+        ]
+        total, choices = _dp_with_choices(rows, residual_units, state.budget)
+        assert choices is not None  # proven feasible during search
+        latency_bound[state.name] = total
+        for i, k in enumerate(state.service_indices):
+            percentile_choice[(services[k].name, state.name)] = choices[i]
+    return Solution(
+        lpr_choice=lpr_choice,
+        percentile_choice=percentile_choice,
+        objective=float(best_objective),
+        latency_bound=latency_bound,
+        nodes_explored=nodes,
+        optimal=not truncated,
+    )
+
+
+def solve_exhaustive(model: AllocationModel) -> Solution:
+    """Reference solver: enumerate every LPR combination.
+
+    Exponential; only for cross-checking :func:`solve` on small instances.
+    """
+    residual_units = _residual_units(model)
+    services = list(model.services)
+    budgets = {sla.name: _class_budget_units(sla.percentile) for sla in model.slas}
+    targets = {sla.name: sla.target_s for sla in model.slas}
+    per_class = {
+        sla.name: [s for s in services if sla.name in s.latency]
+        for sla in model.slas
+    }
+
+    best: Solution | None = None
+    combos = itertools.product(*[range(s.num_options) for s in services])
+    for combo in combos:
+        objective = sum(s.resources[a] for s, a in zip(services, combo))
+        if best is not None and objective >= best.objective - 1e-12:
+            continue
+        lpr_choice = {s.name: a for s, a in zip(services, combo)}
+        percentile_choice: dict[tuple[str, str], int] = {}
+        latency_bound: dict[str, float] = {}
+        feasible = True
+        for sla in model.slas:
+            rows = [
+                [float(v) for v in svc.latency[sla.name][lpr_choice[svc.name]]]
+                for svc in per_class[sla.name]
+            ]
+            total, choices = _dp_with_choices(
+                rows, residual_units, budgets[sla.name]
+            )
+            if choices is None or total > targets[sla.name] + 1e-12:
+                feasible = False
+                break
+            latency_bound[sla.name] = total
+            for svc, beta in zip(per_class[sla.name], choices):
+                percentile_choice[(svc.name, sla.name)] = beta
+        if feasible:
+            best = Solution(
+                lpr_choice=lpr_choice,
+                percentile_choice=percentile_choice,
+                objective=objective,
+                latency_bound=latency_bound,
+            )
+    if best is None:
+        raise InfeasibleModelError("no feasible LPR assignment (exhaustive)")
+    return best

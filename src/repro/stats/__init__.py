@@ -1,0 +1,32 @@
+"""Statistical utilities: Welch's t-test, empirical distributions."""
+
+from repro.stats.distributions import (
+    DEFAULT_PERCENTILE_GRID,
+    EmpiricalDistribution,
+    percentile,
+)
+from repro.stats.queueing import (
+    erlang_c,
+    mm1_response_percentile,
+    mmc_mean_response,
+    mmc_mean_wait,
+    mmc_utilization,
+    servers_for_target_wait,
+)
+from repro.stats.ttest import TTestResult, mean_exceeds, means_differ, welch_t_test
+
+__all__ = [
+    "DEFAULT_PERCENTILE_GRID",
+    "EmpiricalDistribution",
+    "TTestResult",
+    "mean_exceeds",
+    "means_differ",
+    "percentile",
+    "welch_t_test",
+    "erlang_c",
+    "mm1_response_percentile",
+    "mmc_mean_response",
+    "mmc_mean_wait",
+    "mmc_utilization",
+    "servers_for_target_wait",
+]

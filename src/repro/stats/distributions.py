@@ -1,0 +1,171 @@
+"""Empirical latency distributions and percentile utilities.
+
+Ursa's performance model operates on *latency distributions*: per-service
+latency percentiles recorded at each profiled load-per-replica threshold
+(the ``D_i`` matrices of §IV).  This module provides the empirical
+distribution type those matrices are built from, with the percentile
+semantics the paper uses (the x-th percentile latency ``t(x)``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = [
+    "EmpiricalDistribution",
+    "percentile",
+    "DEFAULT_PERCENTILE_GRID",
+]
+
+#: Percentile grid used when discretising latency distributions for the MIP
+#: (the ``P = [p_1 .. p_h]`` vector of §IV).  Dense near the tail because
+#: most SLAs bind at high percentiles, but with mid-grid points (75, 85):
+#: a *median* end-to-end SLA over an n-stage pipeline spends its residual
+#: budget in ~(50/n)-point chunks, which only mid percentiles can provide.
+DEFAULT_PERCENTILE_GRID: tuple[float, ...] = (
+    50.0,
+    75.0,
+    85.0,
+    90.0,
+    95.0,
+    99.0,
+    99.5,
+    99.9,
+)
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of an ascending-sorted sequence.
+
+    Uses the nearest-rank-with-interpolation definition (linear between
+    closest ranks), matching ``numpy.percentile``'s default.  ``q`` is in
+    ``[0, 100]``.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    n = len(sorted_values)
+    if n == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (n - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(sorted_values[lo])
+    frac = rank - lo
+    return float(sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac)
+
+
+@dataclass
+class EmpiricalDistribution:
+    """A sample-based latency distribution.
+
+    Stores raw observations (sorted lazily) and answers percentile queries
+    with the paper's ``t(x)`` semantics.  Distributions are mergeable so
+    that per-window distributions can be aggregated over an experiment.
+    """
+
+    _values: list[float] = field(default_factory=list)
+    _sorted: bool = True
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "EmpiricalDistribution":
+        dist = cls()
+        for sample in samples:
+            dist.add(sample)
+        return dist
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        if value < 0:
+            raise ValueError(f"latency observations must be >= 0, got {value}")
+        if self._sorted and self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(float(value))
+
+    def merge(self, other: "EmpiricalDistribution") -> "EmpiricalDistribution":
+        """A new distribution pooling both sample sets."""
+        merged = EmpiricalDistribution()
+        merged._values = sorted(self._values + other._values)
+        return merged
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __bool__(self) -> bool:
+        return bool(self._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError("mean of empty distribution")
+        return sum(self._values) / len(self._values)
+
+    @property
+    def max(self) -> float:
+        if not self._values:
+            raise ValueError("max of empty distribution")
+        self._ensure_sorted()
+        return self._values[-1]
+
+    @property
+    def min(self) -> float:
+        if not self._values:
+            raise ValueError("min of empty distribution")
+        self._ensure_sorted()
+        return self._values[0]
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile latency ``t(q)``."""
+        self._ensure_sorted()
+        return percentile(self._values, q)
+
+    def percentiles(self, grid: Sequence[float]) -> list[float]:
+        """Vector of percentiles on ``grid`` (a row of a ``D_i`` matrix)."""
+        self._ensure_sorted()
+        return [percentile(self._values, q) for q in grid]
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of observations strictly above ``threshold``.
+
+        This is the SLA violation rate when ``threshold`` is the SLA target
+        and the distribution holds end-to-end request latencies.
+        """
+        if not self._values:
+            raise ValueError("fraction_above of empty distribution")
+        self._ensure_sorted()
+        idx = bisect.bisect_right(self._values, threshold)
+        return (len(self._values) - idx) / len(self._values)
+
+    def cdf(self, value: float) -> float:
+        """Empirical CDF at ``value``."""
+        if not self._values:
+            raise ValueError("cdf of empty distribution")
+        self._ensure_sorted()
+        return bisect.bisect_right(self._values, value) / len(self._values)
+
+    def samples(self) -> list[float]:
+        """A sorted copy of the observations."""
+        self._ensure_sorted()
+        return list(self._values)
+
+    def __repr__(self) -> str:
+        if not self._values:
+            return "EmpiricalDistribution(empty)"
+        return (
+            f"EmpiricalDistribution(n={self.count}, mean={self.mean:.3g}, "
+            f"p99={self.percentile(99):.3g})"
+        )

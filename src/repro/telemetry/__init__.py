@@ -1,0 +1,25 @@
+"""Prometheus-like telemetry: histograms and a windowed metrics hub.
+
+Metric naming conventions used throughout the package:
+
+* ``request_latency`` (latency) -- end-to-end request latency, labels
+  ``{"request": <request type>}``.
+* ``service_latency`` (latency) -- per-service response time
+  (service time excluding downstream waits for RPC; processing time for
+  MQ consumers), labels ``{"service": ..., "request": ...}``.
+* ``requests_total`` (counter) -- arrivals, labels
+  ``{"service": ..., "request": ...}`` or ``{"request": ...}`` for
+  client-level arrivals.
+* ``sla_violations_total`` (counter) -- end-to-end SLA violations,
+  labels ``{"request": ...}``.
+* ``cpu_utilization`` (gauge) -- per-service CPU utilisation in [0, 1],
+  labels ``{"service": ...}``.
+* ``replicas`` (gauge) -- per-service replica count.
+* ``cpu_allocated`` (gauge) -- per-service total allocated CPUs.
+* ``queue_depth`` (gauge) -- per-service pending request count.
+"""
+
+from repro.telemetry.histogram import LatencyHistogram
+from repro.telemetry.metrics import LabelSet, MetricsHub, labels_key
+
+__all__ = ["LatencyHistogram", "LabelSet", "MetricsHub", "labels_key"]

@@ -1,0 +1,98 @@
+"""Export telemetry to CSV/JSON for offline plotting.
+
+The experiments print paper-style text tables; for users who want to plot
+with their own tooling, these helpers dump a :class:`MetricsHub`'s
+windowed series to portable formats.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import MetricsHub
+
+__all__ = ["export_gauge_csv", "export_latency_percentiles_csv", "export_summary_json"]
+
+
+def export_gauge_csv(
+    hub: MetricsHub,
+    name: str,
+    t0: float,
+    t1: float,
+    path: str | Path,
+    labels: Mapping[str, str] | None = None,
+) -> int:
+    """Write a gauge's per-window means as ``time,value`` rows.
+
+    Returns the number of rows written.
+    """
+    series = hub.gauge_series(name, t0, t1, labels)
+    with Path(path).open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", name])
+        for t, value in series:
+            writer.writerow([t, value])
+    return len(series)
+
+
+def export_latency_percentiles_csv(
+    hub: MetricsHub,
+    name: str,
+    t0: float,
+    t1: float,
+    path: str | Path,
+    labels: Mapping[str, str] | None = None,
+    percentiles: tuple[float, ...] = (50.0, 90.0, 99.0),
+    window_s: float | None = None,
+) -> int:
+    """Write per-window latency percentiles as CSV rows."""
+    window = window_s if window_s is not None else hub.window_s
+    if window <= 0:
+        raise TelemetryError(f"window must be > 0, got {window}")
+    rows = 0
+    with Path(path).open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", *[f"p{q:g}" for q in percentiles]])
+        t = t0
+        while t < t1:
+            t_next = min(t1, t + window)
+            dist = hub.latency_distribution(name, t, t_next, labels)
+            if dist:
+                writer.writerow([t, *[dist.percentile(q) for q in percentiles]])
+                rows += 1
+            t = t_next
+    return rows
+
+
+def export_summary_json(
+    hub: MetricsHub,
+    metric_names: list[str],
+    t0: float,
+    t1: float,
+    path: str | Path,
+) -> None:
+    """Dump label sets and aggregate values of named metrics as JSON."""
+    summary: dict[str, list[dict]] = {}
+    for name in metric_names:
+        entries = []
+        for labels in hub.label_sets(name):
+            entry: dict = {"labels": labels}
+            dist = hub.latency_distribution(name, t0, t1, labels)
+            if dist:
+                entry["count"] = dist.count
+                entry["mean"] = dist.mean
+                entry["p99"] = dist.percentile(99)
+            total = hub.counter_total(name, t0, t1, labels)
+            if total:
+                entry["total"] = total
+            mean = hub.gauge_mean(name, t0, t1, labels, default=float("nan"))
+            if mean == mean:  # not NaN
+                entry["gauge_mean"] = mean
+            entries.append(entry)
+        summary[name] = entries
+    with Path(path).open("w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)

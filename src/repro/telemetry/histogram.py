@@ -1,0 +1,141 @@
+"""Log-bucketed latency histograms (HDR-histogram style).
+
+The tracing framework records request latencies at high volume; a
+log-bucketed histogram gives memory-bounded storage with bounded relative
+error on percentile queries.  ``growth`` controls the bucket width ratio:
+with the default 1.02, percentile estimates are within about 1 % of the true
+value, which is ample for SLA accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """Histogram over positive values with geometrically growing buckets.
+
+    Values below ``min_value`` land in bucket 0.  Bucket ``i`` (i >= 1)
+    covers ``[min_value * growth**(i-1), min_value * growth**i)``.
+    """
+
+    def __init__(self, min_value: float = 1e-5, growth: float = 1.02) -> None:
+        if min_value <= 0:
+            raise ValueError(f"min_value must be > 0, got {min_value}")
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        self.min_value = min_value
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._counts: dict[int, int] = {}
+        self._total = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._min = math.inf
+
+    def _bucket(self, value: float) -> int:
+        if value < self.min_value:
+            return 0
+        return 1 + int(math.log(value / self.min_value) / self._log_growth)
+
+    def _bucket_upper(self, index: int) -> float:
+        if index == 0:
+            return self.min_value
+        return self.min_value * self.growth**index
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value``."""
+        if value < 0:
+            raise ValueError(f"latency must be >= 0, got {value}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        index = self._bucket(value)
+        self._counts[index] = self._counts.get(index, 0) + count
+        self._total += count
+        self._sum += value * count
+        if value > self._max:
+            self._max = value
+        if value < self._min:
+            self._min = value
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        if self._total == 0:
+            raise ValueError("mean of empty histogram")
+        return self._sum / self._total
+
+    @property
+    def max(self) -> float:
+        if self._total == 0:
+            raise ValueError("max of empty histogram")
+        return self._max
+
+    @property
+    def min(self) -> float:
+        if self._total == 0:
+            raise ValueError("min of empty histogram")
+        return self._min
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (within one bucket width).
+
+        Returns the upper edge of the bucket containing the q-th ranked
+        observation, clamped to the observed maximum.
+        """
+        if self._total == 0:
+            raise ValueError("percentile of empty histogram")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        target = max(1, math.ceil(self._total * q / 100.0))
+        cumulative = 0
+        for index in sorted(self._counts):
+            cumulative += self._counts[index]
+            if cumulative >= target:
+                return min(self._bucket_upper(index), self._max)
+        return self._max  # pragma: no cover - defensive
+
+    def percentiles(self, grid: Sequence[float]) -> list[float]:
+        return [self.percentile(q) for q in grid]
+
+    def fraction_above(self, threshold: float) -> float:
+        """Approximate fraction of observations above ``threshold``."""
+        if self._total == 0:
+            raise ValueError("fraction_above of empty histogram")
+        boundary = self._bucket(threshold)
+        above = sum(
+            count for index, count in self._counts.items() if index > boundary
+        )
+        return above / self._total
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """A new histogram combining both (requires identical bucketing)."""
+        if (self.min_value, self.growth) != (other.min_value, other.growth):
+            raise ValueError("cannot merge histograms with different bucketing")
+        merged = LatencyHistogram(self.min_value, self.growth)
+        for source in (self, other):
+            for index, count in source._counts.items():
+                merged._counts[index] = merged._counts.get(index, 0) + count
+        merged._total = self._total + other._total
+        merged._sum = self._sum + other._sum
+        merged._max = max(self._max, other._max)
+        merged._min = min(self._min, other._min)
+        return merged
+
+    def __repr__(self) -> str:
+        if self._total == 0:
+            return "LatencyHistogram(empty)"
+        return (
+            f"LatencyHistogram(n={self._total}, mean={self.mean:.3g}, "
+            f"p99~{self.percentile(99):.3g})"
+        )

@@ -1,0 +1,31 @@
+"""Workload generation: load patterns, request mixes, Poisson arrivals."""
+
+from repro.workload.generator import LoadGenerator
+from repro.workload.mixes import RequestMix
+from repro.workload.traces import (
+    TraceEntry,
+    TracePlayer,
+    TraceRecorder,
+    WorkloadTrace,
+)
+from repro.workload.patterns import (
+    BurstLoad,
+    ComposedLoad,
+    ConstantLoad,
+    DiurnalLoad,
+    RampLoad,
+)
+
+__all__ = [
+    "BurstLoad",
+    "ComposedLoad",
+    "ConstantLoad",
+    "DiurnalLoad",
+    "LoadGenerator",
+    "RampLoad",
+    "RequestMix",
+    "TraceEntry",
+    "TracePlayer",
+    "TraceRecorder",
+    "WorkloadTrace",
+]

@@ -1,0 +1,84 @@
+"""Performance-anomaly injection.
+
+Used in two places from the paper: the Fig. 2 case study throttles a
+specific tier's CPU mid-run, and Firm's agents are trained "by injecting
+performance anomalies during online deployment".  The injector runs as a
+simulation process, periodically throttling a random service's CPU speed
+for a bounded duration and restoring it afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.topology import Application
+from repro.errors import ConfigurationError
+from repro.sim.random import RandomStreams
+
+__all__ = ["AnomalyInjector", "InjectedAnomaly"]
+
+
+@dataclass(frozen=True)
+class InjectedAnomaly:
+    """One injected CPU throttle (for experiment logs)."""
+
+    start_s: float
+    end_s: float
+    service: str
+    speed_factor: float
+
+
+class AnomalyInjector:
+    """Randomly throttles services' CPUs, one anomaly at a time."""
+
+    def __init__(
+        self,
+        app: Application,
+        streams: RandomStreams,
+        probability_per_interval: float = 0.25,
+        interval_s: float = 60.0,
+        duration_s: float = 60.0,
+        speed_range: tuple[float, float] = (0.2, 0.6),
+        services: list[str] | None = None,
+    ) -> None:
+        if not 0 <= probability_per_interval <= 1:
+            raise ConfigurationError("probability must be in [0, 1]")
+        if interval_s <= 0 or duration_s <= 0:
+            raise ConfigurationError("interval and duration must be > 0")
+        low, high = speed_range
+        if not 0 < low <= high <= 1:
+            raise ConfigurationError(f"bad speed range {speed_range}")
+        self.app = app
+        self._rng = streams.stream(f"anomalies:{app.spec.name}")
+        self.probability = float(probability_per_interval)
+        self.interval_s = float(interval_s)
+        self.duration_s = float(duration_s)
+        self.speed_range = (float(low), float(high))
+        self.services = services if services is not None else list(app.services)
+        unknown = set(self.services) - set(app.services)
+        if unknown:
+            raise ConfigurationError(f"unknown services: {sorted(unknown)}")
+        self.injected: list[InjectedAnomaly] = []
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise ConfigurationError("injector already started")
+        self._started = True
+        self.app.env.process(self._loop())
+
+    def _loop(self):
+        env = self.app.env
+        while True:
+            yield env.timeout(self.interval_s)
+            if self._rng.random() >= self.probability:
+                continue
+            service = str(self._rng.choice(self.services))
+            factor = float(self._rng.uniform(*self.speed_range))
+            start = env.now
+            self.app.services[service].set_speed_factor(factor)
+            yield env.timeout(self.duration_s)
+            self.app.services[service].set_speed_factor(1.0)
+            self.injected.append(
+                InjectedAnomaly(start, env.now, service, factor)
+            )

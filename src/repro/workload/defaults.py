@@ -1,0 +1,112 @@
+"""Default request mixes per application (§VII-C).
+
+The paper gives the interactive-class ratios; classes triggered by other
+actions (timeline updates by posts, sentiment analysis by posts, detection
+and processing jobs by uploads) get rates derived from their triggers:
+
+* social network: post : comment : download-image : read-timeline from
+  §VII-C with comments folded into ``upload-post``; ``update-timeline``
+  and ``sentiment-analysis`` follow the post rate; ``object-detect``
+  follows the image-upload rate.
+* media service: upload-video : get-info : download-video : rate-video =
+  1 : 100 : 25 : 25; each upload triggers one transcode and one thumbnail.
+* video pipeline: four high:low priority splits (5:95, 25:75, 50:50,
+  75:25) are explored; deployment-time skews use 40:60 and 60:40.
+"""
+
+from __future__ import annotations
+
+from repro.workload.mixes import RequestMix
+
+__all__ = [
+    "social_network_mix",
+    "vanilla_social_network_mix",
+    "media_service_mix",
+    "video_pipeline_mix",
+    "skewed_mixes",
+    "default_mix_for",
+]
+
+
+def social_network_mix() -> RequestMix:
+    return RequestMix(
+        {
+            "upload-post": 8.0,
+            "read-timeline": 25.0,
+            "download-image": 15.0,
+            "upload-image": 3.0,
+            "update-timeline": 8.0,
+            "sentiment-analysis": 8.0,
+            "object-detect": 3.0,
+        }
+    )
+
+
+def vanilla_social_network_mix() -> RequestMix:
+    return RequestMix(
+        {
+            "upload-post": 8.0,
+            "read-timeline": 25.0,
+            "download-image": 15.0,
+            "upload-image": 3.0,
+            "update-timeline": 8.0,
+        }
+    )
+
+
+def media_service_mix() -> RequestMix:
+    return RequestMix(
+        {
+            "upload-video": 1.0,
+            "get-info": 100.0,
+            "download-video": 25.0,
+            "rate-video": 25.0,
+            "transcode-video": 1.0,
+            "generate-thumbnail": 1.0,
+        }
+    )
+
+
+def video_pipeline_mix(high_fraction: float = 0.25) -> RequestMix:
+    """High/low priority split; §VII-C explores 5:95 up to 75:25."""
+    if not 0 < high_fraction < 1:
+        raise ValueError(f"high fraction must be in (0, 1), got {high_fraction}")
+    return RequestMix(
+        {"high-priority": high_fraction, "low-priority": 1.0 - high_fraction}
+    )
+
+
+def skewed_mixes(app_name: str) -> list[RequestMix]:
+    """The §VII-E skewed-load mixes (not seen during exploration)."""
+    if app_name in ("social-network", "vanilla-social-network"):
+        base = (
+            social_network_mix()
+            if app_name == "social-network"
+            else vanilla_social_network_mix()
+        )
+        return [
+            base.scaled("upload-post", 2.0).scaled("update-timeline", 2.0),
+            base.scaled("upload-post", 0.5).scaled("update-timeline", 0.5),
+        ]
+    if app_name == "media-service":
+        base = media_service_mix()
+        return [
+            base.scaled("upload-video", 2.0).scaled("rate-video", 2.0),
+            base.scaled("upload-video", 0.5).scaled("rate-video", 0.5),
+        ]
+    if app_name == "video-pipeline":
+        return [video_pipeline_mix(0.40), video_pipeline_mix(0.60)]
+    raise ValueError(f"unknown application {app_name!r}")
+
+
+def default_mix_for(app_name: str) -> RequestMix:
+    """The exploration-time mix for each §VI application."""
+    if app_name == "social-network":
+        return social_network_mix()
+    if app_name == "vanilla-social-network":
+        return vanilla_social_network_mix()
+    if app_name == "media-service":
+        return media_service_mix()
+    if app_name == "video-pipeline":
+        return video_pipeline_mix()
+    raise ValueError(f"unknown application {app_name!r}")

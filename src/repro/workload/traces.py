@@ -1,0 +1,176 @@
+"""Workload traces: record, persist and replay request arrival streams.
+
+The paper's exploration "replays the workload trace on the profiled
+microservice".  A :class:`WorkloadTrace` is the recorded arrival stream --
+(timestamp, request class) pairs -- that can be persisted to JSON-lines
+and replayed against any application, optionally time-scaled or
+intensity-scaled (the exploration controller replays traces "hotter" when
+probing beyond one replica).
+
+``TraceRecorder`` captures arrivals from a live run; ``TracePlayer``
+re-injects them with exact timing.  Replay is deterministic: the same
+trace produces the same arrival sequence regardless of the random streams
+driving the rest of the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.apps.topology import Application
+from repro.errors import ConfigurationError
+
+__all__ = ["TraceEntry", "WorkloadTrace", "TraceRecorder", "TracePlayer"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded arrival."""
+
+    time_s: float
+    request_class: str
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ConfigurationError(f"negative trace timestamp: {self.time_s}")
+        if not self.request_class:
+            raise ConfigurationError("trace entry needs a request class")
+
+
+@dataclass
+class WorkloadTrace:
+    """An ordered arrival stream."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        times = [e.time_s for e in self.entries]
+        if times != sorted(times):
+            raise ConfigurationError("trace entries must be time-ordered")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def duration_s(self) -> float:
+        return self.entries[-1].time_s if self.entries else 0.0
+
+    def classes(self) -> dict[str, int]:
+        """Arrival counts per request class."""
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.request_class] = counts.get(entry.request_class, 0) + 1
+        return counts
+
+    def mean_rps(self) -> float:
+        if not self.entries or self.duration_s <= 0:
+            return 0.0
+        return len(self.entries) / self.duration_s
+
+    def scaled(self, time_factor: float) -> "WorkloadTrace":
+        """Time-compress (<1) or stretch (>1) the trace.
+
+        Compressing by 0.5 doubles the arrival rate with identical
+        ordering -- how a recorded trace is replayed "hotter".
+        """
+        if time_factor <= 0:
+            raise ConfigurationError(f"time factor must be > 0, got {time_factor}")
+        return WorkloadTrace(
+            [TraceEntry(e.time_s * time_factor, e.request_class) for e in self.entries]
+        )
+
+    def slice(self, t0: float, t1: float) -> "WorkloadTrace":
+        """Entries in ``[t0, t1)``, re-based to start at zero."""
+        if t1 <= t0:
+            raise ConfigurationError(f"empty trace slice [{t0}, {t1})")
+        return WorkloadTrace(
+            [
+                TraceEntry(e.time_s - t0, e.request_class)
+                for e in self.entries
+                if t0 <= e.time_s < t1
+            ]
+        )
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write as JSON-lines (one arrival per line)."""
+        with Path(path).open("w") as fh:
+            for entry in self.entries:
+                fh.write(
+                    json.dumps({"t": entry.time_s, "class": entry.request_class})
+                )
+                fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WorkloadTrace":
+        entries = []
+        with Path(path).open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                entries.append(TraceEntry(float(record["t"]), str(record["class"])))
+        return cls(entries)
+
+
+class TraceRecorder:
+    """Captures an application's client arrivals into a trace.
+
+    Install before starting load generation; every ``Application.submit``
+    is recorded (the recorder wraps the submit method).
+    """
+
+    def __init__(self, app: Application) -> None:
+        self.app = app
+        self.entries: list[TraceEntry] = []
+        self._original_submit = app.submit
+        app.submit = self._recording_submit  # type: ignore[method-assign]
+
+    def _recording_submit(self, class_name: str):
+        self.entries.append(TraceEntry(self.app.env.now, class_name))
+        return self._original_submit(class_name)
+
+    def detach(self) -> WorkloadTrace:
+        """Stop recording and return the trace."""
+        self.app.submit = self._original_submit  # type: ignore[method-assign]
+        return WorkloadTrace(list(self.entries))
+
+
+class TracePlayer:
+    """Replays a trace against an application with exact timing."""
+
+    def __init__(
+        self,
+        app: Application,
+        trace: WorkloadTrace,
+        start_at_s: float | None = None,
+    ) -> None:
+        unknown = {
+            e.request_class for e in trace.entries
+        } - set(app.request_classes)
+        if unknown:
+            raise ConfigurationError(
+                f"trace references classes not in app: {sorted(unknown)}"
+            )
+        self.app = app
+        self.trace = trace
+        self.start_at_s = start_at_s
+        self.replayed = 0
+
+    def start(self) -> None:
+        self.app.env.process(self._replay())
+
+    def _replay(self):
+        env = self.app.env
+        base = self.start_at_s if self.start_at_s is not None else env.now
+        if base > env.now:
+            yield env.timeout(base - env.now)
+        for entry in self.trace.entries:
+            due = base + entry.time_s
+            if due > env.now:
+                yield env.timeout(due - env.now)
+            self.app.submit(entry.request_class)
+            self.replayed += 1

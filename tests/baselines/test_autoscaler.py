@@ -1,0 +1,86 @@
+"""Tests for step autoscaling (Auto-a / Auto-b)."""
+
+import pytest
+
+from repro.apps.topology import AppSpec, Application, RequestClass, SlaSpec
+from repro.baselines.autoscaler import StepAutoscaler, auto_a, auto_b
+from repro.cluster import Cluster, Node
+from repro.errors import ConfigurationError
+from repro.net.messages import Call
+from repro.services.spec import ServiceSpec
+from repro.sim import Environment, LogNormal, RandomStreams
+from repro.workload import ConstantLoad, LoadGenerator, RequestMix
+
+
+def build_app(env, replicas=1):
+    spec = AppSpec(
+        "one",
+        services=(
+            ServiceSpec(
+                "svc", cpus_per_replica=1, handlers={"r": LogNormal(0.01, 0.4)}
+            ),
+        ),
+        request_classes=(RequestClass("r", Call("svc"), SlaSpec(99, 1.0)),),
+    )
+    cluster = Cluster(env, nodes=[Node("n", 64, 128)])
+    return Application(
+        spec, env=env, cluster=cluster, streams=RandomStreams(3),
+        initial_replicas=replicas,
+    )
+
+
+def test_configs():
+    a, b = auto_a(), auto_b()
+    assert a.scale_out_above == 0.60 and a.scale_in_below == 0.30
+    assert b.scale_out_above < a.scale_out_above  # tuned = more eager
+
+
+def test_scales_out_under_high_utilization():
+    env = Environment()
+    app = build_app(env, replicas=1)
+    scaler = StepAutoscaler(app, auto_a())
+    scaler.start()
+    # 80 rps x 10ms = 0.8 busy cores on 1 core: util > 60%.
+    LoadGenerator(app, ConstantLoad(80.0), RequestMix({"r": 1.0}),
+                  RandomStreams(4), stop_at_s=400).start()
+    env.run(until=400)
+    assert app.services["svc"].deployment.desired_replicas >= 2
+    assert scaler.decisions > 0
+
+
+def test_scales_in_when_idle():
+    env = Environment()
+    app = build_app(env, replicas=4)
+    scaler = StepAutoscaler(app, auto_a())
+    scaler.start()
+    LoadGenerator(app, ConstantLoad(5.0), RequestMix({"r": 1.0}),
+                  RandomStreams(5), stop_at_s=400).start()
+    env.run(until=400)
+    assert app.services["svc"].deployment.desired_replicas < 4
+
+
+def test_respects_min_max():
+    env = Environment()
+    app = build_app(env, replicas=1)
+    scaler = StepAutoscaler(app, auto_a(), min_replicas=1, max_replicas=2)
+    scaler.start()
+    LoadGenerator(app, ConstantLoad(300.0), RequestMix({"r": 1.0}),
+                  RandomStreams(6), stop_at_s=400).start()
+    env.run(until=400)
+    assert app.services["svc"].deployment.desired_replicas <= 2
+
+
+def test_double_start_rejected():
+    env = Environment()
+    app = build_app(env)
+    scaler = StepAutoscaler(app)
+    scaler.start()
+    with pytest.raises(ConfigurationError):
+        scaler.start()
+
+
+def test_decide_holds_without_data():
+    env = Environment()
+    app = build_app(env)
+    scaler = StepAutoscaler(app)
+    assert scaler.decide("svc") is None  # no utilisation samples yet

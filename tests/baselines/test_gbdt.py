@@ -1,0 +1,57 @@
+"""Tests for the from-scratch gradient-boosted classifier."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sinan.gbdt import GradientBoostedClassifier
+from repro.errors import ConfigurationError
+
+
+def test_learns_linear_boundary():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, size=(500, 3))
+    y = (x[:, 0] + x[:, 1] > 0).astype(int)
+    model = GradientBoostedClassifier(n_trees=40, max_depth=3)
+    model.fit(x, y)
+    assert model.accuracy(x, y) > 0.92
+
+
+def test_learns_xor():
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-1, 1, size=(600, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+    model = GradientBoostedClassifier(n_trees=60, max_depth=4)
+    model.fit(x, y)
+    assert model.accuracy(x, y) > 0.9
+
+
+def test_probabilities_in_range():
+    rng = np.random.default_rng(2)
+    x = rng.uniform(-1, 1, size=(200, 2))
+    y = (x[:, 0] > 0).astype(int)
+    model = GradientBoostedClassifier(n_trees=20)
+    model.fit(x, y)
+    p = model.predict_proba(x)
+    assert np.all((p >= 0) & (p <= 1))
+    # Discriminative: positives should get higher probabilities.
+    assert p[y == 1].mean() > p[y == 0].mean() + 0.3
+
+
+def test_single_class_degenerate():
+    x = np.random.default_rng(3).uniform(0, 1, size=(50, 2))
+    y = np.zeros(50)
+    model = GradientBoostedClassifier(n_trees=5)
+    model.fit(x, y)
+    assert model.predict_proba(x).max() < 0.5
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        GradientBoostedClassifier(n_trees=0)
+    with pytest.raises(ConfigurationError):
+        GradientBoostedClassifier(learning_rate=0)
+    model = GradientBoostedClassifier(n_trees=2)
+    with pytest.raises(ConfigurationError):
+        model.fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+    with pytest.raises(ConfigurationError):
+        model.fit(np.zeros((3, 2)), np.array([0, 1]))

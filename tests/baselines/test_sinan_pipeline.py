@@ -1,0 +1,119 @@
+"""Integration tests for Sinan's data collection, training and scheduler."""
+
+import pytest
+
+from repro.apps.topology import AppSpec, Application, RequestClass, SlaSpec
+from repro.baselines.sinan import (
+    FeatureSchema,
+    SinanDataCollector,
+    SinanManager,
+    SinanPredictor,
+)
+from repro.cluster import Cluster, Node
+from repro.errors import ConfigurationError, ExplorationError
+from repro.net.messages import Call, CallMode
+from repro.services.spec import ServiceSpec
+from repro.sim import Environment, LogNormal, RandomStreams
+from repro.workload import ConstantLoad, LoadGenerator, RequestMix
+
+
+def tiny_spec():
+    return AppSpec(
+        "tiny",
+        services=(
+            ServiceSpec("front", cpus_per_replica=1,
+                        handlers={"req": LogNormal(0.002, 0.4)}),
+            ServiceSpec("work", cpus_per_replica=1,
+                        handlers={"req": LogNormal(0.010, 0.5)}),
+        ),
+        request_classes=(
+            # A tight SLA so underprovisioned windows actually violate.
+            RequestClass("req", Call("front", CallMode.RPC, (Call("work"),)),
+                         SlaSpec(99.0, 0.06)),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    collector = SinanDataCollector(
+        RandomStreams(31), window_s=10.0, settle_s=5.0
+    )
+    return collector.collect(tiny_spec(), RequestMix({"req": 1.0}),
+                             rps=80.0, n_samples=60)
+
+
+def test_collection_is_balanced(dataset):
+    assert dataset.size == 60
+    # The 1:1 balancing keeps the ratio in a broad band around 0.5.
+    assert 0.15 <= dataset.violation_ratio() <= 0.85
+    assert dataset.collection_time_s > 0
+
+
+def test_feature_schema_round_trip(dataset):
+    schema = dataset.schema
+    x, y, v = dataset.arrays()
+    assert x.shape == (60, schema.dim)
+    assert y.shape[1] == 1  # one request class
+    assert set(v) <= {0, 1}
+    replicas = schema.replicas_of(x[0])
+    assert set(replicas) == {"front", "work"}
+
+
+@pytest.fixture(scope="module")
+def predictor(dataset):
+    return SinanPredictor.train(dataset, epochs=25)
+
+
+def test_training_produces_usable_models(predictor, dataset):
+    x, y, v = dataset.arrays()
+    pred = predictor.predict_latency(x[:10])
+    assert pred.shape == (10, 1)
+    assert (pred >= 0).all()
+    proba = predictor.predict_violation_proba(x[:10])
+    assert ((proba >= 0) & (proba <= 1)).all()
+    # Better than coin-flipping on its own training distribution.
+    assert predictor.violation_accuracy >= 0.4
+
+
+def test_scheduler_decides_and_scales(predictor):
+    env = Environment()
+    app = Application(
+        tiny_spec(), env=env,
+        cluster=Cluster(env, nodes=[Node("n", 64, 128)]),
+        streams=RandomStreams(33), initial_replicas=2,
+    )
+    manager = SinanManager(app, predictor, control_interval_s=20.0)
+    manager.initialize(2)
+    manager.start()
+    LoadGenerator(app, ConstantLoad(60.0), RequestMix({"req": 1.0}),
+                  RandomStreams(34), stop_at_s=300).start()
+    env.run(until=300)
+    assert manager.decisions > 0
+    # The app keeps serving; the scheduler never drove replicas to zero.
+    assert app.services["work"].deployment.desired_replicas >= 1
+
+
+def test_manager_validation(predictor):
+    env = Environment()
+    app = Application(
+        tiny_spec(), env=env,
+        cluster=Cluster(env, nodes=[Node("n", 64, 128)]),
+        streams=RandomStreams(35), initial_replicas=1,
+    )
+    with pytest.raises(ConfigurationError):
+        SinanManager(app, predictor, candidates=2)
+
+
+def test_collector_validation():
+    collector = SinanDataCollector(RandomStreams(0))
+    with pytest.raises(ExplorationError):
+        collector.collect(tiny_spec(), RequestMix({"req": 1.0}), 10.0, n_samples=1)
+
+
+def test_training_needs_samples(dataset):
+    import dataclasses
+
+    small = dataclasses.replace(dataset, samples=dataset.samples[:5])
+    with pytest.raises(ConfigurationError):
+        SinanPredictor.train(small)

@@ -1,0 +1,36 @@
+"""Tests for the request-ratio-deviation metric and anomaly detector."""
+
+import pytest
+
+from repro.core.anomaly import request_ratio_deviation
+
+
+def test_balanced_loads_give_zero_deviation():
+    loads = {"a": 10.0, "b": 20.0}
+    thresholds = {"a": 5.0, "b": 10.0}  # both at 2x threshold
+    assert request_ratio_deviation(loads, thresholds) == pytest.approx(0.0)
+
+
+def test_skew_increases_deviation():
+    thresholds = {"a": 5.0, "b": 10.0}
+    balanced = request_ratio_deviation({"a": 10.0, "b": 20.0}, thresholds)
+    skewed = request_ratio_deviation({"a": 30.0, "b": 20.0}, thresholds)
+    assert skewed > balanced
+
+
+def test_deviation_value():
+    # ratios: a -> 4, b -> 2; mean 3; deviation = 4/3 - 1.
+    deviation = request_ratio_deviation(
+        {"a": 20.0, "b": 20.0}, {"a": 5.0, "b": 10.0}
+    )
+    assert deviation == pytest.approx(4.0 / 3.0 - 1.0)
+
+
+def test_empty_or_zero_inputs():
+    assert request_ratio_deviation({}, {}) == 0.0
+    assert request_ratio_deviation({"a": 0.0}, {"a": 5.0}) == 0.0
+    assert request_ratio_deviation({"a": 5.0}, {"a": 0.0}) == 0.0
+
+
+def test_single_class_never_deviates():
+    assert request_ratio_deviation({"a": 100.0}, {"a": 1.0}) == pytest.approx(0.0)

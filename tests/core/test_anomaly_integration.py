@@ -1,0 +1,120 @@
+"""Integration tests for the anomaly detector on a live app."""
+
+import pytest
+
+from repro.apps.topology import AppSpec, Application, RequestClass, SlaSpec
+from repro.cluster import Cluster, Node
+from repro.core.anomaly import AnomalyDetector
+from repro.core.optimizer import ScalingThreshold
+from repro.errors import ConfigurationError
+from repro.net.messages import Call
+from repro.services.spec import ServiceSpec
+from repro.sim import Constant, Environment, LogNormal, RandomStreams
+from repro.workload import ConstantLoad, LoadGenerator, RequestMix
+
+
+def build_app(env):
+    spec = AppSpec(
+        "two-class",
+        services=(
+            ServiceSpec(
+                "svc",
+                cpus_per_replica=1,
+                handlers={"a": LogNormal(0.004, 0.4), "b": LogNormal(0.004, 0.4)},
+            ),
+        ),
+        request_classes=(
+            RequestClass("a", Call("svc"), SlaSpec(99, 0.5)),
+            RequestClass("b", Call("svc"), SlaSpec(99, 0.5)),
+        ),
+    )
+    cluster = Cluster(env, nodes=[Node("n", 64, 128)])
+    return Application(
+        spec, env=env, cluster=cluster, streams=RandomStreams(13),
+        initial_replicas=2,
+    )
+
+
+def thresholds(lpr_a=20.0, lpr_b=20.0):
+    return {
+        "svc": ScalingThreshold(
+            service="svc",
+            cpus_per_replica=1,
+            lpr={"a": lpr_a, "b": lpr_b},
+            load_samples={},
+            utilization=0.5,
+        )
+    }
+
+
+def test_no_anomaly_under_matching_mix():
+    env = Environment()
+    app = build_app(env)
+    recalcs = []
+    detector = AnomalyDetector(
+        app, thresholds(), on_recalculate=lambda: recalcs.append(1),
+        ratio_deviation_threshold=0.8,
+    )
+    env.run(until=10)
+    LoadGenerator(app, ConstantLoad(40.0), RequestMix({"a": 0.5, "b": 0.5}),
+                  RandomStreams(14), stop_at_s=200).start()
+    env.run(until=200)
+    detector.step()
+    assert not recalcs
+    assert not detector.events
+
+
+def test_skewed_mix_triggers_recalculation():
+    env = Environment()
+    app = build_app(env)
+    recalcs = []
+    detector = AnomalyDetector(
+        app, thresholds(), on_recalculate=lambda: recalcs.append(1),
+        ratio_deviation_threshold=0.5,
+        check_interval_s=60.0,
+    )
+    env.run(until=10)
+    # 5:1 mix against 1:1 thresholds -> deviation (5/6)/(0.5) - 1 ~ 0.67.
+    LoadGenerator(app, ConstantLoad(48.0), RequestMix({"a": 5.0, "b": 1.0}),
+                  RandomStreams(15), stop_at_s=200).start()
+    env.run(until=200)
+    detector.step()
+    assert recalcs
+    assert any(e.kind == "load" for e in detector.events)
+
+
+def test_latency_anomaly_triggers_reexploration():
+    env = Environment()
+    app = build_app(env)
+    reexplored = []
+    detector = AnomalyDetector(
+        app,
+        thresholds(),
+        on_reexplore=reexplored.append,
+        sla_violation_threshold=0.05,
+        check_interval_s=60.0,
+    )
+    env.run(until=10)
+    LoadGenerator(app, ConstantLoad(30.0), RequestMix({"a": 0.5, "b": 0.5}),
+                  RandomStreams(16), stop_at_s=200).start()
+    # Throttle the service so SLAs break.
+    app.services["svc"].set_speed_factor(0.02)
+    env.run(until=200)
+    detector.step()
+    assert reexplored == [["svc"]]
+    assert any(e.kind == "latency" for e in detector.events)
+
+
+def test_detector_loop_and_validation():
+    env = Environment()
+    app = build_app(env)
+    with pytest.raises(ConfigurationError):
+        AnomalyDetector(app, {}, check_interval_s=0)
+    with pytest.raises(ConfigurationError):
+        AnomalyDetector(app, {}, ratio_deviation_threshold=0)
+    with pytest.raises(ConfigurationError):
+        AnomalyDetector(app, {}, sla_violation_threshold=2.0)
+    detector = AnomalyDetector(app, thresholds())
+    detector.start()
+    with pytest.raises(ConfigurationError):
+        detector.start()

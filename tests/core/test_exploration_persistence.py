@@ -1,0 +1,82 @@
+"""Tests for exploration save/load round-tripping."""
+
+from repro.core.exploration import (
+    ExplorationResult,
+    LprOption,
+    ServiceProfile,
+    load_exploration,
+    save_exploration,
+)
+
+GRID_LEN = 8
+
+
+def synthetic():
+    options = [
+        LprOption(
+            replicas=3 - k,
+            lpr={"a": 10.0 * (k + 1), "b": 5.0 * (k + 1)},
+            load_samples={"a": [9.0, 10.0, 11.0], "b": [5.0, 5.5]},
+            latency_rows={
+                "a": [0.01 * (k + 1) * (1 + 0.1 * i) for i in range(GRID_LEN)],
+                "b": [0.02 * (k + 1)] * GRID_LEN,
+            },
+            utilization=0.3 + 0.1 * k,
+        )
+        for k in range(3)
+    ]
+    return ExplorationResult(
+        "app",
+        {
+            "svc": ServiceProfile("svc", 2, options, 30, 1800.0, "sla"),
+        },
+    )
+
+
+def test_round_trip(tmp_path):
+    original = synthetic()
+    path = tmp_path / "exploration.json"
+    save_exploration(original, path)
+    loaded = load_exploration(path)
+    assert loaded.app_name == original.app_name
+    assert loaded.total_samples == original.total_samples
+    assert loaded.exploration_time_s == original.exploration_time_s
+    svc_orig = original.profiles["svc"]
+    svc_new = loaded.profiles["svc"]
+    assert svc_new.terminated_by == svc_orig.terminated_by
+    assert svc_new.cpus_per_replica == svc_orig.cpus_per_replica
+    for a, b in zip(svc_orig.options, svc_new.options):
+        assert a.replicas == b.replicas
+        assert a.lpr == b.lpr
+        assert a.load_samples == b.load_samples
+        assert a.latency_rows == b.latency_rows
+        assert a.utilization == b.utilization
+
+
+def test_loaded_result_drives_optimizer(tmp_path):
+    """A loaded exploration is directly usable by the optimisation engine."""
+    from repro.apps.topology import AppSpec, RequestClass, SlaSpec
+    from repro.core.optimizer import OptimizationEngine
+    from repro.net.messages import Call
+    from repro.services.spec import ServiceSpec
+    from repro.sim.random import Constant
+
+    path = tmp_path / "exploration.json"
+    save_exploration(synthetic(), path)
+    loaded = load_exploration(path)
+    spec = AppSpec(
+        "app",
+        services=(
+            ServiceSpec(
+                "svc",
+                cpus_per_replica=2,
+                handlers={"a": Constant(0.01), "b": Constant(0.02)},
+            ),
+        ),
+        request_classes=(
+            RequestClass("a", Call("svc"), SlaSpec(99.0, 1.0)),
+            RequestClass("b", Call("svc"), SlaSpec(99.0, 1.0)),
+        ),
+    )
+    outcome = OptimizationEngine().optimize(spec, loaded, {"a": 20.0, "b": 10.0})
+    assert outcome.thresholds["svc"].lpr["a"] > 0

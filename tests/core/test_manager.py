@@ -1,0 +1,158 @@
+"""Integration tests for the UrsaManager facade (miniature app)."""
+
+import pytest
+
+from repro.apps.topology import AppSpec, Application, RequestClass, SlaSpec
+from repro.cluster import Cluster, Node
+from repro.core.exploration import ExplorationResult, LprOption, ServiceProfile
+from repro.core.manager import UrsaManager
+from repro.errors import ConfigurationError
+from repro.net.messages import Call, CallMode
+from repro.services.spec import ServiceSpec
+from repro.sim import Environment, LogNormal, RandomStreams
+from repro.stats.distributions import DEFAULT_PERCENTILE_GRID
+from repro.workload import ConstantLoad, LoadGenerator, RequestMix
+
+GRID = DEFAULT_PERCENTILE_GRID
+
+
+def tiny_spec():
+    return AppSpec(
+        "tiny",
+        services=(
+            ServiceSpec("front", cpus_per_replica=1,
+                        handlers={"req": LogNormal(0.002, 0.4)}),
+            ServiceSpec("work", cpus_per_replica=1,
+                        handlers={"req": LogNormal(0.010, 0.5)}),
+        ),
+        request_classes=(
+            RequestClass("req", Call("front", CallMode.RPC, (Call("work"),)),
+                         SlaSpec(99.0, 0.3)),
+        ),
+    )
+
+
+def synthetic_exploration():
+    """Hand-built profiles: LPR options at 15/30/60 rps per replica."""
+
+    def options(base_latency):
+        out = []
+        for k, lpr in enumerate([15.0, 30.0, 60.0]):
+            rows = [base_latency * (1 + k) * (1 + 0.1 * i) for i in range(len(GRID))]
+            out.append(
+                LprOption(
+                    replicas=3 - k,
+                    lpr={"req": lpr},
+                    load_samples={"req": [lpr * f for f in (0.95, 1.0, 1.05)]},
+                    latency_rows={"req": rows},
+                    utilization=0.3 + 0.15 * k,
+                )
+            )
+        return out
+
+    profiles = {
+        "front": ServiceProfile("front", 1, options(0.004), 30, 1800, "sla"),
+        "work": ServiceProfile("work", 1, options(0.015), 30, 1800, "sla"),
+    }
+    return ExplorationResult("tiny", profiles)
+
+
+def make_app(env):
+    return Application(
+        tiny_spec(),
+        env=env,
+        cluster=Cluster(env, nodes=[Node("n", 64, 128)]),
+        streams=RandomStreams(9),
+        initial_replicas=1,
+    )
+
+
+def test_initialize_scales_to_mip_solution():
+    env = Environment()
+    app = make_app(env)
+    env.run(until=10)
+    manager = UrsaManager(app, synthetic_exploration())
+    outcome = manager.initialize({"req": 50.0})
+    # The chosen thresholds size replicas as ceil(load / lpr).
+    for name, threshold in outcome.thresholds.items():
+        expected = threshold.replicas_for({"req": 50.0})
+        assert app.services[name].deployment.desired_replicas == expected
+    assert outcome.predicted_bounds["req"] <= 0.3
+
+
+def test_start_requires_initialize():
+    env = Environment()
+    app = make_app(env)
+    manager = UrsaManager(app, synthetic_exploration())
+    with pytest.raises(ConfigurationError):
+        manager.start()
+
+
+def test_double_start_rejected():
+    env = Environment()
+    app = make_app(env)
+    env.run(until=10)
+    manager = UrsaManager(app, synthetic_exploration())
+    manager.initialize({"req": 30.0})
+    manager.start()
+    with pytest.raises(ConfigurationError):
+        manager.start()
+
+
+def test_managed_deployment_meets_sla():
+    env = Environment()
+    app = make_app(env)
+    env.run(until=10)
+    manager = UrsaManager(app, synthetic_exploration())
+    manager.initialize({"req": 60.0})
+    manager.start()
+    LoadGenerator(app, ConstantLoad(60.0), RequestMix({"req": 1.0}),
+                  RandomStreams(10), stop_at_s=500).start()
+    env.run(until=540)
+    assert app.windowed_violation_rate(120, 540) < 0.25
+
+
+def test_observed_class_loads():
+    env = Environment()
+    app = make_app(env)
+    env.run(until=10)
+    manager = UrsaManager(app, synthetic_exploration())
+    manager.initialize({"req": 40.0})
+    LoadGenerator(app, ConstantLoad(40.0), RequestMix({"req": 1.0}),
+                  RandomStreams(11), stop_at_s=300).start()
+    env.run(until=300)
+    loads = manager.observed_class_loads()
+    assert loads["req"] == pytest.approx(40.0, rel=0.2)
+
+
+def test_deploy_timing_probe():
+    env = Environment()
+    app = make_app(env)
+    env.run(until=10)
+    manager = UrsaManager(app, synthetic_exploration())
+    manager.initialize({"req": 30.0})
+    seconds = manager.time_deploy_decision(repeats=5)
+    assert 0 < seconds < 0.1
+    update_seconds = manager.time_update_decision({"req": 30.0})
+    assert 0 < update_seconds < 5.0
+
+
+def test_reexploration_merge_cycle():
+    env = Environment()
+    app = make_app(env)
+    env.run(until=10)
+    manager = UrsaManager(app, synthetic_exploration())
+    manager.initialize({"req": 30.0})
+    LoadGenerator(app, ConstantLoad(30.0), RequestMix({"req": 1.0}),
+                  RandomStreams(12), stop_at_s=200).start()
+    env.run(until=200)
+    # Simulate the detector flagging a service.
+    manager._mark_for_reexploration(["work"])
+    manager._mark_for_reexploration(["work"])  # idempotent
+    assert manager.pending_reexploration == ["work"]
+    # Fresh partial exploration for that service.
+    fresh = synthetic_exploration()
+    partial = ExplorationResult("tiny", {"work": fresh.profiles["work"]})
+    manager.apply_reexploration(partial)
+    assert manager.pending_reexploration == []
+    assert manager.recalculations >= 1

@@ -1,0 +1,160 @@
+"""Tests for the optimisation engine with synthetic exploration data."""
+
+import pytest
+
+from repro.apps.topology import AppSpec, RequestClass, SlaSpec
+from repro.core.exploration import ExplorationResult, LprOption, ServiceProfile
+from repro.core.optimizer import OptimizationEngine, ScalingThreshold
+from repro.errors import InfeasibleModelError
+from repro.net.messages import Call, CallMode
+from repro.services.spec import ServiceSpec
+from repro.sim.random import Constant
+
+GRID = [50.0, 90.0, 95.0, 99.0, 99.5, 99.9]
+
+
+def make_spec(sla_s=1.0):
+    return AppSpec(
+        name="toy",
+        services=(
+            ServiceSpec("front", cpus_per_replica=1, handlers={"req": Constant(0.01)}),
+            ServiceSpec("back", cpus_per_replica=2, handlers={"req": Constant(0.02)}),
+        ),
+        request_classes=(
+            RequestClass(
+                "req",
+                Call("front", CallMode.RPC, (Call("back"),)),
+                SlaSpec(99.0, sla_s),
+            ),
+        ),
+    )
+
+
+def make_option(replicas, lpr, base_latency):
+    """An LPR option whose latency grows with percentile index."""
+    rows = [base_latency * (1 + 0.05 * i) for i in range(len(GRID))]
+    return LprOption(
+        replicas=replicas,
+        lpr={"req": lpr},
+        load_samples={"req": [lpr * f for f in (0.95, 1.0, 1.05)]},
+        latency_rows={"req": rows},
+        utilization=0.5,
+    )
+
+
+def make_exploration(front_latencies=(0.01, 0.02, 0.04), back_latencies=(0.02, 0.04, 0.08)):
+    """Three options per service: LPR 10/20/40 rps with rising latency."""
+    lprs = [10.0, 20.0, 40.0]
+    profiles = {
+        "front": ServiceProfile(
+            service="front",
+            cpus_per_replica=1,
+            options=[
+                make_option(3 - i, lprs[i], front_latencies[i]) for i in range(3)
+            ],
+            samples_collected=30,
+            profiling_time_s=1800.0,
+            terminated_by="sla",
+        ),
+        "back": ServiceProfile(
+            service="back",
+            cpus_per_replica=2,
+            options=[
+                make_option(3 - i, lprs[i], back_latencies[i]) for i in range(3)
+            ],
+            samples_collected=30,
+            profiling_time_s=1800.0,
+            terminated_by="sla",
+        ),
+    }
+    return ExplorationResult(app_name="toy", profiles=profiles)
+
+
+def test_loose_sla_picks_highest_lpr():
+    engine = OptimizationEngine(GRID)
+    outcome = engine.optimize(make_spec(sla_s=10.0), make_exploration(), {"req": 40.0})
+    # Highest LPR (40 rps) -> 1 replica each.
+    assert outcome.thresholds["front"].lpr["req"] == 40.0
+    assert outcome.thresholds["back"].lpr["req"] == 40.0
+    assert outcome.solution.objective == 1 * 1 + 1 * 2
+
+
+def test_tight_sla_forces_low_lpr():
+    engine = OptimizationEngine(GRID)
+    # Only the lowest-latency options (0.01 + 0.02 = 0.03) fit under 0.04.
+    outcome = engine.optimize(
+        make_spec(sla_s=0.04), make_exploration(), {"req": 40.0}
+    )
+    assert outcome.thresholds["front"].lpr["req"] == 10.0
+    assert outcome.thresholds["back"].lpr["req"] == 10.0
+    # 40 rps load at 10 rps/replica -> 4 replicas each.
+    assert outcome.solution.objective == 4 * 1 + 4 * 2
+
+
+def test_infeasible_sla_raises():
+    engine = OptimizationEngine(GRID)
+    with pytest.raises(InfeasibleModelError):
+        engine.optimize(make_spec(sla_s=0.02), make_exploration(), {"req": 40.0})
+
+
+def test_predicted_bounds_respect_sla():
+    engine = OptimizationEngine(GRID)
+    spec = make_spec(sla_s=0.1)
+    outcome = engine.optimize(spec, make_exploration(), {"req": 40.0})
+    assert outcome.predicted_bounds["req"] <= 0.1
+    assert outcome.bound_percentiles["req"] == 99.0
+
+
+def test_resources_scale_with_load():
+    engine = OptimizationEngine(GRID)
+    spec = make_spec(sla_s=10.0)
+    low = engine.optimize(spec, make_exploration(), {"req": 40.0})
+    high = engine.optimize(spec, make_exploration(), {"req": 120.0})
+    assert high.solution.objective > low.solution.objective
+
+
+def test_scaling_threshold_replicas_for():
+    threshold = ScalingThreshold(
+        service="s",
+        cpus_per_replica=1,
+        lpr={"a": 10.0, "b": 5.0},
+        load_samples={},
+        utilization=0.5,
+    )
+    assert threshold.replicas_for({"a": 25.0, "b": 5.0}) == 3  # a needs 3
+    assert threshold.replicas_for({"a": 5.0, "b": 20.0}) == 4  # b needs 4
+    assert threshold.replicas_for({"a": 0.0, "b": 0.0}) == 1
+    # Unknown/zero-threshold classes cannot size.
+    assert threshold.replicas_for({"c": 100.0}) == 1
+
+
+def test_access_counts_multiply_latency_and_load():
+    """A service accessed 3x per request must count cumulative latency."""
+    spec = AppSpec(
+        name="rep",
+        services=(
+            ServiceSpec("svc", cpus_per_replica=1, handlers={"req": Constant(0.01)}),
+        ),
+        request_classes=(
+            RequestClass("req", Call("svc", repeat=3), SlaSpec(99.0, 1.0)),
+        ),
+    )
+    profiles = {
+        "svc": ServiceProfile(
+            service="svc",
+            cpus_per_replica=1,
+            options=[make_option(1, 30.0, 0.01)],
+            samples_collected=10,
+            profiling_time_s=600.0,
+            terminated_by="sla",
+        )
+    }
+    engine = OptimizationEngine(GRID)
+    model = engine.build_model(
+        spec, ExplorationResult("rep", profiles), {"req": 10.0}
+    )
+    # Latency rows multiplied by the 3 accesses.
+    svc = model.services[0]
+    assert svc.latency["req"][0, 0] == pytest.approx(0.03)
+    # Service-level load = 10 rps x 3 accesses = 30 -> exactly 1 replica.
+    assert svc.resources[0] == 1

@@ -1,0 +1,81 @@
+"""Tests for Theorem 1 utilities, incl. a property-based bound check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theorem import (
+    empirical_bound_holds,
+    latency_upper_bound,
+    residuals_fit,
+    split_residual_evenly,
+)
+from repro.errors import ConfigurationError
+from repro.stats.distributions import EmpiricalDistribution
+
+
+def test_residuals_fit_examples_from_paper():
+    # p99 e2e over two services: (99.1, 99.9), (99.5, 99.5), (99.7, 99.3).
+    for pair in [(99.1, 99.9), (99.5, 99.5), (99.7, 99.3)]:
+        assert residuals_fit(99.0, pair)
+    assert not residuals_fit(99.0, (99.0, 99.5))
+
+
+def test_residuals_fit_validation():
+    with pytest.raises(ConfigurationError):
+        residuals_fit(0, [99])
+    with pytest.raises(ConfigurationError):
+        residuals_fit(99, [100])
+
+
+def test_split_residual_evenly():
+    assert split_residual_evenly(99.0, 2) == [99.5, 99.5]
+    assert split_residual_evenly(99.0, 1) == [99.0]
+    assert split_residual_evenly(50.0, 5) == [90.0] * 5
+    with pytest.raises(ConfigurationError):
+        split_residual_evenly(99.0, 0)
+
+
+def test_latency_upper_bound():
+    a = EmpiricalDistribution.from_samples([1.0] * 100)
+    b = EmpiricalDistribution.from_samples([2.0] * 100)
+    assert latency_upper_bound([a, b], [99.5, 99.5]) == pytest.approx(3.0)
+    with pytest.raises(ConfigurationError):
+        latency_upper_bound([a], [99.0, 99.0])
+
+
+def test_empirical_bound_requires_valid_residuals():
+    a = EmpiricalDistribution.from_samples([1.0] * 10)
+    e2e = EmpiricalDistribution.from_samples([1.0] * 10)
+    with pytest.raises(ConfigurationError):
+        empirical_bound_holds(e2e, [a, a], 99.0, [99.0, 99.0])
+
+
+@given(
+    seed=st.integers(0, 5000),
+    n=st.integers(2, 5),
+    correlated=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_theorem1_bound_holds(seed, n, correlated):
+    """Sum of per-service percentiles bounds the e2e percentile.
+
+    The theorem is distribution-free; we check on independent and on
+    positively-correlated lognormal chains.  A small slack absorbs finite-
+    sample noise at the measured percentiles.
+    """
+    rng = np.random.default_rng(seed)
+    size = 4000
+    if correlated:
+        shared = rng.lognormal(0, 0.5, size)
+        parts = [shared * rng.lognormal(0, 0.3, size) for _ in range(n)]
+    else:
+        parts = [rng.lognormal(0, 0.5, size) for _ in range(n)]
+    e2e_samples = np.sum(parts, axis=0)
+    per_service = [EmpiricalDistribution.from_samples(p) for p in parts]
+    e2e = EmpiricalDistribution.from_samples(e2e_samples)
+    percentiles = split_residual_evenly(99.0, n)
+    bound = latency_upper_bound(per_service, percentiles)
+    measured = e2e.percentile(99.0)
+    assert measured <= bound * 1.02  # 2% finite-sample slack

@@ -1,0 +1,44 @@
+"""Unit tests for the Fig. 9/10 accuracy-series bookkeeping."""
+
+import math
+
+from repro.experiments.fig09_10_model_accuracy import AccuracySeries
+from repro.experiments.table06_control_plane import ControlPlaneLatency
+
+
+def test_mean_ratio():
+    series = AccuracySeries("req", 99.0)
+    series.points = [(0.0, 1.0, 1.1), (60.0, 2.0, 1.8)]
+    # ratios: 1.1, 0.9 -> mean 1.0
+    assert series.mean_ratio == 1.0
+
+
+def test_mean_ratio_ignores_zero_measurements():
+    series = AccuracySeries("req", 99.0)
+    series.points = [(0.0, 0.0, 1.0), (60.0, 1.0, 1.5)]
+    assert series.mean_ratio == 1.5
+
+
+def test_mean_ratio_empty_is_nan():
+    series = AccuracySeries("req", 50.0)
+    assert math.isnan(series.mean_ratio)
+
+
+def test_series_render_contains_summary():
+    series = AccuracySeries("req", 99.0)
+    series.points = [(0.0, 1.0, 1.0)]
+    text = series.render()
+    assert "measured p99" in text
+    assert "estimated p99" in text
+    assert "mean est/meas ratio: 1.000" in text
+
+
+def test_control_plane_render():
+    table = ControlPlaneLatency(
+        deploy_ms={"ursa": 0.5, "sinan": 300.0, "firm": 20.0, "autoscaling": 0.1},
+        update_ms={"ursa": 250.0, "sinan": None, "firm": 1200.0, "autoscaling": 0.1},
+    )
+    text = table.render()
+    assert "N/A" in text          # Sinan retraining is offline
+    assert "0.500" in text        # Ursa deploy
+    assert "Table VI" in text

@@ -1,0 +1,46 @@
+"""Tests for the artifact cache plumbing (no heavy builds)."""
+
+import pytest
+
+from repro.experiments import artifacts
+
+
+def test_app_spec_builders():
+    for name in (
+        "social-network",
+        "vanilla-social-network",
+        "media-service",
+        "video-pipeline",
+    ):
+        spec = artifacts.app_spec(name)
+        assert spec.name == name
+        assert artifacts.app_rps(name) > 0
+    with pytest.raises(ValueError):
+        artifacts.app_spec("nope")
+    with pytest.raises(KeyError):
+        artifacts.app_rps("nope")
+
+
+def test_cached_round_trip(monkeypatch, tmp_path):
+    monkeypatch.setattr(artifacts, "cache_dir", lambda: tmp_path)
+    calls = []
+
+    def build():
+        calls.append(1)
+        return {"value": 42}
+
+    first = artifacts._cached("unit-test-key", build)
+    second = artifacts._cached("unit-test-key", build)
+    assert first == second == {"value": 42}
+    assert len(calls) == 1  # second call hit the pickle
+    files = list(tmp_path.glob("unit-test-key-*.pkl"))
+    assert len(files) == 1
+
+
+def test_cache_key_includes_scale_profile(monkeypatch, tmp_path):
+    monkeypatch.setattr(artifacts, "cache_dir", lambda: tmp_path)
+    monkeypatch.setenv("REPRO_SCALE", "quick")
+    artifacts._cached("k", lambda: 1)
+    monkeypatch.setenv("REPRO_SCALE", "full")
+    artifacts._cached("k", lambda: 2)
+    assert len(list(tmp_path.glob("k-*.pkl"))) == 2

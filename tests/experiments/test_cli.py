@@ -1,0 +1,27 @@
+"""Tests for the CLI surface (argument handling; no heavy experiments)."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, _run, main
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["nope"])
+
+
+def test_known_names_listed():
+    assert "fig02" in EXPERIMENTS
+    assert "table06" in EXPERIMENTS
+
+
+def test_run_rejects_bad_name():
+    with pytest.raises(ValueError):
+        _run("bogus", None)
+
+
+def test_help_exits_zero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    assert "fig02" in capsys.readouterr().out

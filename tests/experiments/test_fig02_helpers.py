@@ -1,0 +1,50 @@
+"""Unit tests for Fig. 2 heatmap bookkeeping (no simulation)."""
+
+import pytest
+
+from repro.experiments.fig02_backpressure import (
+    ChainHeatmap,
+    MINUTES,
+    THROTTLE_END_MIN,
+    THROTTLE_START_MIN,
+    backpressure_factor,
+)
+from repro.net.messages import CallMode
+
+
+def make_heatmap(rows):
+    return ChainHeatmap(mode=CallMode.RPC, tiers=len(rows), values=rows)
+
+
+def test_backpressure_factor_flat_row_is_one():
+    hm = make_heatmap([[10.0] * MINUTES])
+    assert backpressure_factor(hm, 1) == pytest.approx(1.0)
+
+
+def test_backpressure_factor_detects_inflation():
+    row = [10.0] * MINUTES
+    for m in range(THROTTLE_START_MIN, THROTTLE_END_MIN):
+        row[m] = 50.0
+    hm = make_heatmap([row])
+    assert backpressure_factor(hm, 1) == pytest.approx(5.0)
+
+
+def test_backpressure_factor_zero_baseline():
+    row = [0.0] * MINUTES
+    row[THROTTLE_START_MIN] = 5.0
+    hm = make_heatmap([row])
+    assert backpressure_factor(hm, 1) == float("inf")
+    quiet = make_heatmap([[0.0] * MINUTES])
+    assert backpressure_factor(quiet, 1) == 1.0
+
+
+def test_render_contains_all_tiers():
+    hm = make_heatmap([[float(m) for m in range(MINUTES)] for _ in range(3)])
+    text = hm.render()
+    for tier in ("tier-1", "tier-2", "tier-3"):
+        assert tier in text
+    assert "m0" in text and f"m{MINUTES - 1}" in text
+
+
+def test_throttle_window_constants():
+    assert 0 < THROTTLE_START_MIN < THROTTLE_END_MIN <= MINUTES

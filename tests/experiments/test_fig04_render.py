@@ -1,0 +1,35 @@
+"""Unit test for Fig. 4 curve rendering (no simulation)."""
+
+from repro.core.backpressure import BackpressureProfile, ProfilePoint
+from repro.experiments.fig04_thresholds import ThresholdCurves
+
+
+def test_render_contains_curve_and_threshold():
+    points = [
+        ProfilePoint(1, (0.5, 0.6, 0.55), tested_p99=0.2, utilization=1.0),
+        ProfilePoint(2, (0.05, 0.06, 0.055), tested_p99=0.05, utilization=0.6),
+        ProfilePoint(3, (0.004, 0.004, 0.004), tested_p99=0.02, utilization=0.4),
+    ]
+    curves = ThresholdCurves(
+        profiles={
+            "post": BackpressureProfile(
+                service="post",
+                threshold_utilization=0.6,
+                converged_cpu_limit=3,
+                points=points,
+            )
+        }
+    )
+    text = curves.render()
+    assert "threshold=60.0%" in text
+    assert "converged at limit 3" in text
+    assert "cpu_limit" in text
+    assert text.count("\n") >= 5  # header + rule + three rows
+
+
+def test_profile_point_stats():
+    point = ProfilePoint(2, (1.0, 2.0, 3.0), tested_p99=0.5, utilization=0.7)
+    assert point.proxy_p99_mean == 2.0
+    assert point.proxy_p99_std == 1.0
+    single = ProfilePoint(1, (5.0,), tested_p99=0.5, utilization=0.9)
+    assert single.proxy_p99_std == 0.0

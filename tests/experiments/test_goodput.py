@@ -1,0 +1,54 @@
+"""Tests for the cost-efficiency (goodput-per-dollar) analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.goodput import compare_cost_efficiency
+from repro.experiments.runner import DeploymentResult
+
+
+def result(manager, cpus, violations, app="a", load="constant"):
+    return DeploymentResult(
+        app_name=app,
+        manager=manager,
+        load_name=load,
+        windowed_violation_rate=violations,
+        mean_cpu_allocation=cpus,
+        per_class_violation_rate={"x": violations, "y": violations},
+        completed_requests=1000,
+        wall_seconds=1.0,
+    )
+
+
+def test_cheaper_system_has_higher_throughput_per_dollar():
+    ursa = result("ursa", cpus=50, violations=0.01)
+    sinan = result("sinan", cpus=100, violations=0.20)
+    eff = compare_cost_efficiency(ursa, sinan)
+    assert eff.throughput_per_dollar_x == pytest.approx(2.0)
+    # Goodput gain exceeds throughput gain: Ursa also violates less.
+    assert eff.goodput_per_dollar_x > eff.throughput_per_dollar_x
+
+
+def test_paper_range_example():
+    """86.2% CPU reduction -> 7.24x throughput per dollar (§VII-E)."""
+    ursa = result("ursa", cpus=100 * (1 - 0.862), violations=0.0)
+    ml = result("ml", cpus=100, violations=0.0)
+    eff = compare_cost_efficiency(ursa, ml)
+    assert eff.throughput_per_dollar_x == pytest.approx(7.24, abs=0.01)
+
+
+def test_mismatched_runs_rejected():
+    a = result("ursa", 10, 0.0, app="a")
+    b = result("sinan", 10, 0.0, app="b")
+    with pytest.raises(ConfigurationError):
+        compare_cost_efficiency(a, b)
+    c = result("sinan", 10, 0.0, app="a", load="skewed")
+    with pytest.raises(ConfigurationError):
+        compare_cost_efficiency(a, c)
+
+
+def test_zero_cpu_rejected():
+    a = result("ursa", 0, 0.0)
+    b = result("sinan", 10, 0.0)
+    with pytest.raises(ConfigurationError):
+        compare_cost_efficiency(a, b)

@@ -1,0 +1,55 @@
+"""Tests for experiment report rendering and the shared runner helpers."""
+
+import pytest
+
+from repro.experiments.report import render_heatmap, render_series, render_table
+from repro.experiments.runner import ScaleProfile, scale_profile
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ["name", "value"],
+        [("a", 1), ("long-name", 22.5)],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert lines[2].startswith("---")
+    assert "long-name" in lines[4]
+
+
+def test_render_series():
+    text = render_series("s", [(0.0, 1.0), (60.0, 2.0)], "t", "v")
+    assert "s  [t -> v]" in text
+    assert len(text.splitlines()) == 3
+
+
+def test_render_heatmap_shape_checks():
+    text = render_heatmap("H", ["r1"], ["c1", "c2"], [[1.0, 2.0]])
+    assert "r1" in text
+    with pytest.raises(ValueError):
+        render_heatmap("H", ["r1", "r2"], ["c1"], [[1.0]])
+    with pytest.raises(ValueError):
+        render_heatmap("H", ["r1"], ["c1", "c2"], [[1.0]])
+
+
+def test_scale_profile_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert scale_profile().name == "quick"
+    monkeypatch.setenv("REPRO_SCALE", "full")
+    profile = scale_profile()
+    assert profile.name == "full"
+    assert profile.deployment_s > 1000
+    monkeypatch.setenv("REPRO_SCALE", "bogus")
+    with pytest.raises(ValueError):
+        scale_profile()
+
+
+def test_quick_profile_is_cheaper_than_full():
+    from repro.experiments.runner import _PROFILES
+
+    quick, full = _PROFILES["quick"], _PROFILES["full"]
+    assert quick.deployment_s < full.deployment_s
+    assert quick.sinan_samples < full.sinan_samples
+    assert quick.exploration_samples_per_step <= full.exploration_samples_per_step

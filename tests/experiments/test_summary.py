@@ -1,0 +1,31 @@
+"""Tests for the results digest."""
+
+from pathlib import Path
+
+from repro.experiments.summary import ORDER, summarize
+
+
+def test_summarize_empty_dir(tmp_path):
+    text = summarize(tmp_path)
+    assert "missing" in text
+    assert "fig02_backpressure" in text
+
+
+def test_summarize_includes_present_files(tmp_path):
+    (tmp_path / "fig02_backpressure.txt").write_text("HEATMAP DATA\n")
+    text = summarize(tmp_path)
+    assert "Fig. 2" in text
+    assert "HEATMAP DATA" in text
+    assert "fig04_thresholds" in text  # still listed as missing
+
+
+def test_order_covers_all_benchmarked_results():
+    stems = {stem for stem, _ in ORDER}
+    expected = {
+        "fig02_backpressure", "fig04_thresholds", "table05_exploration",
+        "fig09_model_accuracy", "fig10_model_accuracy",
+        "fig11_12_performance", "fig13_diurnal", "table06_control_plane",
+        "fig14_service_change", "ablation_grid", "ablation_backpressure",
+        "ablation_ttest",
+    }
+    assert stems == expected

@@ -1,0 +1,78 @@
+"""Tests for call trees, requests and message queues."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.messages import Call, CallMode, Request
+from repro.net.mq import MessageQueue
+from repro.sim import Environment
+
+
+def test_call_validation():
+    with pytest.raises(TopologyError):
+        Call("")
+    with pytest.raises(TopologyError):
+        Call("svc", repeat=0)
+
+
+def test_call_services_preorder_with_duplicates():
+    tree = Call("a", children=(Call("b", children=(Call("c"),)), Call("b")))
+    assert tree.services() == ["a", "b", "c", "b"]
+
+
+def test_call_walk_and_depth():
+    tree = Call("a", children=(Call("b", children=(Call("c"),)), Call("d")))
+    assert [c.service for c in tree.walk()] == ["a", "b", "c", "d"]
+    assert tree.depth() == 3
+    assert Call("leaf").depth() == 1
+
+
+def test_request_latency_requires_completion():
+    request = Request(request_class="r", arrival_time=1.0)
+    with pytest.raises(ValueError):
+        _ = request.latency
+    request.completion_time = 3.5
+    assert request.latency == 2.5
+
+
+def test_request_ids_unique():
+    a = Request(request_class="r", arrival_time=0)
+    b = Request(request_class="r", arrival_time=0)
+    assert a.request_id != b.request_id
+
+
+def test_mq_priority_ordering():
+    env = Environment()
+    queue = MessageQueue(env, "q")
+    queue.publish("low", priority=1)
+    queue.publish("high", priority=0)
+    queue.publish("high2", priority=0)
+    got = []
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield queue.consume()
+            got.append(MessageQueue.payload_of(item))
+
+    env.process(consumer(env))
+    env.run()
+    assert got == ["high", "high2", "low"]
+    assert queue.published == 3
+
+
+def test_mq_publish_never_blocks():
+    env = Environment()
+    queue = MessageQueue(env, "q")
+    for i in range(10_000):
+        queue.publish(i)
+    assert queue.depth == 10_000
+
+
+def test_mq_cancel_consume():
+    env = Environment()
+    queue = MessageQueue(env, "q")
+    event = queue.consume()
+    queue.cancel_consume(event)
+    queue.publish("x")
+    # The cancelled getter must not swallow the message.
+    assert queue.depth == 1

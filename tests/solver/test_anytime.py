@@ -1,0 +1,52 @@
+"""Tests for the solver's anytime (node-limited) behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.solver import AllocationModel, ClassSla, ServiceOptions, solve
+
+GRID = [50.0, 90.0, 95.0, 99.0, 99.5, 99.9]
+
+
+def adversarial_model(n_services=8, n_options=6, seed=3):
+    """Tie-heavy instance: identical resource vectors across services."""
+    rng = np.random.default_rng(seed)
+    services = []
+    for k in range(n_services):
+        base = rng.uniform(0.01, 0.04)
+        rows = np.sort(
+            np.outer(np.linspace(1, 4, n_options), base * np.linspace(1, 1.5, 6)),
+            axis=1,
+        )
+        services.append(
+            ServiceOptions(
+                f"s{k}",
+                resources=np.linspace(n_options * 2, 2, n_options).tolist(),
+                latency={"c": rows},
+            )
+        )
+    return AllocationModel(services, [ClassSla("c", 99.0, 0.5)], GRID)
+
+
+def test_unlimited_solve_is_optimal_flagged():
+    model = adversarial_model(n_services=4)
+    solution = solve(model)
+    assert solution.optimal
+
+
+def test_node_limit_returns_feasible_incumbent():
+    model = adversarial_model(n_services=8)
+    solution = solve(model, node_limit=200)
+    # Anytime: possibly truncated, but always feasible.
+    assert solution.latency_bound["c"] <= 0.5 + 1e-9
+    for svc in model.services:
+        assert svc.name in solution.lpr_choice
+    if not solution.optimal:
+        assert solution.nodes_explored >= 200
+
+
+def test_tight_limit_worse_or_equal_objective():
+    model = adversarial_model(n_services=7)
+    loose = solve(model, node_limit=10_000_000)
+    tight = solve(model, node_limit=100)
+    assert tight.objective >= loose.objective - 1e-9

@@ -1,0 +1,84 @@
+"""Unit tests for the solver's internal DP primitives."""
+
+import math
+
+from repro.solver.branch_and_bound import (
+    _class_budget_units,
+    _combine,
+    _dp_with_choices,
+    _min_split,
+)
+
+INF = math.inf
+UNITS = [500, 100, 50, 10, 5, 1]  # residual units for the default grid
+
+
+def test_budget_units():
+    assert _class_budget_units(99.0) == 10
+    assert _class_budget_units(50.0) == 500
+    assert _class_budget_units(99.9) == 1
+
+
+def test_combine_respects_budget():
+    dp = [0.0] * 11  # empty prefix, budget 10
+    row = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    out = _combine(row, dp, UNITS)
+    # Units 500/100/50 exceed the budget; cheapest feasible is beta=3
+    # (10 units, latency 4.0) only at u=10; beta=5 (1 unit, latency 6.0).
+    assert out[0] == INF  # every beta needs >= 1 unit
+    assert out[1] == 6.0
+    assert out[5] == 5.0
+    assert out[10] == 4.0
+
+
+def test_combine_monotone_non_increasing():
+    dp = [0.0] * 11
+    row = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+    out = _combine(row, dp, UNITS)
+    finite = [v for v in out if v != INF]
+    assert finite == sorted(finite, reverse=True)
+
+
+def test_min_split_combines_prefix_suffix():
+    prefix = [INF, 3.0, 2.0, 2.0]
+    suffix = [0.0, 0.0, 0.0, 0.0]
+    assert _min_split(prefix, suffix) == 2.0
+    # All-INF prefix -> INF.
+    assert _min_split([INF] * 4, suffix) == INF
+
+
+def test_dp_with_choices_single_row():
+    total, choices = _dp_with_choices(
+        [[9.0, 8.0, 7.0, 4.0, 3.0, 6.0]], UNITS, budget=10
+    )
+    # Budget 10: betas 3 (10u, 4.0), 4 (5u, 3.0), 5 (1u, 6.0) feasible;
+    # cheapest latency is beta=4.
+    assert total == 3.0
+    assert choices == [4]
+
+
+def test_dp_with_choices_budget_forces_tail():
+    rows = [[1.0] * 5 + [2.0]] * 10  # ten services, budget 10
+    total, choices = _dp_with_choices(rows, UNITS, budget=10)
+    # Each service must take the 1-unit percentile (latency 2.0).
+    assert choices == [5] * 10
+    assert total == 20.0
+
+
+def test_dp_with_choices_infeasible():
+    rows = [[1.0] * 6] * 11  # eleven services, budget 10, min 1 unit each
+    total, choices = _dp_with_choices(rows, UNITS, budget=10)
+    assert total == INF
+    assert choices is None
+
+
+def test_dp_choices_sum_matches_total():
+    rows = [
+        [0.9, 0.7, 0.5, 0.3, 0.2, 0.1],
+        [1.8, 1.4, 1.0, 0.6, 0.4, 0.2],
+        [0.45, 0.35, 0.25, 0.15, 0.10, 0.05],
+    ]
+    total, choices = _dp_with_choices(rows, UNITS, budget=10)
+    assert choices is not None
+    assert sum(row[b] for row, b in zip(rows, choices)) == total
+    assert sum(UNITS[b] for b in choices) <= 10

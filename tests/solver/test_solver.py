@@ -1,0 +1,263 @@
+"""Tests for the branch-and-bound MIP solver, incl. exhaustive cross-check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleModelError, SolverError
+from repro.solver import (
+    AllocationModel,
+    ClassSla,
+    ServiceOptions,
+    solve,
+    solve_exhaustive,
+)
+
+GRID = [50.0, 90.0, 95.0, 99.0, 99.5, 99.9]
+
+
+def chain_model(
+    latencies,  # per service: base latency scalar
+    targets,  # per class: target
+    percentile=99.0,
+    options=3,
+):
+    """A chain where each service's latency halves per extra LPR option
+    (cheaper option = higher LPR = fewer replicas = higher latency)."""
+    services = []
+    for k, base in enumerate(latencies):
+        resources = [options - a for a in range(options)]  # cheaper per option
+        rows = []
+        for a in range(options):
+            # option a: latency grows with a (fewer replicas).
+            scale = base * (1.0 + a)
+            rows.append([scale * (1 + 0.1 * b) for b in range(len(GRID))])
+        services.append(
+            ServiceOptions(
+                name=f"s{k}",
+                resources=resources,
+                latency={j: np.array(rows) for j in targets},
+            )
+        )
+    slas = [ClassSla(j, percentile, t) for j, t in targets.items()]
+    return AllocationModel(services, slas, GRID)
+
+
+def test_single_service_single_class():
+    model = chain_model([0.010], {"req": 1.0})
+    sol = solve(model)
+    # All options feasible -> cheapest (resources=1, option index 2).
+    assert sol.objective == 1.0
+    assert sol.lpr_choice["s0"] == 2
+    assert sol.latency_bound["req"] <= 1.0
+
+
+def test_tight_target_forces_expensive_option():
+    # Option 0 latency ~0.01-0.011; option 2 ~0.03-0.033.
+    model = chain_model([0.010], {"req": 0.015})
+    sol = solve(model)
+    assert sol.lpr_choice["s0"] == 0
+    assert sol.objective == 3.0
+
+
+def test_infeasible_raises_with_context():
+    model = chain_model([1.0], {"req": 0.5})
+    with pytest.raises(InfeasibleModelError) as err:
+        solve(model)
+    assert err.value.binding_constraints
+
+
+def test_residual_budget_enforced():
+    """With 10 services at p99, every service must take the 99.9th
+    percentile column (residual 0.1 each, budget 1.0)."""
+    model = chain_model([0.001] * 10, {"req": 10.0})
+    sol = solve(model)
+    for (svc, _cls), beta in sol.percentile_choice.items():
+        assert GRID[beta] == 99.9
+
+
+def test_too_many_services_for_budget():
+    model = chain_model([0.001] * 11, {"req": 10.0})
+    with pytest.raises(InfeasibleModelError, match="residual budgets"):
+        solve(model)
+
+
+def test_p50_class_has_large_budget():
+    """A p50 SLA leaves residual budget 50: services can use cheap
+    percentiles like the 50th."""
+    model = chain_model([0.010] * 3, {"req": 10.0}, percentile=50.0)
+    sol = solve(model)
+    assert sol.objective == 3.0  # all cheapest
+
+
+def test_multiple_classes_share_lpr_choice():
+    """One service, two classes: the tight class forces the LPR for both."""
+    rows_loose = np.tile(np.linspace(0.01, 0.02, len(GRID)), (3, 1)) * np.array(
+        [[1], [2], [3]]
+    )
+    service = ServiceOptions(
+        "s0",
+        resources=[3.0, 2.0, 1.0],
+        latency={"tight": rows_loose, "loose": rows_loose},
+    )
+    model = AllocationModel(
+        [service],
+        [ClassSla("tight", 99.0, 0.025), ClassSla("loose", 99.0, 10.0)],
+        GRID,
+    )
+    sol = solve(model)
+    assert sol.lpr_choice["s0"] == 0  # forced by tight
+    assert sol.latency_bound["loose"] <= 10.0
+
+
+def test_classes_touch_disjoint_services():
+    s0 = ServiceOptions(
+        "s0",
+        resources=[2.0, 1.0],
+        latency={"a": np.array([[0.01] * 6, [0.5] * 6])},
+    )
+    s1 = ServiceOptions(
+        "s1",
+        resources=[2.0, 1.0],
+        latency={"b": np.array([[0.01] * 6, [0.012] * 6])},
+    )
+    model = AllocationModel(
+        [s0, s1],
+        [ClassSla("a", 99.0, 0.1), ClassSla("b", 99.0, 1.0)],
+        GRID,
+    )
+    sol = solve(model)
+    assert sol.lpr_choice == {"s0": 0, "s1": 1}
+    assert sol.objective == 3.0
+
+
+def test_latency_bound_reported_per_class():
+    model = chain_model([0.01, 0.02], {"req": 1.0})
+    sol = solve(model)
+    s0 = model.services[0].latency["req"]
+    s1 = model.services[1].latency["req"]
+    expected = (
+        s0[sol.lpr_choice["s0"], sol.percentile_choice[("s0", "req")]]
+        + s1[sol.lpr_choice["s1"], sol.percentile_choice[("s1", "req")]]
+    )
+    assert sol.latency_bound["req"] == pytest.approx(expected)
+
+
+def test_matches_exhaustive_on_fixed_instances():
+    for latencies, targets in [
+        ([0.01, 0.02, 0.005], {"req": 0.08}),
+        ([0.01, 0.02, 0.005], {"req": 0.15}),
+        ([0.05], {"req": 0.2}),
+        ([0.004, 0.008], {"a": 0.05, "b": 0.04}),
+    ]:
+        classes = {j: t for j, t in targets.items()}
+        model = chain_model(latencies, classes)
+        fast = solve(model)
+        slow = solve_exhaustive(model)
+        assert fast.objective == pytest.approx(slow.objective)
+
+
+@given(
+    n_services=st.integers(1, 4),
+    n_options=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+    target=st.floats(0.02, 0.5),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_matches_exhaustive(n_services, n_options, seed, target):
+    rng = np.random.default_rng(seed)
+    services = []
+    for k in range(n_services):
+        base = rng.uniform(0.001, 0.05)
+        rows = np.sort(
+            rng.uniform(base, base * 4, size=(n_options, len(GRID))), axis=1
+        )
+        services.append(
+            ServiceOptions(
+                f"s{k}",
+                resources=rng.uniform(0.5, 5.0, n_options).tolist(),
+                latency={"req": rows},
+            )
+        )
+    model = AllocationModel(services, [ClassSla("req", 99.0, target)], GRID)
+    try:
+        fast = solve(model)
+    except InfeasibleModelError:
+        with pytest.raises(InfeasibleModelError):
+            solve_exhaustive(model)
+        return
+    slow = solve_exhaustive(model)
+    assert fast.objective == pytest.approx(slow.objective)
+    # The reported bound must respect the constraint.
+    assert fast.latency_bound["req"] <= target + 1e-9
+
+
+def test_solution_respects_all_constraints_property():
+    rng = np.random.default_rng(7)
+    services = []
+    classes = ["a", "b", "c"]
+    for k in range(5):
+        served = [c for c in classes if rng.random() < 0.8] or ["a"]
+        rows = {
+            c: np.sort(rng.uniform(0.001, 0.02, size=(3, len(GRID))), axis=1)
+            for c in served
+        }
+        services.append(
+            ServiceOptions(
+                f"s{k}", resources=rng.uniform(1, 4, 3).tolist(), latency=rows
+            )
+        )
+    slas = [ClassSla(c, 99.0, 0.2) for c in classes]
+    model = AllocationModel(services, slas, GRID)
+    sol = solve(model)
+    # Verify constraint 1 and 2 manually.
+    for sla in slas:
+        total_latency = 0.0
+        total_residual = 0.0
+        for svc in model.services_for(sla.name):
+            a = sol.lpr_choice[svc.name]
+            b = sol.percentile_choice[(svc.name, sla.name)]
+            total_latency += svc.latency[sla.name][a, b]
+            total_residual += 100.0 - GRID[b]
+        assert total_latency <= sla.target_s + 1e-9
+        assert total_residual <= 100.0 - sla.percentile + 1e-9
+        assert sol.latency_bound[sla.name] == pytest.approx(total_latency)
+
+
+def test_model_validation():
+    with pytest.raises(SolverError):
+        ServiceOptions("s", resources=[], latency={})
+    with pytest.raises(SolverError):
+        ServiceOptions("s", resources=[-1.0], latency={})
+    with pytest.raises(SolverError):
+        ServiceOptions(
+            "s", resources=[1.0], latency={"j": np.zeros((2, len(GRID)))}
+        )
+    good = ServiceOptions("s", resources=[1.0], latency={"j": np.zeros((1, 6))})
+    with pytest.raises(SolverError):
+        AllocationModel([], [ClassSla("j", 99, 1)], GRID)
+    with pytest.raises(SolverError):
+        AllocationModel([good], [], GRID)
+    with pytest.raises(SolverError):
+        AllocationModel([good], [ClassSla("j", 99, 1)], [99.0, 50.0])
+    with pytest.raises(SolverError):
+        AllocationModel([good], [ClassSla("other", 99, 1)], GRID)
+    with pytest.raises(SolverError):
+        # grid size mismatch (matrix has 6 columns, grid 3).
+        AllocationModel([good], [ClassSla("j", 99, 1)], [50.0, 90.0, 99.0])
+
+
+def test_bad_residual_grid_rejected():
+    good = ServiceOptions("s", resources=[1.0], latency={"j": np.zeros((1, 2))})
+    model = AllocationModel(
+        [good], [ClassSla("j", 99, 1)], [50.0, 99.03]
+    )
+    with pytest.raises(SolverError, match="multiple"):
+        solve(model)
+
+
+def test_nodes_explored_reported():
+    model = chain_model([0.01, 0.02, 0.005], {"req": 0.15})
+    sol = solve(model)
+    assert sol.nodes_explored > 0

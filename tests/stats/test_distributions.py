@@ -1,0 +1,116 @@
+"""Tests for empirical distributions and percentile math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import EmpiricalDistribution, percentile
+
+
+def test_percentile_matches_numpy():
+    rng = np.random.default_rng(0)
+    values = sorted(rng.exponential(10, 500).tolist())
+    for q in [0, 10, 50, 90, 99, 99.9, 100]:
+        assert percentile(values, q) == pytest.approx(np.percentile(values, q))
+
+
+def test_percentile_single_value():
+    assert percentile([5.0], 99) == 5.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_add_and_query():
+    dist = EmpiricalDistribution.from_samples([3.0, 1.0, 2.0])
+    assert dist.count == 3
+    assert dist.mean == pytest.approx(2.0)
+    assert dist.min == 1.0
+    assert dist.max == 3.0
+    assert dist.percentile(50) == 2.0
+
+
+def test_negative_sample_rejected():
+    dist = EmpiricalDistribution()
+    with pytest.raises(ValueError):
+        dist.add(-1.0)
+
+
+def test_empty_queries_raise():
+    dist = EmpiricalDistribution()
+    assert not dist
+    for attr in ("mean", "max", "min"):
+        with pytest.raises(ValueError):
+            getattr(dist, attr)
+    with pytest.raises(ValueError):
+        dist.percentile(50)
+    with pytest.raises(ValueError):
+        dist.fraction_above(1.0)
+
+
+def test_fraction_above():
+    dist = EmpiricalDistribution.from_samples([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+    assert dist.fraction_above(5) == pytest.approx(0.5)
+    assert dist.fraction_above(10) == 0.0
+    assert dist.fraction_above(0) == 1.0
+
+
+def test_cdf_monotone():
+    dist = EmpiricalDistribution.from_samples([1.0, 2.0, 2.0, 3.0])
+    assert dist.cdf(0.5) == 0.0
+    assert dist.cdf(2.0) == pytest.approx(0.75)
+    assert dist.cdf(3.0) == 1.0
+
+
+def test_merge_pools_samples():
+    a = EmpiricalDistribution.from_samples([1.0, 3.0])
+    b = EmpiricalDistribution.from_samples([2.0, 4.0])
+    merged = a.merge(b)
+    assert merged.count == 4
+    assert merged.samples() == [1.0, 2.0, 3.0, 4.0]
+    # Originals untouched.
+    assert a.count == 2 and b.count == 2
+
+
+def test_percentiles_vector():
+    dist = EmpiricalDistribution.from_samples(range(101))
+    grid = [50.0, 90.0, 99.0]
+    assert dist.percentiles(grid) == [50.0, 90.0, 99.0]
+
+
+@given(st.lists(st.floats(0, 1e6), min_size=1, max_size=200))
+@settings(max_examples=60)
+def test_property_percentile_bounds(values):
+    dist = EmpiricalDistribution.from_samples(values)
+    import math
+
+    for q in [0, 25, 50, 75, 99, 100]:
+        p = dist.percentile(q)
+        assert dist.min <= p or math.isclose(dist.min, p)
+        assert p <= dist.max or math.isclose(p, dist.max)
+
+
+@given(st.lists(st.floats(0, 1e6), min_size=2, max_size=100))
+@settings(max_examples=60)
+def test_property_percentile_monotone_in_q(values):
+    dist = EmpiricalDistribution.from_samples(values)
+    grid = [0, 10, 50, 90, 99, 100]
+    ps = dist.percentiles(grid)
+    assert all(a <= b + 1e-9 for a, b in zip(ps, ps[1:]))
+
+
+@given(
+    st.lists(st.floats(0, 100), min_size=1, max_size=50),
+    st.floats(0, 100),
+)
+@settings(max_examples=60)
+def test_property_fraction_above_complements_cdf(values, threshold):
+    dist = EmpiricalDistribution.from_samples(values)
+    assert dist.fraction_above(threshold) == pytest.approx(
+        1.0 - dist.cdf(threshold)
+    )

@@ -1,0 +1,77 @@
+"""Tests for telemetry export helpers."""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.export import (
+    export_gauge_csv,
+    export_latency_percentiles_csv,
+    export_summary_json,
+)
+from repro.telemetry.metrics import MetricsHub
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def hub():
+    clock = Clock()
+    hub = MetricsHub(clock, window_s=10.0)
+    for window in range(6):
+        clock.now = window * 10.0 + 1.0
+        hub.observe_gauge("cpu", 0.1 * window, {"service": "s"})
+        for value in (0.01, 0.02, 0.05):
+            hub.record_latency("lat", value * (window + 1), {"request": "r"})
+        hub.inc_counter("reqs", 3, {"request": "r"})
+    return hub
+
+
+def test_export_gauge_csv(hub, tmp_path):
+    path = tmp_path / "gauge.csv"
+    rows = export_gauge_csv(hub, "cpu", 0, 60, path, {"service": "s"})
+    assert rows == 6
+    with path.open() as fh:
+        reader = list(csv.reader(fh))
+    assert reader[0] == ["time_s", "cpu"]
+    assert len(reader) == 7
+    assert float(reader[1][1]) == pytest.approx(0.0)
+
+
+def test_export_latency_csv(hub, tmp_path):
+    path = tmp_path / "lat.csv"
+    rows = export_latency_percentiles_csv(
+        hub, "lat", 0, 60, path, {"request": "r"}, percentiles=(50.0, 99.0)
+    )
+    assert rows == 6
+    with path.open() as fh:
+        reader = list(csv.reader(fh))
+    assert reader[0] == ["time_s", "p50", "p99"]
+    # Later windows have larger latencies.
+    assert float(reader[6][1]) > float(reader[1][1])
+
+
+def test_export_latency_csv_validates_window(hub, tmp_path):
+    with pytest.raises(TelemetryError):
+        export_latency_percentiles_csv(
+            hub, "lat", 0, 60, tmp_path / "x.csv", window_s=0
+        )
+
+
+def test_export_summary_json(hub, tmp_path):
+    path = tmp_path / "summary.json"
+    export_summary_json(hub, ["lat", "reqs", "cpu"], 0, 60, path)
+    data = json.loads(path.read_text())
+    assert set(data) == {"lat", "reqs", "cpu"}
+    lat = data["lat"][0]
+    assert lat["count"] == 18
+    reqs = data["reqs"][0]
+    assert reqs["total"] == 18

@@ -1,0 +1,111 @@
+"""Tests for the log-bucketed latency histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.histogram import LatencyHistogram
+
+
+def test_count_sum_mean():
+    hist = LatencyHistogram()
+    for v in [1.0, 2.0, 3.0]:
+        hist.record(v)
+    assert hist.count == 3
+    assert hist.sum == pytest.approx(6.0)
+    assert hist.mean == pytest.approx(2.0)
+    assert hist.min == 1.0
+    assert hist.max == 3.0
+
+
+def test_record_with_count():
+    hist = LatencyHistogram()
+    hist.record(5.0, count=10)
+    assert hist.count == 10
+    assert hist.sum == pytest.approx(50.0)
+
+
+def test_percentile_within_relative_error():
+    rng = np.random.default_rng(0)
+    values = rng.lognormal(0, 1, 20000)
+    hist = LatencyHistogram(growth=1.02)
+    for v in values:
+        hist.record(float(v))
+    for q in [50, 90, 99, 99.9]:
+        true = np.percentile(values, q)
+        assert hist.percentile(q) == pytest.approx(true, rel=0.05)
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        LatencyHistogram().percentile(50)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        LatencyHistogram(min_value=0)
+    with pytest.raises(ValueError):
+        LatencyHistogram(growth=1.0)
+    hist = LatencyHistogram()
+    with pytest.raises(ValueError):
+        hist.record(-1)
+    with pytest.raises(ValueError):
+        hist.record(1, count=0)
+    hist.record(1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(-1)
+
+
+def test_percentile_never_exceeds_max():
+    hist = LatencyHistogram()
+    hist.record(100.0)
+    assert hist.percentile(100) == 100.0
+
+
+def test_fraction_above():
+    hist = LatencyHistogram()
+    for v in [1.0] * 90 + [100.0] * 10:
+        hist.record(v)
+    assert hist.fraction_above(10.0) == pytest.approx(0.1)
+
+
+def test_merge():
+    a = LatencyHistogram()
+    b = LatencyHistogram()
+    a.record(1.0)
+    b.record(10.0)
+    merged = a.merge(b)
+    assert merged.count == 2
+    assert merged.min == 1.0
+    assert merged.max == 10.0
+    assert merged.sum == pytest.approx(11.0)
+
+
+def test_merge_incompatible_bucketing():
+    a = LatencyHistogram(growth=1.02)
+    b = LatencyHistogram(growth=1.1)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_tiny_values_land_in_floor_bucket():
+    hist = LatencyHistogram(min_value=1e-3)
+    hist.record(1e-9)
+    assert hist.count == 1
+    assert hist.percentile(50) <= 1e-3
+
+
+@given(st.lists(st.floats(1e-4, 1e5), min_size=1, max_size=300))
+@settings(max_examples=50)
+def test_property_percentile_relative_error(values):
+    """Rank-based percentile is bracketed within one bucket width (2 %)."""
+    hist = LatencyHistogram(growth=1.02)
+    for v in values:
+        hist.record(v)
+    arr = np.array(values)
+    for q in [50.0, 99.0]:
+        true = float(np.percentile(arr, q, method="inverted_cdf"))
+        approx = hist.percentile(q)
+        assert approx <= hist.max
+        assert true * (1 - 1e-9) <= approx <= true * 1.02 * (1 + 1e-9)

@@ -1,0 +1,73 @@
+"""Tests for the anomaly injector."""
+
+import pytest
+
+from repro.apps.topology import AppSpec, Application, RequestClass, SlaSpec
+from repro.cluster import Cluster, Node
+from repro.errors import ConfigurationError
+from repro.net.messages import Call
+from repro.services.spec import ServiceSpec
+from repro.sim import Constant, Environment, RandomStreams
+from repro.workload.anomalies import AnomalyInjector
+
+
+def make_app(env):
+    spec = AppSpec(
+        "one",
+        services=(
+            ServiceSpec("svc", cpus_per_replica=1, handlers={"r": Constant(0.01)}),
+        ),
+        request_classes=(RequestClass("r", Call("svc"), SlaSpec(99, 1.0)),),
+    )
+    return Application(
+        spec, env=env, cluster=Cluster(env, nodes=[Node("n", 16, 32)]),
+        streams=RandomStreams(0), initial_replicas=1,
+    )
+
+
+def test_injects_and_restores():
+    env = Environment()
+    app = make_app(env)
+    injector = AnomalyInjector(
+        app, RandomStreams(1), probability_per_interval=1.0,
+        interval_s=20.0, duration_s=10.0,
+    )
+    injector.start()
+    env.run(until=25)  # mid-anomaly
+    assert app.services["svc"].speed_factor < 1.0
+    env.run(until=35)
+    assert app.services["svc"].speed_factor == 1.0
+    env.run(until=200)
+    assert len(injector.injected) >= 4
+    for anomaly in injector.injected:
+        assert anomaly.end_s - anomaly.start_s == pytest.approx(10.0)
+        assert 0.2 <= anomaly.speed_factor <= 0.6
+
+
+def test_zero_probability_injects_nothing():
+    env = Environment()
+    app = make_app(env)
+    injector = AnomalyInjector(
+        app, RandomStreams(2), probability_per_interval=0.0, interval_s=10.0
+    )
+    injector.start()
+    env.run(until=300)
+    assert not injector.injected
+    assert app.services["svc"].speed_factor == 1.0
+
+
+def test_validation():
+    env = Environment()
+    app = make_app(env)
+    with pytest.raises(ConfigurationError):
+        AnomalyInjector(app, RandomStreams(0), probability_per_interval=2.0)
+    with pytest.raises(ConfigurationError):
+        AnomalyInjector(app, RandomStreams(0), interval_s=0)
+    with pytest.raises(ConfigurationError):
+        AnomalyInjector(app, RandomStreams(0), speed_range=(0.0, 0.5))
+    with pytest.raises(ConfigurationError):
+        AnomalyInjector(app, RandomStreams(0), services=["ghost"])
+    injector = AnomalyInjector(app, RandomStreams(0))
+    injector.start()
+    with pytest.raises(ConfigurationError):
+        injector.start()

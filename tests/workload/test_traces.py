@@ -1,0 +1,126 @@
+"""Tests for workload trace record/replay."""
+
+import pytest
+
+from repro.apps.topology import AppSpec, Application, RequestClass, SlaSpec
+from repro.cluster import Cluster, Node
+from repro.errors import ConfigurationError
+from repro.net.messages import Call
+from repro.services.spec import ServiceSpec
+from repro.sim import Constant, Environment, RandomStreams
+from repro.workload import ConstantLoad, LoadGenerator, RequestMix
+from repro.workload.traces import (
+    TraceEntry,
+    TracePlayer,
+    TraceRecorder,
+    WorkloadTrace,
+)
+
+
+def make_app(env, seed=0):
+    spec = AppSpec(
+        "one",
+        services=(
+            ServiceSpec("svc", cpus_per_replica=2, handlers={"r": Constant(0.005)}),
+        ),
+        request_classes=(RequestClass("r", Call("svc"), SlaSpec(99, 1.0)),),
+    )
+    return Application(
+        spec, env=env, cluster=Cluster(env, nodes=[Node("n", 32, 64)]),
+        streams=RandomStreams(seed), initial_replicas=1,
+    )
+
+
+def test_entry_validation():
+    with pytest.raises(ConfigurationError):
+        TraceEntry(-1.0, "r")
+    with pytest.raises(ConfigurationError):
+        TraceEntry(1.0, "")
+
+
+def test_trace_must_be_ordered():
+    with pytest.raises(ConfigurationError):
+        WorkloadTrace([TraceEntry(2.0, "r"), TraceEntry(1.0, "r")])
+
+
+def test_trace_stats():
+    trace = WorkloadTrace(
+        [TraceEntry(0.0, "a"), TraceEntry(5.0, "b"), TraceEntry(10.0, "a")]
+    )
+    assert len(trace) == 3
+    assert trace.duration_s == 10.0
+    assert trace.classes() == {"a": 2, "b": 1}
+    assert trace.mean_rps() == pytest.approx(0.3)
+
+
+def test_scaled_compresses_time():
+    trace = WorkloadTrace([TraceEntry(0.0, "a"), TraceEntry(10.0, "a")])
+    hot = trace.scaled(0.5)
+    assert hot.duration_s == 5.0
+    with pytest.raises(ConfigurationError):
+        trace.scaled(0)
+
+
+def test_slice_rebases():
+    trace = WorkloadTrace(
+        [TraceEntry(t, "a") for t in (1.0, 3.0, 5.0, 7.0)]
+    )
+    part = trace.slice(2.0, 6.0)
+    assert [e.time_s for e in part.entries] == [1.0, 3.0]
+    with pytest.raises(ConfigurationError):
+        trace.slice(5, 5)
+
+
+def test_save_load_round_trip(tmp_path):
+    trace = WorkloadTrace(
+        [TraceEntry(0.5, "a"), TraceEntry(1.25, "b")]
+    )
+    path = tmp_path / "trace.jsonl"
+    trace.save(path)
+    loaded = WorkloadTrace.load(path)
+    assert loaded.entries == trace.entries
+
+
+def test_recorder_captures_generated_load():
+    env = Environment()
+    app = make_app(env)
+    env.run(until=10)
+    recorder = TraceRecorder(app)
+    LoadGenerator(app, ConstantLoad(20.0), RequestMix({"r": 1.0}),
+                  RandomStreams(2), stop_at_s=60).start()
+    env.run(until=60)
+    trace = recorder.detach()
+    assert len(trace) > 500
+    assert trace.classes().keys() == {"r"}
+    # Detached: further submits are not recorded.
+    app.submit("r")
+    assert len(recorder.entries) == len(trace)
+
+
+def test_replay_reproduces_arrivals():
+    env = Environment()
+    app = make_app(env)
+    env.run(until=10)
+    recorder = TraceRecorder(app)
+    LoadGenerator(app, ConstantLoad(15.0), RequestMix({"r": 1.0}),
+                  RandomStreams(3), stop_at_s=40).start()
+    env.run(until=40)
+    trace = recorder.detach()
+
+    env2 = Environment()
+    app2 = make_app(env2, seed=9)
+    env2.run(until=10)
+    player = TracePlayer(app2, trace, start_at_s=10.0)
+    player.start()
+    env2.run(until=60)
+    assert player.replayed == len(trace)
+    total = app2.hub.counter_total("client_requests_total", 0, 60, {"request": "r"})
+    assert total == len(trace)
+
+
+def test_player_rejects_unknown_classes():
+    env = Environment()
+    app = make_app(env)
+    trace = WorkloadTrace([TraceEntry(0.0, "ghost")])
+    with pytest.raises(ConfigurationError):
+        TracePlayer(app, trace)
