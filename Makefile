@@ -1,12 +1,17 @@
 # Convenience targets for the Ursa reproduction.
 
-.PHONY: install test bench bench-full clean-cache results loc
+.PHONY: install test lint bench bench-full clean-cache results loc
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Style (ruff) + determinism invariants (ursalint, see docs/static_analysis.md).
+lint:
+	ruff check src tests benchmarks
+	PYTHONPATH=src python -m repro.analysis src/
 
 # Regenerates every paper table/figure; writes rendered output to results/.
 bench:

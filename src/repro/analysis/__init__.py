@@ -1,0 +1,49 @@
+"""ursalint -- static analysis enforcing the determinism contract.
+
+The simulation engine's reproducibility promise (same seed, identical
+run) only holds if every simulated component follows a handful of coding
+rules.  This package checks them:
+
+========  ===========================================================
+SIM001    no wall-clock reads (``time.time`` etc.) on simulated paths
+SIM002    no global RNG (``random.*``, ``np.random.*``); use
+          :class:`repro.sim.random.RandomStreams`
+SIM003    no iteration over unordered ``set`` / ``frozenset`` values
+SIM004    no bare/broad ``except`` in generator processes (swallows
+          :class:`repro.sim.engine.Interrupt`)
+SIM005    every ``acquire()`` in a process releases in a ``finally``
+SIM006    no ``==`` / ``!=`` against the float ``env.now``
+API001    no mutable default arguments
+========  ===========================================================
+
+Run ``python -m repro.analysis src/`` (see :mod:`repro.analysis.cli`),
+or use :func:`lint_paths` / :func:`lint_source` programmatically.  Rules
+are selected per package by :mod:`repro.analysis.policy`; intentional
+violations carry ``# ursalint: disable=RULE -- reason`` comments.
+Full rule documentation lives in ``docs/static_analysis.md``.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    LintError,
+    Rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+    registry,
+)
+from repro.analysis.policy import Profile, profile_for_path
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "Profile",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "profile_for_path",
+    "register",
+    "registry",
+]

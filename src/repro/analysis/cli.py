@@ -1,0 +1,137 @@
+"""Command-line entry point: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 -- clean; 1 -- findings; 2 -- usage or lint errors (bad
+rule id, unreadable file, syntax error in a checked file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.core import Finding, LintError, lint_paths, registry
+from repro.analysis.policy import profile_for_path
+
+__all__ = ["main"]
+
+
+def _default_paths() -> list[str]:
+    """Prefer ``src/`` when run from a checkout, else the package dir."""
+    if Path("src/repro").is_dir():
+        return ["src"]
+    return [str(Path(__file__).resolve().parents[1])]
+
+
+def _report_text(findings: list[Finding], files_checked: int, out) -> None:
+    for finding in findings:
+        print(finding.render(), file=out)
+    noun = "finding" if len(findings) == 1 else "findings"
+    print(f"{len(findings)} {noun} in {files_checked} files checked", file=out)
+
+
+def _report_json(findings: list[Finding], files_checked: int, out) -> None:
+    payload = {
+        "version": 1,
+        "files_checked": files_checked,
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+
+
+def _list_rules(out) -> None:
+    for rule_id, rule_cls in registry().items():
+        print(f"{rule_id}  {rule_cls.title}", file=out)
+        print(f"        {rule_cls.rationale}", file=out)
+
+
+def _parse_rule_list(raw: str) -> set[str]:
+    rules = {token.strip().upper() for token in raw.split(",") if token.strip()}
+    unknown = rules - set(registry())
+    if unknown:
+        raise LintError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return rules
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "ursalint: determinism & simulation-correctness linter for the "
+            "Ursa reproduction"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (overrides the policy)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--show-policy",
+        metavar="PATH",
+        help="print the lint profile chosen for PATH and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules(sys.stdout)
+        return 0
+    if args.show_policy:
+        profile = profile_for_path(args.show_policy)
+        print(f"{args.show_policy}: profile={profile.name} "
+              f"rules={','.join(sorted(profile.rules))}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    try:
+        selected = _parse_rule_list(args.select) if args.select else None
+        ignored = _parse_rule_list(args.ignore) if args.ignore else set()
+        if selected is not None:
+            findings, files_checked = lint_paths(paths, selected - ignored)
+        elif ignored:
+            # Per-file policy minus the ignored rules.
+            findings = []
+            files_checked = 0
+            from repro.analysis.core import iter_python_files, lint_file
+
+            for file in iter_python_files(paths):
+                rules = profile_for_path(file).rules - ignored
+                findings.extend(lint_file(file, rules))
+                files_checked += 1
+            findings.sort()
+        else:
+            findings, files_checked = lint_paths(paths)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    reporter = _report_json if args.format == "json" else _report_text
+    reporter(findings, files_checked, sys.stdout)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Bundled ursalint rules.
+
+Importing this package registers every rule with the core registry; add
+new rule modules to the imports below.
+"""
+
+from repro.analysis.rules import api, determinism, processes  # noqa: F401
+
+__all__ = ["api", "determinism", "processes"]

@@ -1,0 +1,79 @@
+"""API hygiene rules."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Rule, dotted_name, register
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name is not None and name.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Flag mutable default arguments and dataclass field defaults.
+
+    A mutable default is evaluated once at definition time and shared by
+    every call (and, for class attributes, every instance): state leaks
+    between calls in ways that depend on call order, which is exactly the
+    kind of hidden coupling the determinism suite exists to prevent.
+    """
+
+    id = "API001"
+    title = "mutable default argument"
+    rationale = (
+        "Default values are evaluated once and shared across calls; "
+        "mutating one couples callers through hidden state. Use None (or "
+        "dataclasses.field(default_factory=...)) instead."
+    )
+
+    def _visit_function(self, node) -> None:
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is not None and _is_mutable_literal(default):
+                self.report(
+                    default,
+                    f"mutable default in {node.name}(); defaults are shared "
+                    "across calls -- use None and create inside the body",
+                )
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if _is_dataclass_decorated(node):
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and stmt.value is not None
+                    and _is_mutable_literal(stmt.value)
+                ):
+                    self.report(
+                        stmt.value,
+                        f"mutable default for dataclass field in {node.name}; "
+                        "use dataclasses.field(default_factory=...)",
+                    )
+        self.generic_visit(node)

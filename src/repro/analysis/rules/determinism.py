@@ -1,0 +1,351 @@
+"""Determinism rules: wall-clock, global RNG, set iteration, float ==.
+
+Each rule is a small AST visitor.  They are deliberately syntactic -- no
+type inference -- so they run in milliseconds over the whole tree and
+never import the code under analysis.  Where syntax cannot prove intent
+(e.g. a method that *returns* a set), the rule stays silent; the
+documented suppression syntax covers the remaining judgement calls.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Rule, dotted_name, register
+
+__all__ = ["WallClockRule", "GlobalRngRule", "SetIterationRule", "EnvNowEqualityRule"]
+
+
+# ----------------------------------------------------------------------
+# SIM001 -- wall-clock reads on simulated paths
+# ----------------------------------------------------------------------
+_TIME_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+        "clock_gettime",
+    }
+)
+_DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class WallClockRule(Rule):
+    """Flag wall-clock reads; simulated code must use ``env.now``."""
+
+    id = "SIM001"
+    title = "wall-clock read on a simulated path"
+    rationale = (
+        "Simulated components must take time from Environment.now; reading "
+        "the host clock makes behaviour depend on machine speed and breaks "
+        "same-seed reproducibility."
+    )
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._time_aliases = {"time"}
+        self._datetime_module_aliases = {"datetime"}
+        self._datetime_class_aliases: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self._time_aliases.add(alias.asname or alias.name)
+            elif alias.name == "datetime":
+                self._datetime_module_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIME_FUNCTIONS:
+                    self.report(
+                        node,
+                        f"import of wall-clock function time.{alias.name}; "
+                        "use the simulation clock (env.now) instead",
+                    )
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in {"datetime", "date"}:
+                    self._datetime_class_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            parts = name.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] in self._time_aliases
+                and parts[1] in _TIME_FUNCTIONS
+            ):
+                self.report(
+                    node,
+                    f"wall-clock call {name}(); simulated code must use the "
+                    "simulation clock (env.now)",
+                )
+            elif (
+                len(parts) >= 2
+                and parts[-1] in _DATETIME_METHODS
+                and (
+                    parts[0] in self._datetime_module_aliases
+                    or parts[-2] in self._datetime_class_aliases
+                    or parts[-2] in {"datetime", "date"}
+                    and parts[0] in self._datetime_module_aliases
+                )
+            ):
+                self.report(
+                    node,
+                    f"wall-clock call {name}(); simulated code must use the "
+                    "simulation clock (env.now)",
+                )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# SIM002 -- global RNG instead of named RandomStreams
+# ----------------------------------------------------------------------
+_NUMPY_RNG_EXEMPT = frozenset(
+    {"SeedSequence", "Generator", "BitGenerator", "PCG64", "PCG64DXSM", "Philox"}
+)
+
+
+@register
+class GlobalRngRule(Rule):
+    """Flag the global ``random`` / ``np.random`` state."""
+
+    id = "SIM002"
+    title = "global RNG used instead of RandomStreams"
+    rationale = (
+        "Global RNG state is shared across components: adding one draw "
+        "anywhere perturbs every variate downstream, and seeding is "
+        "process-global. Draw from a named RandomStreams stream instead."
+    )
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._random_aliases = {"random"}
+        self._numpy_aliases = {"np", "numpy"}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self._random_aliases.add(alias.asname or alias.name)
+            elif alias.name == "numpy":
+                self._numpy_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self.report(
+                node,
+                "import from the global random module; draw from a named "
+                "RandomStreams stream instead",
+            )
+        elif node.module == "numpy.random" and any(
+            alias.name not in _NUMPY_RNG_EXEMPT and alias.name != "default_rng"
+            for alias in node.names
+        ):
+            self.report(
+                node,
+                "import from numpy's global random state; draw from a named "
+                "RandomStreams stream instead",
+            )
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    # `from numpy import random` puts the global-state module
+                    # behind a (possibly renamed) local name; track it.
+                    self._random_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            parts = name.split(".")
+            if len(parts) == 2 and parts[0] in self._random_aliases:
+                self.report(
+                    node,
+                    f"global RNG call {name}(); draw from a named "
+                    "RandomStreams stream instead",
+                )
+            elif (
+                len(parts) == 3
+                and parts[0] in self._numpy_aliases
+                and parts[1] == "random"
+                and parts[2] not in _NUMPY_RNG_EXEMPT
+                and not (parts[2] == "default_rng" and node.args)
+            ):
+                self.report(
+                    node,
+                    f"global numpy RNG call {name}(); draw from a named "
+                    "RandomStreams stream (or an explicitly seeded "
+                    "default_rng) instead",
+                )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# SIM003 -- iteration over unordered sets
+# ----------------------------------------------------------------------
+_SET_BUILTINS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+@register
+class SetIterationRule(Rule):
+    """Flag iteration over ``set`` / ``frozenset`` values.
+
+    Set iteration order depends on insertion history and on the
+    per-process string-hash salt (``PYTHONHASHSEED``), so two runs of the
+    same seed can visit elements -- and therefore schedule events or draw
+    variates -- in different orders.  Iterate ``sorted(...)`` instead.
+    """
+
+    id = "SIM003"
+    title = "iteration over an unordered set"
+    rationale = (
+        "Set iteration order varies across processes (hash salting) and "
+        "insertion histories; any draw or event scheduled per-element "
+        "becomes run-dependent. Iterate sorted(...) or use a dict/list."
+    )
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._scopes: list[dict[str, bool]] = [{}]
+
+    # -- set-typed expression detection --------------------------------
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SET_BUILTINS:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self._is_set_expr(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            for scope in reversed(self._scopes):
+                if node.id in scope:
+                    return scope[node.id]
+            return False
+        return False
+
+    @staticmethod
+    def _is_set_annotation(node: ast.AST) -> bool:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        name = dotted_name(node)
+        return name in {"set", "frozenset", "Set", "FrozenSet", "typing.Set",
+                        "typing.FrozenSet", "AbstractSet", "typing.AbstractSet"}
+
+    # -- scope tracking -------------------------------------------------
+    def _visit_scope(self, node: ast.AST) -> None:
+        self._scopes.append({})
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_scope
+    visit_AsyncFunctionDef = _visit_scope
+    visit_ClassDef = _visit_scope
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._scopes[-1][target.id] = is_set
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self._scopes[-1][node.target.id] = self._is_set_annotation(
+                node.annotation
+            ) or (node.value is not None and self._is_set_expr(node.value))
+        self.generic_visit(node)
+
+    # -- iteration sites ------------------------------------------------
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if self._is_set_expr(iter_node):
+            self.report(
+                iter_node,
+                "iteration over a set is unordered and run-dependent; "
+                "iterate sorted(...) or a deterministic sequence instead",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for comp in node.generators:  # type: ignore[attr-defined]
+            self._check_iter(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in {"list", "tuple", "enumerate"}
+            and node.args
+        ):
+            self._check_iter(node.args[0])
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# SIM006 -- exact equality against the float simulation clock
+# ----------------------------------------------------------------------
+@register
+class EnvNowEqualityRule(Rule):
+    """Flag ``==`` / ``!=`` against ``env.now``."""
+
+    id = "SIM006"
+    title = "exact equality comparison against env.now"
+    rationale = (
+        "env.now is a float accumulated from event timestamps; exact "
+        "equality silently stops matching when a delay decomposes "
+        "differently. Compare with >= / <= or an explicit tolerance."
+    )
+
+    @staticmethod
+    def _is_env_now(node: ast.AST) -> bool:
+        if not (isinstance(node, ast.Attribute) and node.attr == "now"):
+            return False
+        base = dotted_name(node.value)
+        return base is not None and base.split(".")[-1] in {"env", "_env"}
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        sides = [node.left, *node.comparators]
+        for op, (lhs, rhs) in zip(node.ops, zip(sides, sides[1:])):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                self._is_env_now(lhs) or self._is_env_now(rhs)
+            ):
+                self.report(
+                    node,
+                    "exact ==/!= against env.now; floats on the simulation "
+                    "clock need >=/<= or an explicit tolerance",
+                )
+        self.generic_visit(node)

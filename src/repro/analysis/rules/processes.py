@@ -1,0 +1,158 @@
+"""Process-body rules: Interrupt safety and resource leak detection.
+
+Simulation processes are plain generator functions, so both rules key on
+"does this function's own body yield" (:func:`is_generator_function`) --
+helpers that never run on simulated time are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    Rule,
+    dotted_name,
+    function_scope_walk,
+    is_generator_function,
+    register,
+)
+
+__all__ = ["BroadExceptRule", "AcquireReleaseRule"]
+
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _exception_names(type_node: ast.AST | None) -> list[str]:
+    if type_node is None:
+        return []
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    out = []
+    for node in nodes:
+        name = dotted_name(node)
+        if name is not None:
+            out.append(name.split(".")[-1])
+    return out
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains a bare ``raise``."""
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for stmt in handler.body
+        for node in function_scope_walk(stmt)
+    ) or any(
+        isinstance(stmt, ast.Raise) and stmt.exc is None for stmt in handler.body
+    )
+
+
+@register
+class BroadExceptRule(Rule):
+    """Flag broad ``except`` clauses inside generator processes.
+
+    :class:`repro.sim.engine.Interrupt` subclasses ``Exception``, so a
+    ``try: ... except Exception: pass`` inside a process silently eats the
+    interrupt another process threw -- the interrupted process keeps
+    running and the interruptor's assumption is violated.  Catch specific
+    exceptions, or re-raise with a bare ``raise``.
+    """
+
+    id = "SIM004"
+    title = "broad except in a simulation process"
+    rationale = (
+        "Interrupt subclasses Exception; a bare/broad except inside a "
+        "generator process swallows interrupts thrown by other processes. "
+        "Catch specific exceptions or re-raise."
+    )
+
+    def _visit_function(self, node) -> None:
+        if is_generator_function(node):
+            for child in function_scope_walk(node):
+                if not isinstance(child, ast.ExceptHandler):
+                    continue
+                names = _exception_names(child.type)
+                broad = child.type is None or any(
+                    name in _BROAD_NAMES for name in names
+                )
+                if broad and not _reraises(child):
+                    what = (
+                        "bare except"
+                        if child.type is None
+                        else f"except {' | '.join(names)}"
+                    )
+                    self.report(
+                        child,
+                        f"{what} in a generator process would swallow "
+                        "sim.engine.Interrupt; catch specific exceptions or "
+                        "re-raise",
+                    )
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+
+@register
+class AcquireReleaseRule(Rule):
+    """Flag ``x.acquire()`` in a process with no ``x.release()`` in a finally.
+
+    If the process fails (or is interrupted) between acquire and release,
+    the slot leaks for the rest of the run: capacity shrinks and every
+    later sample of queue depth and latency is silently skewed.  The safe
+    shape is::
+
+        yield resource.acquire()
+        try:
+            ...
+        finally:
+            resource.release()
+
+    Protocols that intentionally hand a held slot to another process must
+    carry a documented ``# ursalint: disable=SIM005`` suppression.
+    """
+
+    id = "SIM005"
+    title = "acquire() without release() in a finally"
+    rationale = (
+        "A process failing between acquire and release leaks the slot for "
+        "the rest of the run, skewing capacity, queue depths and latency. "
+        "Release in a finally, or document the ownership handoff."
+    )
+
+    def _visit_function(self, node) -> None:
+        if is_generator_function(node):
+            acquires: list[tuple[str, ast.Call]] = []
+            released_in_finally: set[str] = set()
+            for child in function_scope_walk(node):
+                if isinstance(child, ast.Call) and isinstance(
+                    child.func, ast.Attribute
+                ):
+                    if child.func.attr == "acquire":
+                        receiver = dotted_name(child.func.value) or ast.unparse(
+                            child.func.value
+                        )
+                        acquires.append((receiver, child))
+                elif isinstance(child, ast.Try):
+                    for stmt in child.finalbody:
+                        for sub in ast.walk(stmt):
+                            if (
+                                isinstance(sub, ast.Call)
+                                and isinstance(sub.func, ast.Attribute)
+                                and sub.func.attr == "release"
+                            ):
+                                receiver = dotted_name(
+                                    sub.func.value
+                                ) or ast.unparse(sub.func.value)
+                                released_in_finally.add(receiver)
+            for receiver, call in acquires:
+                if receiver not in released_in_finally:
+                    self.report(
+                        call,
+                        f"{receiver}.acquire() has no {receiver}.release() "
+                        "in a finally block of this process; a failure or "
+                        "interrupt between them leaks the slot",
+                    )
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function

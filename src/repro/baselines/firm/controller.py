@@ -202,19 +202,21 @@ class FirmManager:
         """Mean wall-clock seconds for a full per-service decision pass."""
         now = self.app.env.now
         t0 = max(0.0, now - self.control_interval_s)
-        start = time.perf_counter()
+        # Table VI probe: real compute cost of a decision, not simulated time.
+        start = time.perf_counter()  # ursalint: disable=SIM001 -- Table VI probe
         for _ in range(repeats):
             for service in self.agents:
                 self.decide(service, t0, now)
+        # ursalint: disable=SIM001 -- Table VI probe
         return (time.perf_counter() - start) / repeats
 
     def time_update(self, iterations: int = 1) -> float:
         """Wall-clock seconds for online RL update iterations (Table VI)."""
-        start = time.perf_counter()
+        start = time.perf_counter()  # ursalint: disable=SIM001 -- Table VI probe
         for _ in range(iterations):
             for agent in self.agents.values():
                 agent.update()
-        return time.perf_counter() - start
+        return time.perf_counter() - start  # ursalint: disable=SIM001 -- Table VI probe
 
     def step(self) -> None:
         now = self.app.env.now

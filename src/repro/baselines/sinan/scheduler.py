@@ -134,9 +134,11 @@ class SinanManager:
 
     def time_decision(self, repeats: int = 10) -> float:
         """Mean wall-clock seconds per decision (Table VI)."""
-        start = time.perf_counter()
+        # Table VI probe: real compute cost of a decision, not simulated time.
+        start = time.perf_counter()  # ursalint: disable=SIM001 -- Table VI probe
         for _ in range(repeats):
             self.decide()
+        # ursalint: disable=SIM001 -- Table VI probe
         return (time.perf_counter() - start) / repeats
 
     def step(self) -> None:

@@ -20,6 +20,7 @@ Absolute numbers depend on the host; the shape to reproduce is
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.baselines.autoscaler import StepAutoscaler, auto_a
@@ -35,8 +36,6 @@ from repro.workload.generator import LoadGenerator
 from repro.workload.patterns import ConstantLoad
 
 __all__ = ["ControlPlaneLatency", "run_table06"]
-
-import time
 
 
 @dataclass

@@ -303,14 +303,20 @@ class Microservice:
         if replica is None:
             replica = yield from self._pick_replica()
             replica.inflight += 1
+            # The thread slot is released mid-protocol (after the RPC legs,
+            # before the daemon leg) rather than in a finally: holding it
+            # through the daemon handoff would model the wrong concurrency.
+            # ursalint: disable=SIM005 -- deliberate mid-protocol release below
             yield replica.threads.acquire(priority=request.priority)
 
         # Local processing: occupy one core for the sampled work.
         work = self._sample_work(request.request_class)
         ptime = work / self.speed_factor
         yield replica.cpu.acquire(priority=request.priority)
-        yield env.timeout(ptime)
-        replica.cpu.release()
+        try:
+            yield env.timeout(ptime)
+        finally:
+            replica.cpu.release()
         replica.busy_time += ptime
 
         child_dones: list[Event] = []
@@ -340,6 +346,7 @@ class Microservice:
             # Hand off to a daemon thread; dispatch blocks (holding the
             # worker thread) when the daemon pool is exhausted -- the
             # event-driven backpressure path.
+            # ursalint: disable=SIM005 -- released after the event-driven leg
             yield replica.daemons.acquire(priority=request.priority)
             daemon_held = True
 
@@ -391,6 +398,9 @@ class Microservice:
             # The pulled message is owned by this replica from here on; it
             # counts as in-flight so scale-down drains wait for it.
             replica.inflight += 1
+            # Slot ownership transfers to the _execute process spawned below,
+            # which releases it; a finally here would double-release.
+            # ursalint: disable=SIM005 -- ownership handed to _execute
             yield replica.threads.acquire(priority=request.priority)
             response = env.event()
             env.process(

@@ -1,0 +1,16 @@
+"""API001 fixture: None defaults and default_factory; must be clean."""
+
+from dataclasses import dataclass, field
+
+
+def submit(request, tags=None, options=None):
+    tags = [] if tags is None else tags
+    options = {} if options is None else options
+    tags.append(request)
+    return tags, options
+
+
+@dataclass
+class Deployment:
+    name: str = "web"
+    replicas: list = field(default_factory=list)

@@ -1,0 +1,14 @@
+"""API001 fixture: mutable defaults; must be flagged."""
+
+from dataclasses import dataclass
+
+
+def submit(request, tags=[], options={}):
+    tags.append(request)
+    return tags, options
+
+
+@dataclass
+class Deployment:
+    name: str = "web"
+    replicas: list = []

@@ -1,0 +1,7 @@
+"""SIM001 fixture: simulated time only; must be clean."""
+
+
+def sample_service_time(env):
+    started = env.now
+    yield env.timeout(1.0)
+    return env.now - started

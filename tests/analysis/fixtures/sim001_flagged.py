@@ -1,0 +1,11 @@
+"""SIM001 fixture: wall-clock reads that must be flagged."""
+
+import time
+from datetime import datetime
+
+
+def sample_service_time():
+    started = time.time()
+    elapsed = time.perf_counter() - started
+    stamp = datetime.now()
+    return elapsed, stamp

@@ -1,0 +1,14 @@
+"""SIM002 fixture: named streams and explicit seeding; must be clean."""
+
+import numpy as np
+
+
+def jitter(streams):
+    rng = streams.stream("fixture:jitter")
+    return rng.uniform(0.0, 1.0)
+
+
+def explicit_generator(seed):
+    # An explicitly seeded generator is reproducible; only the *global*
+    # state (np.random.seed / argless default_rng) is banned.
+    return np.random.default_rng(np.random.SeedSequence(entropy=seed))

@@ -1,0 +1,10 @@
+"""SIM002 fixture: global RNG state that must be flagged."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    np.random.seed(0)
+    return random.random() + np.random.uniform(0.0, 1.0)

@@ -1,0 +1,10 @@
+"""SIM003 fixture: sorted iteration and order-free set use; must be clean."""
+
+
+def restart_services(app, names):
+    pending = set(names) - set(app.started)
+    if "frontend" in pending:  # membership tests are order-free
+        app.restart("frontend")
+    for service in sorted(pending):
+        app.restart(service)
+    return len(pending)

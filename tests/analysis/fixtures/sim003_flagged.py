@@ -1,0 +1,8 @@
+"""SIM003 fixture: set iteration that must be flagged."""
+
+
+def restart_services(app, names):
+    pending = set(names) - set(app.started)
+    for service in pending:
+        app.restart(service)
+    return [name.upper() for name in {"a", "b"} | pending]

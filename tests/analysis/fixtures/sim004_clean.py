@@ -1,0 +1,30 @@
+"""SIM004 fixture: precise excepts / re-raise / non-process code; clean."""
+
+
+def worker_loop(env, queue):
+    while True:
+        try:
+            item = yield queue.get()
+        except KeyError:  # specific exceptions are fine
+            continue
+        except Exception:
+            log_failure()
+            raise  # re-raising keeps Interrupt flowing
+        yield env.timeout(item.cost)
+
+
+def load_config(path):
+    # Not a generator: broad excepts outside process bodies are allowed
+    # (they cannot swallow an Interrupt).
+    try:
+        return parse(path)
+    except Exception:
+        return None
+
+
+def log_failure():
+    pass
+
+
+def parse(path):
+    return path

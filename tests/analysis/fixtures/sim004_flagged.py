@@ -1,0 +1,18 @@
+"""SIM004 fixture: broad excepts in generator processes; must be flagged."""
+
+
+def worker_loop(env, queue):
+    while True:
+        try:
+            item = yield queue.get()
+        except Exception:  # swallows Interrupt
+            continue
+        yield env.timeout(item.cost)
+
+
+def drain(env, store):
+    try:
+        while True:
+            yield store.get()
+    except:  # noqa: E722 -- the point of the fixture
+        pass

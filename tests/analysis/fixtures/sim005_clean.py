@@ -1,0 +1,16 @@
+"""SIM005 fixture: release in a finally; must be clean."""
+
+
+def handle_request(env, replica, request):
+    yield replica.threads.acquire(priority=request.priority)
+    try:
+        yield env.timeout(request.work)
+    finally:
+        replica.threads.release()
+
+
+def plain_helper(lock):
+    # Not a generator: threading-style acquire outside a process body is
+    # out of scope for SIM005.
+    lock.acquire()
+    lock.release()

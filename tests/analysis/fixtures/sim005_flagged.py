@@ -1,0 +1,7 @@
+"""SIM005 fixture: acquire without release-in-finally; must be flagged."""
+
+
+def handle_request(env, replica, request):
+    yield replica.threads.acquire(priority=request.priority)
+    yield env.timeout(request.work)
+    replica.threads.release()  # leaks if the timeout is interrupted

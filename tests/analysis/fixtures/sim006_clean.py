@@ -1,0 +1,9 @@
+"""SIM006 fixture: ordered comparisons against env.now; must be clean."""
+
+
+def is_deadline(env, deadline):
+    return env.now >= deadline
+
+
+def within(env, t0, t1):
+    return t0 <= env.now < t1

@@ -1,0 +1,11 @@
+"""SIM006 fixture: exact equality against env.now; must be flagged."""
+
+
+def is_deadline(env, deadline):
+    if env.now == deadline:
+        return True
+    return self_check(env) and env.now != deadline
+
+
+def self_check(env):
+    return True

@@ -1,0 +1,16 @@
+"""Suppression fixture: every violation carries a disable comment; clean."""
+
+import time
+
+
+def probe():
+    start = time.perf_counter()  # ursalint: disable=SIM001 -- wall probe
+    # ursalint: disable=SIM001 -- standalone comment covers the next line
+    return time.perf_counter() - start
+
+
+def multi(names):
+    # ursalint: disable=SIM003, SIM001 -- comma-separated list
+    for name in set(names):
+        probe_at = time.time()  # ursalint: disable=SIM001
+        yield name, probe_at

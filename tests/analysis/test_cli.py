@@ -1,0 +1,77 @@
+"""CLI behaviour: exit codes, reporters, rule selection."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_flagged_fixture_exits_nonzero(capsys):
+    code = main([str(FIXTURES / "sim001_flagged.py")])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "SIM001" in out
+    assert "sim001_flagged.py:" in out  # file:line diagnostics
+
+
+def test_every_flagged_fixture_exits_nonzero(capsys):
+    flagged = sorted(FIXTURES.glob("*_flagged.py"))
+    assert len(flagged) >= 7
+    for fixture in flagged:
+        assert main([str(fixture)]) == 1, fixture.name
+    capsys.readouterr()
+
+
+def test_clean_fixture_exits_zero(capsys):
+    assert main([str(FIXTURES / "sim001_clean.py")]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_json_reporter(capsys):
+    code = main([str(FIXTURES / "sim006_flagged.py"), "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    rules = {f["rule"] for f in payload["findings"]}
+    assert rules == {"SIM006"}
+    first = payload["findings"][0]
+    assert set(first) == {"path", "line", "col", "rule", "message"}
+
+
+def test_select_limits_rules(capsys):
+    code = main([str(FIXTURES / "sim002_flagged.py"), "--select", "SIM001"])
+    assert code == 0  # file has SIM002 violations but only SIM001 selected
+    capsys.readouterr()
+
+
+def test_ignore_drops_rules(capsys):
+    code = main([str(FIXTURES / "sim002_flagged.py"), "--ignore", "SIM002"])
+    assert code == 0
+    capsys.readouterr()
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    code = main([str(FIXTURES / "sim001_clean.py"), "--select", "XYZ123"])
+    assert code == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(capsys):
+    assert main([str(FIXTURES / "does_not_exist.py")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SIM001", "SIM006", "API001"):
+        assert rule_id in out
+
+
+def test_show_policy(capsys):
+    assert main(["--show-policy", "src/repro/experiments/x.py"]) == 0
+    out = capsys.readouterr().out
+    assert "profile=experiments" in out
+    assert "SIM001" not in out.split("rules=")[1]

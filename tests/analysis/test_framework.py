@@ -1,0 +1,117 @@
+"""Framework behaviour: suppressions, policy selection, helpers."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintError,
+    lint_file,
+    lint_source,
+    profile_for_path,
+    registry,
+)
+from repro.analysis.policy import (
+    EXPERIMENTS_ALLOWLIST,
+    SIM_PATH_PACKAGES,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+# ----------------------------------------------------------------------
+# Inline suppressions
+# ----------------------------------------------------------------------
+def test_suppressions_fixture_is_fully_clean():
+    assert lint_file(FIXTURES / "suppressions.py") == []
+
+
+def test_trailing_suppression_silences_only_that_line():
+    source = (
+        "import time\n"
+        "a = time.time()  # ursalint: disable=SIM001\n"
+        "b = time.time()\n"
+    )
+    findings = lint_source(source, "x.py", rule_ids=["SIM001"])
+    assert [f.line for f in findings] == [3]
+
+
+def test_standalone_suppression_covers_next_line():
+    source = (
+        "import time\n"
+        "# ursalint: disable=SIM001 -- reason\n"
+        "a = time.time()\n"
+    )
+    assert lint_source(source, "x.py", rule_ids=["SIM001"]) == []
+
+
+def test_suppression_of_other_rule_does_not_silence():
+    source = "import time\na = time.time()  # ursalint: disable=SIM003\n"
+    findings = lint_source(source, "x.py", rule_ids=["SIM001"])
+    assert len(findings) == 1
+
+
+def test_comma_separated_suppressions():
+    source = (
+        "import time\n"
+        "for x in set([1]):  # ursalint: disable=SIM003,SIM001\n"
+        "    pass\n"
+    )
+    assert lint_source(source, "x.py", rule_ids=["SIM001", "SIM003"]) == []
+
+
+# ----------------------------------------------------------------------
+# Policy
+# ----------------------------------------------------------------------
+def test_sim_path_packages_get_every_rule():
+    for package in sorted(SIM_PATH_PACKAGES):
+        profile = profile_for_path(f"src/repro/{package}/module.py")
+        assert profile.rules == frozenset(registry()), package
+
+
+def test_experiments_profile_allowlists_wall_clock():
+    profile = profile_for_path("src/repro/experiments/runner.py")
+    assert profile.rules == frozenset(registry()) - EXPERIMENTS_ALLOWLIST
+    assert "SIM001" not in profile.rules
+    assert "SIM002" in profile.rules
+
+
+def test_paths_outside_repro_get_strict_profile():
+    profile = profile_for_path("tests/analysis/fixtures/sim001_flagged.py")
+    assert profile.rules == frozenset(registry())
+
+
+def test_policy_applies_when_linting_experiments_source():
+    source = "import time\nwall = time.perf_counter()\n"
+    assert lint_source(source, "src/repro/experiments/fake.py") == []
+    assert lint_source(source, "src/repro/core/fake.py") != []
+
+
+# ----------------------------------------------------------------------
+# Errors and plumbing
+# ----------------------------------------------------------------------
+def test_syntax_error_raises_lint_error():
+    with pytest.raises(LintError, match="syntax error"):
+        lint_source("def broken(:\n", "bad.py")
+
+
+def test_unknown_rule_id_raises_lint_error():
+    with pytest.raises(LintError, match="unknown rule"):
+        lint_source("x = 1\n", "x.py", rule_ids=["NOPE999"])
+
+
+def test_findings_are_sorted_and_renderable():
+    source = "import time\nb = time.time()\na = time.time()\n"
+    findings = lint_source(source, "x.py", rule_ids=["SIM001"])
+    assert findings == sorted(findings)
+    assert findings[0].render() == "x.py:2:4: SIM001 " + findings[0].message
+    assert findings[0].to_dict()["rule"] == "SIM001"
+    assert isinstance(findings[0], Finding)
+
+
+def test_registry_metadata_complete():
+    for rule_id, rule_cls in registry().items():
+        assert rule_cls.id == rule_id
+        assert rule_cls.title, rule_id
+        assert rule_cls.rationale, rule_id

@@ -1,0 +1,57 @@
+"""Every rule: at least one flagged and one clean fixture."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_file, registry
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> (fixture that must trip it, fixture that must not).
+RULE_FIXTURES = {
+    "SIM001": ("sim001_flagged.py", "sim001_clean.py"),
+    "SIM002": ("sim002_flagged.py", "sim002_clean.py"),
+    "SIM003": ("sim003_flagged.py", "sim003_clean.py"),
+    "SIM004": ("sim004_flagged.py", "sim004_clean.py"),
+    "SIM005": ("sim005_flagged.py", "sim005_clean.py"),
+    "SIM006": ("sim006_flagged.py", "sim006_clean.py"),
+    "API001": ("api001_flagged.py", "api001_clean.py"),
+}
+
+
+def test_every_registered_rule_has_fixtures():
+    assert set(RULE_FIXTURES) == set(registry())
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_flagged_fixture_trips_rule(rule_id):
+    flagged, _ = RULE_FIXTURES[rule_id]
+    findings = lint_file(FIXTURES / flagged, rule_ids=[rule_id])
+    assert findings, f"{flagged} should trip {rule_id}"
+    assert all(f.rule == rule_id for f in findings)
+    assert all(f.line > 0 and f.message for f in findings)
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_clean_fixture_passes_rule(rule_id):
+    _, clean = RULE_FIXTURES[rule_id]
+    findings = lint_file(FIXTURES / clean, rule_ids=[rule_id])
+    assert findings == [], f"{clean} should be clean for {rule_id}: {findings}"
+
+
+def test_flagged_fixture_counts():
+    """Pin the exact number of violations each flagged fixture contains."""
+    expected = {
+        "SIM001": 3,  # time.time, time.perf_counter, datetime.now
+        "SIM002": 3,  # np.random.seed, random.random, np.random.uniform
+        "SIM003": 2,  # for-loop over set expr, comprehension over set union
+        "SIM004": 2,  # except Exception, bare except
+        "SIM005": 1,  # acquire without finally-release
+        "SIM006": 2,  # == and != against env.now
+        "API001": 3,  # two arg defaults + dataclass field
+    }
+    for rule_id, count in expected.items():
+        flagged, _ = RULE_FIXTURES[rule_id]
+        findings = lint_file(FIXTURES / flagged, rule_ids=[rule_id])
+        assert len(findings) == count, (rule_id, findings)

@@ -1,0 +1,20 @@
+"""The CI gate: the entire source tree passes ursalint.
+
+If this test fails, either fix the violation or -- for an intentional,
+explainable case -- add ``# ursalint: disable=RULE -- reason`` on the
+offending line and document it (see docs/static_analysis.md).
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_source_tree_is_clean():
+    findings, files_checked = lint_paths([SRC])
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"ursalint found violations:\n{rendered}"
+    # Sanity: the walk really covered the tree (not an empty directory).
+    assert files_checked > 80

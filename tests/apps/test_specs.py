@@ -6,7 +6,6 @@ from repro.apps import (
     CHAIN_CLASS,
     MEDIA_SERVICE_SLAS,
     SOCIAL_NETWORK_SLAS,
-    VIDEO_PIPELINE_SLAS,
     build_chain_spec,
     build_media_service_spec,
     build_social_network_spec,

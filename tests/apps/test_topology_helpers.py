@@ -5,7 +5,7 @@ import pytest
 from repro.apps.topology import Application, AppSpec, RequestClass, SlaSpec
 from repro.cluster import Cluster, Node
 from repro.errors import ConfigurationError, TopologyError
-from repro.net.messages import Call, CallMode
+from repro.net.messages import Call
 from repro.services.spec import ServiceSpec
 from repro.sim import Constant, Environment, RandomStreams
 

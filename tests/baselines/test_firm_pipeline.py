@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps.topology import AppSpec, Application, RequestClass, SlaSpec
-from repro.baselines.firm import FirmAgent, FirmManager, train_firm_agents
+from repro.baselines.firm import FirmManager, train_firm_agents
 from repro.cluster import Cluster, Node
 from repro.errors import ConfigurationError
 from repro.net.messages import Call, CallMode

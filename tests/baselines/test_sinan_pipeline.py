@@ -4,7 +4,6 @@ import pytest
 
 from repro.apps.topology import AppSpec, Application, RequestClass, SlaSpec
 from repro.baselines.sinan import (
-    FeatureSchema,
     SinanDataCollector,
     SinanManager,
     SinanPredictor,

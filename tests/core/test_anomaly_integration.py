@@ -9,7 +9,7 @@ from repro.core.optimizer import ScalingThreshold
 from repro.errors import ConfigurationError
 from repro.net.messages import Call
 from repro.services.spec import ServiceSpec
-from repro.sim import Constant, Environment, LogNormal, RandomStreams
+from repro.sim import Environment, LogNormal, RandomStreams
 from repro.workload import ConstantLoad, LoadGenerator, RequestMix
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments.report import render_heatmap, render_series, render_table
-from repro.experiments.runner import ScaleProfile, scale_profile
+from repro.experiments.runner import scale_profile
 
 
 def test_render_table_alignment():

@@ -1,6 +1,5 @@
 """Tests for the results digest."""
 
-from pathlib import Path
 
 from repro.experiments.summary import ORDER, summarize
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TopologyError
-from repro.net.messages import Call, CallMode, Request
+from repro.net.messages import Call, Request
 from repro.net.mq import MessageQueue
 from repro.sim import Environment
 

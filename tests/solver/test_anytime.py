@@ -1,7 +1,6 @@
 """Tests for the solver's anytime (node-limited) behaviour."""
 
 import numpy as np
-import pytest
 
 from repro.solver import AllocationModel, ClassSla, ServiceOptions, solve
 
