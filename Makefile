@@ -1,6 +1,6 @@
 # Convenience targets for the Ursa reproduction.
 
-.PHONY: install test lint bench bench-full clean-cache results loc
+.PHONY: install test test-par lint bench bench-full perf clean-cache results loc
 
 install:
 	pip install -e .
@@ -8,14 +8,24 @@ install:
 test:
 	pytest tests/
 
+# Unit tests across all cores (requires pytest-xdist from the dev extras).
+test-par:
+	pytest tests/ -n auto
+
 # Style (ruff) + determinism invariants (ursalint, see docs/static_analysis.md).
 lint:
 	ruff check src tests benchmarks
-	PYTHONPATH=src python -m repro.analysis src/
+	PYTHONPATH=src python -m repro.analysis src/ benchmarks/
 
 # Regenerates every paper table/figure; writes rendered output to results/.
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Performance microbenchmarks: engine events/sec and runner parallel
+# speedup -> BENCH_engine.json / BENCH_runner.json (docs/performance.md).
+perf:
+	PYTHONPATH=src python benchmarks/perf/bench_engine.py
+	PYTHONPATH=src python benchmarks/perf/bench_runner.py
 
 # Paper-length runs (hours).
 bench-full:

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Runner benchmark: one deployment's wall cost + parallel grid speedup.
+
+Two measurements of the experiment layer (the engine microbenchmark is
+``bench_engine.py``):
+
+* ``deployment`` -- one quick-scale social-network deployment under Ursa
+  (the workhorse cell of Figs. 11-13): simulated seconds per wall second.
+* ``grid`` -- a quick fig11/12 subgrid (vanilla social network, two
+  loads, three managers = 6 cells) run sequentially (``jobs=1``) and
+  fanned out (``--jobs``, default: all visible CPUs), recording the
+  wall-clock speedup and verifying the merged tables are identical.
+
+Artefact caches are prewarmed before timing so the numbers measure the
+runs, not one-time exploration/training builds.  Results are written to
+``BENCH_runner.json`` with the machine's CPU count -- the parallel
+speedup is bounded by the cores actually available (on a 1-CPU CI
+container it is ~1.0 by construction; on >= 4 cores the 6-cell grid
+shows >= 2x).
+
+Run:  PYTHONPATH=src python benchmarks/perf/bench_runner.py [jobs]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+# Wall-clock timing is the point of this benchmark (see the benchmarks/
+# perf lint profile in repro.analysis.policy and docs/performance.md).
+import time
+from pathlib import Path
+
+from repro.experiments import artifacts
+from repro.experiments.fig11_12_performance import run_cell, run_performance_grid
+from repro.experiments.parallel import default_jobs
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+OUTPUT = REPO_ROOT / "BENCH_runner.json"
+
+GRID_APP = "vanilla-social-network"
+GRID_LOADS = ("constant", "dynamic")
+#: ML managers are excluded so the grid measures deployments, not
+#: (cached) Sinan/Firm training.
+GRID_MANAGERS = ("ursa", "auto-a", "auto-b")
+
+#: Reference numbers from the container this suite was first recorded on
+#: (1 CPU; see the ``cpus`` field of the written JSON).  Quick-scale
+#: seconds of wall clock; compare trends, not absolutes, across machines.
+RECORDED_BASELINE = {
+    "deployment_wall_seconds": 10.0,
+    "grid_sequential_seconds": 64.0,
+}
+
+
+def bench_deployment() -> dict:
+    artifacts.exploration_result("social-network")  # prewarm
+    start = time.perf_counter()
+    result = run_cell("social-network", "constant", "ursa", seed=23)
+    wall = time.perf_counter() - start
+    sim_seconds = result.metrics.duration_s
+    return {
+        "app": "social-network",
+        "load": "constant",
+        "manager": "ursa",
+        "sim_seconds": sim_seconds,
+        "wall_seconds": round(wall, 2),
+        "sim_seconds_per_wall_second": round(sim_seconds / wall, 1),
+    }
+
+
+def bench_grid(jobs: int) -> dict:
+    artifacts.exploration_result(GRID_APP)  # prewarm
+    start = time.perf_counter()
+    sequential = run_performance_grid(
+        (GRID_APP,), GRID_LOADS, GRID_MANAGERS, seed=23, jobs=1
+    )
+    sequential_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_performance_grid(
+        (GRID_APP,), GRID_LOADS, GRID_MANAGERS, seed=23, jobs=jobs
+    )
+    parallel_s = time.perf_counter() - start
+    identical = (
+        sequential.violation_table() == parallel.violation_table()
+        and sequential.cpu_table() == parallel.cpu_table()
+    )
+    return {
+        "apps": [GRID_APP],
+        "loads": list(GRID_LOADS),
+        "managers": list(GRID_MANAGERS),
+        "cells": len(GRID_LOADS) * len(GRID_MANAGERS),
+        "jobs": jobs,
+        "sequential_seconds": round(sequential_s, 2),
+        "parallel_seconds": round(parallel_s, 2),
+        "speedup": round(sequential_s / parallel_s, 3),
+        "outputs_identical": identical,
+    }
+
+
+def main() -> int:
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else max(4, default_jobs())
+    deployment = bench_deployment()
+    grid = bench_grid(jobs)
+    payload = {
+        "benchmark": "runner-deployment-and-parallel-grid",
+        "cpus": default_jobs(),
+        "recorded_baseline": RECORDED_BASELINE,
+        "deployment": deployment,
+        "grid": grid,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"[saved to {OUTPUT}]")
+    if not grid["outputs_identical"]:
+        print("ERROR: parallel grid output differs from sequential", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

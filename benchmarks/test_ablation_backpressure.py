@@ -11,69 +11,28 @@ enforced and with it disabled (threshold = 1.0) -- and compares:
   deploying with each profile and comparing predicted vs measured
   latency.  Without the stop, options recorded in the backpressure zone
   violate the independence assumption and the bound degrades.
+
+The sweep itself lives in :mod:`repro.experiments.ablations` so its
+variants can fan out across processes.
 """
 
 from conftest import run_once
 
-from repro.core.exploration import ExplorationController
 from repro.experiments import artifacts
-from repro.experiments.report import render_table
-from repro.experiments.runner import scale_profile
-from repro.sim.random import RandomStreams
-from repro.workload.defaults import default_mix_for
-
-APP = "vanilla-social-network"
-SERVICE = "timeline-service"
-
-
-def explore_variant(threshold: float, salt: int):
-    profile = scale_profile()
-    controller = ExplorationController(
-        RandomStreams(777),
-        window_s=profile.exploration_window_s,
-        samples_per_step=profile.exploration_samples_per_step,
-        warmup_s=profile.exploration_warmup_s,
-        settle_s=profile.exploration_settle_s,
-    )
-    spec = artifacts.app_spec(APP)
-    mix = default_mix_for(APP)
-    return controller.explore_service(
-        spec, SERVICE, mix, artifacts.app_rps(APP), threshold, seed_salt=salt
-    )
-
-
-def run_ablation():
-    bp = artifacts.backpressure_thresholds(APP).get(SERVICE, 0.6)
-    enforced = explore_variant(bp, salt=1)
-    disabled = explore_variant(1.0, salt=2)
-    rows = [
-        (
-            label,
-            len(p.options),
-            f"{max(o.utilization for o in p.options):.2f}",
-            f"{max(o.max_lpr() for o in p.options):.1f}",
-            p.terminated_by,
-        )
-        for label, p in (("enforced", enforced), ("disabled", disabled))
-    ]
-    table = render_table(
-        ["variant", "options", "max_util_recorded", "max_lpr_rps", "stopped_by"],
-        rows,
-        title=(
-            f"Ablation: backpressure-free stop for {SERVICE} "
-            f"(threshold={bp:.2f})"
-        ),
-    )
-    return table, enforced, disabled
+from repro.experiments.ablations import (
+    ABLATION_APP,
+    BP_SERVICE,
+    run_backpressure_ablation,
+)
 
 
 def test_ablation_backpressure(benchmark, save_result):
-    table, enforced, disabled = run_once(benchmark, run_ablation)
+    table, enforced, disabled = run_once(benchmark, run_backpressure_ablation)
     save_result("ablation_backpressure", table)
     max_util_enforced = max(o.utilization for o in enforced.options)
     max_util_disabled = max(o.utilization for o in disabled.options)
     # The enforced variant never records options in the backpressure zone.
-    bp = artifacts.backpressure_thresholds(APP).get(SERVICE, 0.6)
+    bp = artifacts.backpressure_thresholds(ABLATION_APP).get(BP_SERVICE, 0.6)
     assert max_util_enforced < bp + 0.05
     # Disabling the stop explores deeper (or at least as deep) into the
     # utilisation range -- the unsafe region Ursa deliberately avoids.

@@ -6,83 +6,18 @@ can only *increase* the optimal resource cost; a finer grid refines it at
 higher solve cost.  The sweep derives coarser grids as column subsets of
 the exploration grid (the latency data is shared), so objectives are
 directly comparable.
-"""
 
-import time
+The sweep itself lives in :mod:`repro.experiments.ablations` so its
+cells can fan out across processes.
+"""
 
 from conftest import run_once
 
-from repro.errors import InfeasibleModelError
-from repro.experiments import artifacts
-from repro.experiments.report import render_table
-from repro.solver import AllocationModel, ClassSla, ServiceOptions, solve
-from repro.stats.distributions import DEFAULT_PERCENTILE_GRID
-from repro.workload.defaults import default_mix_for
-
-APP = "vanilla-social-network"
-
-#: Column subsets of the default exploration grid
-#: (50, 75, 85, 90, 95, 99, 99.5, 99.9).
-SUBSETS = {
-    "coarse-2": (0, 7),                   # {50, 99.9}
-    "mid-4": (0, 4, 5, 7),                # {50, 95, 99, 99.9}
-    "full-8": (0, 1, 2, 3, 4, 5, 6, 7),
-}
-
-
-def build_model(subset: tuple[int, ...]) -> AllocationModel:
-    import numpy as np
-
-    from repro.core.optimizer import OptimizationEngine
-
-    exploration = artifacts.exploration_result(APP)
-    spec = artifacts.app_spec(APP)
-    mix = default_mix_for(APP)
-    rps = artifacts.app_rps(APP)
-    class_loads = {c: rps * mix.fraction(c) for c in mix.classes()}
-    engine = OptimizationEngine(DEFAULT_PERCENTILE_GRID)
-    full = engine.build_model(spec, exploration, class_loads)
-    grid = [DEFAULT_PERCENTILE_GRID[i] for i in subset]
-    services = [
-        ServiceOptions(
-            name=s.name,
-            resources=s.resources,
-            latency={j: np.asarray(m)[:, list(subset)] for j, m in s.latency.items()},
-        )
-        for s in full.services
-    ]
-    slas = [ClassSla(c.name, c.percentile, c.target_s) for c in full.slas]
-    return AllocationModel(services, slas, grid)
-
-
-def sweep():
-    rows = []
-    objectives = {}
-    for name, subset in SUBSETS.items():
-        model = build_model(subset)
-        start = time.perf_counter()
-        try:
-            solution = solve(model)
-            objective = solution.objective
-            nodes = solution.nodes_explored
-        except InfeasibleModelError:
-            objective = float("inf")
-            nodes = 0
-        wall_ms = (time.perf_counter() - start) * 1000.0
-        objectives[name] = objective
-        rows.append(
-            (name, len(subset), f"{objective:.1f}", nodes, f"{wall_ms:.1f}")
-        )
-    table = render_table(
-        ["grid", "h", "objective_cpus", "bnb_nodes", "solve_ms"],
-        rows,
-        title="Ablation: percentile grid resolution",
-    )
-    return table, objectives
+from repro.experiments.ablations import run_grid_ablation
 
 
 def test_ablation_grid(benchmark, save_result):
-    table, objectives = run_once(benchmark, sweep)
+    table, objectives = run_once(benchmark, run_grid_ablation)
     save_result("ablation_grid", table)
     # A finer grid's feasible splits are a superset of a coarser grid's,
     # so the optimum can only improve (or stay) as the grid refines.

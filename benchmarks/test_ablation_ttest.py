@@ -10,74 +10,18 @@ hypothetical lower-count load NOT to "exceed" the threshold -- is frozen,
 because under alpha ~ 1 everything exceeds everything.  The net effect is
 over-allocation with no SLA benefit; the t-test is what makes safe
 scale-in possible at all.
+
+The sweep itself lives in :mod:`repro.experiments.ablations` so its
+variants can fan out across processes.
 """
 
 from conftest import run_once
 
-from repro.core.manager import UrsaManager
-from repro.experiments import artifacts
-from repro.experiments.report import render_table
-from repro.experiments.runner import make_app, scale_profile
-from repro.sim.random import RandomStreams
-from repro.workload.defaults import default_mix_for
-from repro.workload.generator import LoadGenerator
-from repro.workload.patterns import ConstantLoad
-
-APP = "vanilla-social-network"
-
-
-def run_variant(alpha: float, seed: int = 41):
-    profile = scale_profile()
-    duration = profile.deployment_s
-    spec = artifacts.app_spec(APP)
-    mix = default_mix_for(APP)
-    rps = artifacts.app_rps(APP)
-    exploration = artifacts.exploration_result(APP)
-    app = make_app(spec, seed=seed)
-    app.env.run(until=10)
-    manager = UrsaManager(app, exploration)
-    manager.controller.alpha = alpha
-    manager.initialize({c: rps * mix.fraction(c) for c in mix.classes()})
-    manager.start()
-    LoadGenerator(
-        app, ConstantLoad(rps), mix, RandomStreams(seed + 1), stop_at_s=duration
-    ).start()
-    app.env.run(until=duration)
-    return {
-        "decisions": len(manager.controller.decisions),
-        "violations": app.windowed_violation_rate(
-            profile.measure_from_s, duration
-        ),
-        "cpus": app.mean_cpu_allocation(profile.measure_from_s, duration),
-    }
-
-
-def run_ablation():
-    with_ttest = run_variant(alpha=0.05)
-    naive = run_variant(alpha=0.9999)
-    table = render_table(
-        ["variant", "scaling_decisions", "violation_rate", "mean_cpus"],
-        [
-            (
-                "welch t-test (a=0.05)",
-                with_ttest["decisions"],
-                f"{with_ttest['violations']:.3f}",
-                f"{with_ttest['cpus']:.1f}",
-            ),
-            (
-                "naive comparison (a~1)",
-                naive["decisions"],
-                f"{naive['violations']:.3f}",
-                f"{naive['cpus']:.1f}",
-            ),
-        ],
-        title="Ablation: t-test noise filtering in the resource controller",
-    )
-    return table, with_ttest, naive
+from repro.experiments.ablations import run_ttest_ablation
 
 
 def test_ablation_ttest(benchmark, save_result):
-    table, with_ttest, naive = run_once(benchmark, run_ablation)
+    table, with_ttest, naive = run_once(benchmark, run_ttest_ablation)
     save_result("ablation_ttest", table)
     # The naive variant cannot scale in (every comparison "exceeds"), so
     # it allocates at least as many CPUs for the same workload.

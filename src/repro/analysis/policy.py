@@ -5,9 +5,12 @@ feeds variates into) an :class:`~repro.sim.engine.Environment` -- get the
 strict determinism profile: every rule enabled.  ``repro.experiments`` is
 the control plane of the reproduction itself: its harnesses legitimately
 measure wall-clock time (Table VI control-plane latency, benchmark wall
-seconds), so the wall-clock rule SIM001 is allowlisted there.  Files
-outside the ``repro`` package (tests, fixtures, scripts) get the strict
-profile too -- determinism bugs in test helpers are still bugs.
+seconds), so the wall-clock rule SIM001 is allowlisted there.  The same
+applies to ``benchmarks/perf/``: its probes time the *kernel itself*
+(events/sec, parallel speedup), so wall-clock reads are the entire point
+-- see docs/performance.md.  Files outside those trees (tests, fixtures,
+scripts) get the strict profile -- determinism bugs in test helpers are
+still bugs.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from repro.analysis.core import registry
 
 __all__ = [
     "EXPERIMENTS_ALLOWLIST",
+    "PERF_BENCH_ALLOWLIST",
     "Profile",
     "SIM_PATH_PACKAGES",
     "profile_for_path",
@@ -47,6 +51,12 @@ SIM_PATH_PACKAGES = frozenset(
 #: point of Table VI; runner wall-second reporting is diagnostics only).
 EXPERIMENTS_ALLOWLIST = frozenset({"SIM001"})
 
+#: Rules disabled for the performance microbenchmarks under
+#: ``benchmarks/perf/`` -- they measure real execution speed of the
+#: kernel and runner (BENCH_engine.json / BENCH_runner.json), so
+#: wall-clock timing is their purpose, not an accident.
+PERF_BENCH_ALLOWLIST = frozenset({"SIM001"})
+
 
 @dataclass(frozen=True)
 class Profile:
@@ -68,13 +78,27 @@ def experiments_profile() -> Profile:
     return Profile("experiments", _all_rules() - EXPERIMENTS_ALLOWLIST)
 
 
+def perf_bench_profile() -> Profile:
+    return Profile("perf-bench", _all_rules() - PERF_BENCH_ALLOWLIST)
+
+
 def strict_profile() -> Profile:
     return Profile("strict", _all_rules())
 
 
 def profile_for_path(path: str | Path) -> Profile:
-    """The lint profile for ``path``, from its package under ``repro``."""
+    """The lint profile for ``path``, from its package under ``repro``.
+
+    ``benchmarks/perf/`` files (kernel/runner timing probes) get the
+    perf-bench profile; ``benchmarks/`` files outside ``perf/`` remain
+    strict -- their timing goes through pytest-benchmark, not wall-clock
+    reads of their own.
+    """
     parts = Path(path).parts
+    if "benchmarks" in parts:
+        rest = parts[len(parts) - 1 - parts[::-1].index("benchmarks"):]
+        if len(rest) > 1 and rest[1] == "perf":
+            return perf_bench_profile()
     if "repro" in parts:
         rest = parts[len(parts) - 1 - parts[::-1].index("repro"):]
         package = rest[1] if len(rest) > 1 else ""

@@ -12,16 +12,29 @@ Modules:
 * :mod:`repro.experiments.fig14_service_change` -- Fig. 14 / §VII-G.
 
 Shared infrastructure: :mod:`repro.experiments.runner` (deployment loop,
-scale profiles), :mod:`repro.experiments.artifacts` (cached exploration
-data and trained baselines), :mod:`repro.experiments.managers` (manager
-factories), :mod:`repro.experiments.report` (table/series rendering).
+scale profiles), :mod:`repro.experiments.parallel` (process-pool fan-out
+for independent runs), :mod:`repro.experiments.artifacts` (cached
+exploration data and trained baselines), :mod:`repro.experiments.managers`
+(manager factories), :mod:`repro.experiments.report` (table/series
+rendering), :mod:`repro.experiments.ablations` (design-knockout sweeps).
 """
 
+from repro.experiments.parallel import RunPlan, partition_seeds, run_many
 from repro.experiments.runner import (
+    DeploymentMetrics,
     DeploymentResult,
     ScaleProfile,
     run_deployment,
     scale_profile,
 )
 
-__all__ = ["DeploymentResult", "ScaleProfile", "run_deployment", "scale_profile"]
+__all__ = [
+    "DeploymentMetrics",
+    "DeploymentResult",
+    "RunPlan",
+    "ScaleProfile",
+    "partition_seeds",
+    "run_deployment",
+    "run_many",
+    "scale_profile",
+]

@@ -10,6 +10,7 @@ regeneration.
 
 from __future__ import annotations
 
+import os
 import pickle
 from pathlib import Path
 from typing import Callable
@@ -69,11 +70,22 @@ def cache_dir() -> Path:
 def _cached(key: str, build: Callable[[], object]):
     path = cache_dir() / f"{key}-{scale_profile().name}.pkl"
     if path.exists():
-        with path.open("rb") as fh:
-            return pickle.load(fh)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            # A truncated/corrupt cache entry (e.g. an interrupted write
+            # by an older, non-atomic writer) is a miss, not an error.
+            path.unlink(missing_ok=True)
     artefact = build()
-    with path.open("wb") as fh:
+    # Write-to-temp + atomic rename: parallel workers (or two concurrent
+    # benchmark processes) racing on the same key each publish a complete
+    # file; a reader never sees a half-written pickle.  Builders are
+    # deterministic, so last-writer-wins is harmless.
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    with tmp.open("wb") as fh:
         pickle.dump(artefact, fh)
+    os.replace(tmp, path)
     return artefact
 
 

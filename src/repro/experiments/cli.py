@@ -3,6 +3,10 @@
 Runs a single paper experiment and prints its rendered tables/series --
 convenient for exploring results without pytest.  Expensive shared
 artefacts are cached exactly as in the benchmarks (``.repro_cache/``).
+
+Grid-style experiments (``fig11-12``, ``fig13``, ``fig14``, ``table05``)
+fan their independent runs out across ``--jobs`` worker processes via
+:mod:`repro.experiments.parallel`; output is identical for any job count.
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ EXPERIMENTS = (
 )
 
 
-def _run(name: str, apps: list[str] | None) -> str:
+def _run(name: str, apps: list[str] | None, jobs: int | None) -> str:
     if name == "fig02":
         from repro.experiments.fig02_backpressure import run_all_chains
 
@@ -38,7 +42,7 @@ def _run(name: str, apps: list[str] | None) -> str:
     if name == "table05":
         from repro.experiments.table05_exploration import run_table05
 
-        return run_table05().render()
+        return run_table05(jobs=jobs).render()
     if name == "fig09":
         from repro.experiments.fig09_10_model_accuracy import (
             FIG9_CLASSES,
@@ -63,13 +67,14 @@ def _run(name: str, apps: list[str] | None) -> str:
                 "vanilla-social-network",
                 "media-service",
                 "video-pipeline",
-            )
+            ),
+            jobs=jobs,
         )
         return grid.violation_table() + "\n\n" + grid.cpu_table()
     if name == "fig13":
         from repro.experiments.fig13_diurnal import run_diurnal_trace
 
-        return run_diurnal_trace().render()
+        return run_diurnal_trace(jobs=jobs).render()
     if name == "table06":
         from repro.experiments.table06_control_plane import run_table06
 
@@ -77,7 +82,7 @@ def _run(name: str, apps: list[str] | None) -> str:
     if name == "fig14":
         from repro.experiments.fig14_service_change import run_service_change
 
-        return run_service_change().render()
+        return run_service_change(jobs=jobs).render()
     if name == "summary":
         from repro.experiments.summary import summarize
 
@@ -96,9 +101,22 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated application subset (fig11-12 only)",
         default=None,
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for grid experiments (default: scheduler-"
+            "visible CPU count, or the REPRO_JOBS env var); results are "
+            "identical for any value"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     apps = args.apps.split(",") if args.apps else None
-    print(_run(args.experiment, apps))
+    print(_run(args.experiment, apps, args.jobs))
     return 0
 
 

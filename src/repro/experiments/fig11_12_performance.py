@@ -28,6 +28,7 @@ from repro.experiments.managers import (
     attach_sinan,
     attach_ursa,
 )
+from repro.experiments.parallel import RunPlan, partition_seeds, run_many
 from repro.experiments.report import render_table
 from repro.experiments.runner import DeploymentResult, run_deployment, scale_profile
 from repro.workload.defaults import default_mix_for, skewed_mixes
@@ -127,17 +128,56 @@ def run_cell(
     )
 
 
+def _prewarm_artifacts(apps: tuple[str, ...], managers: tuple[str, ...]) -> None:
+    """Build shared cached artefacts in the parent before forking workers.
+
+    Exploration results / trained baselines land in ``.repro_cache`` once
+    here, so N workers read the cache instead of racing to rebuild the
+    same artefact N times.
+    """
+    for app_name in apps:
+        artifacts.app_spec(app_name)
+        if "ursa" in managers:
+            artifacts.exploration_result(app_name)
+        if "sinan" in managers:
+            artifacts.sinan_predictor(app_name)
+        if "firm" in managers:
+            artifacts.firm_agents(app_name)
+
+
 def run_performance_grid(
     apps: tuple[str, ...],
     loads: tuple[str, ...] = LOAD_KINDS,
     managers: tuple[str, ...] = ("ursa", "sinan", "firm", "auto-a", "auto-b"),
     seed: int = 23,
+    jobs: int | None = None,
 ) -> PerformanceGrid:
-    results = {}
-    for app_name in apps:
-        for load_kind in loads:
-            for manager in managers:
-                results[(app_name, load_kind, manager)] = run_cell(
-                    app_name, load_kind, manager, seed=seed
-                )
+    """The full (app x load x manager) grid, fanned out across ``jobs``.
+
+    ``seed`` is a *master* seed: each (app, load) workload cell gets its
+    own seed from :func:`partition_seeds`, shared by all managers of that
+    cell so the five systems face identical request sequences.  The
+    partition depends only on the master seed and the grid shape, so the
+    merged results are identical for any ``jobs`` value.
+    """
+    workloads = [(a, lo) for a in apps for lo in loads]
+    seeds = dict(
+        zip(workloads, partition_seeds(seed, len(workloads), namespace="fig11-12"))
+    )
+    _prewarm_artifacts(apps, managers)
+    keys = [(a, lo, m) for (a, lo) in workloads for m in managers]
+    plans = [
+        RunPlan(
+            run_cell,
+            {
+                "app_name": a,
+                "load_kind": lo,
+                "manager": m,
+                "seed": seeds[(a, lo)],
+            },
+            label=f"fig11-12:{a}:{lo}:{m}",
+        )
+        for (a, lo, m) in keys
+    ]
+    results = dict(zip(keys, run_many(plans, jobs=jobs)))
     return PerformanceGrid(results=results)

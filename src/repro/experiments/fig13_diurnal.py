@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.core.manager import UrsaManager
 from repro.experiments import artifacts
+from repro.experiments.parallel import RunPlan, run_many
 from repro.experiments.report import render_series
 from repro.experiments.runner import make_app, scale_profile
 from repro.sim.random import RandomStreams
@@ -73,6 +74,34 @@ def run_diurnal_trace(
     window_s: float = 60.0,
     seed: int = 29,
     duration_s: float | None = None,
+    jobs: int | None = None,
+) -> DiurnalTrace:
+    """Fig. 13 trace; a single deployment dispatched via ``run_many``.
+
+    There is only one run, so ``jobs`` cannot speed it up -- routing it
+    through the parallel layer keeps the CLI uniform (every experiment
+    accepts ``--jobs``) and exercises the picklability of the trace.
+    """
+    plan = RunPlan(
+        _diurnal_cell,
+        {
+            "app_name": app_name,
+            "services": services,
+            "window_s": window_s,
+            "seed": seed,
+            "duration_s": duration_s,
+        },
+        label=f"fig13:{app_name}",
+    )
+    return run_many([plan], jobs=jobs)[0]
+
+
+def _diurnal_cell(
+    app_name: str,
+    services: tuple[str, ...],
+    window_s: float,
+    seed: int,
+    duration_s: float | None,
 ) -> DiurnalTrace:
     profile = scale_profile()
     duration = duration_s if duration_s is not None else profile.deployment_s * 1.5

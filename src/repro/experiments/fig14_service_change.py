@@ -19,6 +19,7 @@ from repro.apps.social_network import swap_object_detect_model
 from repro.core.exploration import ExplorationController, ExplorationResult
 from repro.core.manager import UrsaManager
 from repro.experiments import artifacts
+from repro.experiments.parallel import RunPlan, run_many
 from repro.experiments.report import render_series
 from repro.experiments.runner import make_app, scale_profile
 from repro.sim.random import RandomStreams
@@ -104,20 +105,14 @@ def _deploy_and_measure(
     )
 
 
-def run_service_change(seed: int = 37) -> ServiceChangeResult:
+def _explore_changed_service(spec, seed: int):
+    """Partial re-exploration of the changed service (§VII-G).
+
+    Returns ``(profile, f_sla)`` -- the controller's SLA-violation
+    threshold is needed by the caller to report the violation rate
+    incurred while the exploration ran.
+    """
     profile = scale_profile()
-    original_spec = artifacts.app_spec("social-network")
-    updated_spec = swap_object_detect_model(original_spec)
-    mix = default_mix_for("social-network")
-    rps = artifacts.app_rps("social-network")
-
-    # Full exploration (cached) drives the original deployment.
-    full_exploration = artifacts.exploration_result("social-network")
-    original = _deploy_and_measure(
-        original_spec, full_exploration, "original (DETR)", seed
-    )
-
-    # Partial re-exploration: only the modified service is profiled.
     controller = ExplorationController(
         RandomStreams(seed + 11),
         window_s=profile.exploration_window_s,
@@ -125,14 +120,53 @@ def run_service_change(seed: int = 37) -> ServiceChangeResult:
         warmup_s=profile.exploration_warmup_s,
         settle_s=profile.exploration_settle_s,
     )
+    mix = default_mix_for("social-network")
+    rps = artifacts.app_rps("social-network")
     thresholds = artifacts.backpressure_thresholds("social-network")
     partial = controller.explore_service(
-        updated_spec,
+        spec,
         CHANGED_SERVICE,
         mix,
         rps,
         thresholds.get(CHANGED_SERVICE, 1.0),
         seed_salt=seed,
+    )
+    return partial, controller.f_sla
+
+
+def run_service_change(seed: int = 37, jobs: int | None = None) -> ServiceChangeResult:
+    original_spec = artifacts.app_spec("social-network")
+    updated_spec = swap_object_detect_model(original_spec)
+
+    # Full exploration (cached) drives the original deployment; build
+    # shared artefacts in the parent before forking workers.
+    full_exploration = artifacts.exploration_result("social-network")
+    artifacts.backpressure_thresholds("social-network")
+
+    # The original-deployment measurement and the partial re-exploration
+    # are independent (the paper runs the exploration *on* the live
+    # deployment; here both are simulated from the same initial state),
+    # so they fan out as two plans.  Seeds are explicit per plan, so the
+    # result is identical for any ``jobs``.
+    original, (partial, f_sla) = run_many(
+        [
+            RunPlan(
+                _deploy_and_measure,
+                {
+                    "spec": original_spec,
+                    "exploration": full_exploration,
+                    "label": "original (DETR)",
+                    "seed": seed,
+                },
+                label="fig14:original",
+            ),
+            RunPlan(
+                _explore_changed_service,
+                {"spec": updated_spec, "seed": seed},
+                label="fig14:partial-exploration",
+            ),
+        ],
+        jobs=jobs,
     )
     merged = ExplorationResult(
         app_name=updated_spec.name,
@@ -148,9 +182,7 @@ def run_service_change(seed: int = 37) -> ServiceChangeResult:
     # terminating step's violations are part of the run; approximate with
     # the termination cause (a terminating "sla" step means the last
     # samples violated at >= F_sla).
-    partial_violation = (
-        controller.f_sla if partial.terminated_by == "sla" else 0.0
-    )
+    partial_violation = f_sla if partial.terminated_by == "sla" else 0.0
     return ServiceChangeResult(
         partial_samples=partial.samples_collected,
         partial_time_s=partial.profiling_time_s,

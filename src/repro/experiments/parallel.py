@@ -1,0 +1,126 @@
+"""Process-pool fan-out for independent experiment runs.
+
+Every grid-style §VII reproduction is a set of *independent* deployment
+runs (one per app × load × manager cell): each run owns its own
+:class:`~repro.sim.engine.Environment`, cluster, and random streams, so
+runs can execute in separate worker processes without sharing state.
+This module provides the fan-out primitive:
+
+* :class:`RunPlan` -- a picklable description of one run: a module-level
+  callable plus keyword arguments.  Closures cannot cross process
+  boundaries, so plans must reference importable functions (e.g.
+  :func:`repro.experiments.fig11_12_performance.run_cell`).
+* :func:`run_many` -- execute plans on a :class:`ProcessPoolExecutor`
+  and return their results *in plan order*, so tables rendered from the
+  merged results are byte-identical to a sequential run.
+* :func:`partition_seeds` -- derive one independent seed per plan from a
+  master seed via :class:`~repro.sim.random.RandomStreams`, independent
+  of the job count, so ``--jobs 4`` and ``--jobs 1`` produce identical
+  output for the same master seed.
+
+Determinism contract: parallelism only changes *where* a run executes,
+never *what* it computes.  Each plan's seed is fixed up front by
+:func:`partition_seeds` (or by the caller), results are merged in plan
+order, and worker processes import the same code the parent would run.
+
+``jobs=1`` (or a single plan) short-circuits to plain in-process
+execution -- no pool, no pickling -- which keeps single-core containers
+and debuggers (breakpoints do not survive fork) on the simple path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.sim.random import RandomStreams
+
+__all__ = ["RunPlan", "run_many", "partition_seeds", "default_jobs"]
+
+#: Environment variable overriding the default worker count (useful for
+#: CI runners whose ``os.cpu_count()`` exceeds their actual quota).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """One unit of work for :func:`run_many`.
+
+    ``fn`` must be picklable by reference (defined at module top level);
+    ``kwargs`` must contain only picklable values.  ``label`` is for
+    progress reporting only and never affects results.
+    """
+
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def __call__(self) -> Any:
+        return self.fn(**self.kwargs)
+
+
+def default_jobs() -> int:
+    """Worker count used when the caller does not pass ``jobs``.
+
+    ``REPRO_JOBS`` wins if set; otherwise the scheduler-visible CPU
+    count (``sched_getaffinity`` respects container quotas better than
+    ``os.cpu_count()``), floored at 1.
+    """
+    override = os.environ.get(JOBS_ENV_VAR)
+    if override is not None:
+        jobs = int(override)
+        if jobs < 1:
+            raise ValueError(f"{JOBS_ENV_VAR} must be >= 1, got {jobs}")
+        return jobs
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # non-Linux platforms
+        return max(1, os.cpu_count() or 1)
+
+
+def partition_seeds(master_seed: int, n: int, namespace: str = "run") -> list[int]:
+    """``n`` independent per-run seeds derived from ``master_seed``.
+
+    Drawn from a dedicated :class:`RandomStreams` stream keyed by
+    ``namespace``, so the partition depends only on ``(master_seed, n,
+    namespace)`` -- never on the job count or execution order.  Plans
+    that share a workload (e.g. the five managers of one app × load
+    cell) should share one partitioned seed so every manager faces an
+    identical request sequence.
+    """
+    if n < 0:
+        raise ValueError(f"cannot partition seeds for n={n} runs")
+    rng = RandomStreams(master_seed).stream(f"parallel:{namespace}")
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=n)]
+
+
+def _execute(plan: RunPlan) -> Any:
+    return plan.fn(**plan.kwargs)
+
+
+def run_many(
+    plans: Sequence[RunPlan],
+    jobs: int | None = None,
+) -> list[Any]:
+    """Execute ``plans`` and return their results in plan order.
+
+    ``jobs=None`` uses :func:`default_jobs`; ``jobs=1`` runs sequentially
+    in-process.  Worker processes are capped at ``len(plans)`` so short
+    grids do not pay pool-spinup cost for idle workers.  Results come
+    back in the order plans were given regardless of completion order,
+    which is what makes parallel output byte-identical to sequential.
+    """
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    plans = list(plans)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs == 1 or len(plans) <= 1:
+        return [plan() for plan in plans]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(plans))) as pool:
+        futures = [pool.submit(_execute, plan) for plan in plans]
+        # result() in submission order == plan order; completion order
+        # is irrelevant to the merged output.
+        return [future.result() for future in futures]

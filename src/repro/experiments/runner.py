@@ -22,10 +22,17 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 from repro.sim.engine import Environment
 from repro.sim.random import RandomStreams
+from repro.stats.distributions import EmpiricalDistribution
 from repro.workload.generator import LoadGenerator
 from repro.workload.mixes import RequestMix
 
-__all__ = ["ScaleProfile", "scale_profile", "DeploymentResult", "run_deployment"]
+__all__ = [
+    "ScaleProfile",
+    "scale_profile",
+    "DeploymentMetrics",
+    "DeploymentResult",
+    "run_deployment",
+]
 
 
 @dataclass(frozen=True)
@@ -100,9 +107,37 @@ DEFAULT_RPS = {
 }
 
 
+@dataclass(frozen=True)
+class DeploymentMetrics:
+    """Serializable telemetry bundle extracted from a finished run.
+
+    ``run_deployment`` used to hand back the live :class:`Application`
+    (whose annotation lied about its ``None`` default, and whose
+    Environment/generator graph cannot be pickled).  Instead, everything
+    downstream consumers may want to inspect is extracted over the
+    measurement window before the simulation state is dropped, so results
+    can cross process boundaries in :mod:`repro.experiments.parallel`.
+    """
+
+    #: Measurement window (simulated seconds) the summaries cover.
+    measure_from_s: float
+    duration_s: float
+    #: Request class -> pooled end-to-end latency distribution (the
+    #: paper's ``t(x)`` histograms) over the measurement window.
+    latency_by_class: dict[str, EmpiricalDistribution]
+    #: Service -> mean CPUs allocated over the measurement window.
+    cpu_by_service: dict[str, float]
+    #: Service -> replica count at the end of the run.
+    final_replicas: dict[str, int]
+
+
 @dataclass
 class DeploymentResult:
-    """Outcome of one managed deployment run."""
+    """Outcome of one managed deployment run.
+
+    Plain data end to end -- picklable so results can be returned from
+    worker processes by :func:`repro.experiments.parallel.run_many`.
+    """
 
     app_name: str
     manager: str
@@ -112,7 +147,7 @@ class DeploymentResult:
     per_class_violation_rate: dict[str, float]
     completed_requests: int
     wall_seconds: float
-    app: Application = field(repr=False, default=None)
+    metrics: DeploymentMetrics | None = field(repr=False, default=None)
 
 
 def make_app(
@@ -163,11 +198,24 @@ def run_deployment(
     wall_start = time.perf_counter()
     app.env.run(until=duration)
     wall = time.perf_counter() - wall_start
-    completed = sum(
-        app.hub.latency_distribution(
+    latency_by_class = {
+        rc.name: app.hub.latency_distribution(
             "request_latency", measure_from, duration, {"request": rc.name}
-        ).count
+        )
         for rc in spec.request_classes
+    }
+    metrics = DeploymentMetrics(
+        measure_from_s=measure_from,
+        duration_s=duration,
+        latency_by_class=latency_by_class,
+        cpu_by_service={
+            name: app.hub.gauge_mean(
+                "cpu_allocated", measure_from, duration,
+                {"service": name}, default=0.0,
+            )
+            for name in app.services
+        },
+        final_replicas={name: app.replicas(name) for name in app.services},
     )
     return DeploymentResult(
         app_name=spec.name,
@@ -178,7 +226,7 @@ def run_deployment(
         per_class_violation_rate=app.per_class_violation_rate(
             measure_from, duration
         ),
-        completed_requests=completed,
+        completed_requests=sum(d.count for d in latency_by_class.values()),
         wall_seconds=wall,
-        app=app,
+        metrics=metrics,
     )

@@ -15,12 +15,24 @@ when the event it waits on fires.  The engine provides:
 The engine is deterministic: events scheduled at the same simulated time
 fire in scheduling order (a monotonically increasing sequence number breaks
 ties), so runs with the same seed are exactly reproducible.
+
+Performance notes: this kernel is the hot path of every experiment --
+a full-scale deployment run spends nearly all of its wall-clock here --
+so the implementation trades a little prose for speed.  All event classes
+use ``__slots__``; the succeed/schedule path is inlined (one attribute
+chase and one ``heappush`` instead of nested method calls); processes
+cache their generator's bound ``send``/``throw`` and their own ``_resume``
+callback instead of recreating bound methods per wait.  None of this
+changes scheduling order: the queue still holds ``(time, priority, seq,
+event)`` tuples and the same-seed byte-identical trace regression in
+``tests/sim/test_determinism.py`` pins the contract.  Benchmarked by
+``benchmarks/perf/bench_engine.py`` (results in ``BENCH_engine.json``).
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Generator, Iterable
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable
 
 __all__ = [
@@ -66,6 +78,8 @@ class Event:
     event by yielding it from its generator.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: list[Callable[["Event"], None]] | None = []
@@ -105,7 +119,9 @@ class Event:
         self._ok = True
         self._value = value
         self._state = _TRIGGERED
-        self.env._schedule(self)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        _heappush(env._queue, (env._now, 1, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -117,15 +133,18 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = _TRIGGERED
-        self.env._schedule(self)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        _heappush(env._queue, (env._now, 1, seq, self))
         return self
 
     def _add_callback(self, callback: Callable[["Event"], None]) -> None:
-        if self.callbacks is None:
+        callbacks = self.callbacks
+        if callbacks is None:
             # Already processed: run at once (still at current sim time).
             callback(self)
         else:
-            self.callbacks.append(callback)
+            callbacks.append(callback)
 
     def __repr__(self) -> str:
         state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
@@ -135,15 +154,22 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ plus scheduling: timeouts are by far the
+        # most frequently created event, so the constructor chain matters.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._state = _TRIGGERED
-        env._schedule(self, delay=delay)
+        self._defused = False
+        self.delay = delay
+        env._seq = seq = env._seq + 1
+        _heappush(env._queue, (env._now + delay, 1, seq, self))
 
 
 class _ConditionValue(dict):
@@ -152,6 +178,8 @@ class _ConditionValue(dict):
 
 class _Condition(Event):
     """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("_events", "_fired")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -167,9 +195,9 @@ class _Condition(Event):
     def _on_fire(self, event: Event) -> None:
         if self._state != _PENDING:
             return
-        if not event.ok:
+        if not event._ok:
             event._defused = True
-            self.fail(event.value)
+            self.fail(event._value)
             return
         self._fired.append(event)
         if self._satisfied():
@@ -177,7 +205,7 @@ class _Condition(Event):
             value = _ConditionValue()
             for ev in self._events:
                 if id(ev) in fired:
-                    value[ev] = ev.value
+                    value[ev] = ev._value
             self.succeed(value)
 
     def _satisfied(self) -> bool:
@@ -187,12 +215,16 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Fires when at least one of the given events has fired."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return len(self._fired) >= 1
 
 
 class AllOf(_Condition):
     """Fires when all of the given events have fired."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return len(self._fired) == len(self._events)
@@ -212,18 +244,26 @@ class Process(Event):
             result = yield env.process(child(env))
     """
 
+    __slots__ = ("_generator", "_target", "_send", "_throw", "_resume_cb")
+
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
         self._target: Event | None = None
+        # Bound methods are cached once: creating them per resume/wait is
+        # a measurable cost at millions of events per run.
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
         # Bootstrap: resume the process at the current time.
         init = Event(env)
         init._ok = True
         init._state = _TRIGGERED
-        env._schedule(init)
-        init._add_callback(self._resume)
+        env._seq = seq = env._seq + 1
+        _heappush(env._queue, (env._now, 1, seq, init))
+        init.callbacks.append(self._resume_cb)
 
     @property
     def is_alive(self) -> bool:
@@ -240,34 +280,39 @@ class Process(Event):
             raise SimulationError("cannot interrupt a finished process")
         if self._target is self.env.active_process:
             raise SimulationError("a process cannot interrupt itself")
-        interrupt_event = Event(self.env)
+        env = self.env
+        interrupt_event = Event(env)
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
         interrupt_event._state = _TRIGGERED
-        self.env._schedule(interrupt_event, priority=0)
-        interrupt_event._add_callback(self._resume)
+        env._seq = seq = env._seq + 1
+        _heappush(env._queue, (env._now, 0, seq, interrupt_event))
+        interrupt_event.callbacks.append(self._resume_cb)
 
     def _resume(self, event: Event) -> None:
         if self._state != _PENDING:
             return  # process already finished (e.g. interrupt raced finish)
         env = self.env
         # Detach from the previous target if we were interrupted away.
-        if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target is not event:
+            target_callbacks = target.callbacks
+            if target_callbacks is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    target_callbacks.remove(self._resume_cb)
                 except ValueError:
                     pass
         self._target = None
         env._active_process = self
+        send = self._send
         while True:
             try:
-                if event.ok:
-                    next_event = self._generator.send(event.value)
+                if event._ok:
+                    next_event = send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._generator.throw(event.value)
+                    next_event = self._throw(event._value)
             except StopIteration as stop:
                 env._active_process = None
                 self.succeed(stop.value)
@@ -276,7 +321,12 @@ class Process(Event):
                 env._active_process = None
                 self.fail(exc)
                 return
-            if not isinstance(next_event, Event):
+            # Only Event subclasses carry a `callbacks` slot, so the
+            # attribute probe doubles as the is-this-an-event check without
+            # paying for isinstance() on every yield.
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
                 env._active_process = None
                 self.fail(
                     SimulationError(
@@ -284,14 +334,17 @@ class Process(Event):
                     )
                 )
                 return
-            if next_event.callbacks is not None:
-                # Event still pending or triggered-not-processed: wait.
-                self._target = next_event
-                next_event._add_callback(self._resume)
-                env._active_process = None
-                return
-            # Event already processed -- continue immediately with its value.
-            event = next_event
+            # Fast path: an already-processed event (callbacks handed out
+            # and discarded) resumes the generator immediately with its
+            # value, without a queue round-trip.
+            if callbacks is None:
+                event = next_event
+                continue
+            # Event still pending or triggered-not-processed: wait.
+            self._target = next_event
+            callbacks.append(self._resume_cb)
+            env._active_process = None
+            return
 
 
 class Environment:
@@ -344,7 +397,7 @@ class Environment:
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        _heappush(self._queue, (self._now + delay, priority, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -359,12 +412,11 @@ class Environment:
         """
         if not self._queue:
             raise SimulationError("step() on an empty schedule")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        when, _priority, _seq, event = _heappop(self._queue)
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None
         event._state = _PROCESSED
-        assert callbacks is not None
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
@@ -377,26 +429,86 @@ class Environment:
         ``until`` may be a simulation time (run to that time), an
         :class:`Event` (run until it fires and return its value), or ``None``
         (run until no events remain).
+
+        With an event, the schedule may drain before the event ever
+        triggers (no process can fire it any more); that is reported as a
+        :class:`SimulationError` rather than returning silently.
         """
+        queue = self._queue
+        # When step() is not overridden (the only subclass hook, used by
+        # trace-recording environments), inline its body into the drain
+        # loops: one Python method call per event is measurable at the
+        # millions-of-events scale of a deployment run.  The inlined body
+        # is identical to step() minus the empty-schedule guard, which the
+        # loop conditions already establish.
+        inline = type(self).step is Environment.step
+        step = self.step
         if isinstance(until, Event):
             stop = until
-            while not stop.processed and self._queue:
-                self.step()
-            if not stop.triggered:
-                raise SimulationError("run(until=event): event never fired")
-            if not stop.ok:
-                raise stop.value
-            return stop.value
+            if inline:
+                while stop._state != _PROCESSED and queue:
+                    when, _priority, _seq, event = _heappop(queue)
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._state = _PROCESSED
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        raise exc if isinstance(exc, BaseException) else (
+                            SimulationError(repr(exc))
+                        )
+            else:
+                while stop._state != _PROCESSED and queue:
+                    step()
+            if stop._state == _PENDING:
+                raise SimulationError(
+                    "run(until=event): schedule drained but the event never fired"
+                )
+            if not stop._ok:
+                raise stop._value
+            return stop._value
         if until is not None:
             horizon = float(until)
             if horizon < self._now:
                 raise SimulationError(
                     f"run(until={horizon}) is in the past (now={self._now})"
                 )
-            while self._queue and self._queue[0][0] <= horizon:
-                self.step()
+            if inline:
+                while queue and queue[0][0] <= horizon:
+                    when, _priority, _seq, event = _heappop(queue)
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._state = _PROCESSED
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        raise exc if isinstance(exc, BaseException) else (
+                            SimulationError(repr(exc))
+                        )
+            else:
+                while queue and queue[0][0] <= horizon:
+                    step()
             self._now = horizon
             return None
-        while self._queue:
-            self.step()
+        if inline:
+            while queue:
+                when, _priority, _seq, event = _heappop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._state = _PROCESSED
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    raise exc if isinstance(exc, BaseException) else (
+                        SimulationError(repr(exc))
+                    )
+        else:
+            while queue:
+                step()
         return None

@@ -15,23 +15,39 @@ Waiters are served lowest-priority-value first, FIFO within a priority
 level, matching the queueing disciplines of the modelled systems (the video
 processing pipeline serves high-priority requests whenever any are
 waiting).
+
+Like the engine, these classes are on the per-event hot path of every
+deployment run: the request/get/put event constructors are inlined (no
+``super().__init__`` chain) and everything uses ``__slots__``.  Scheduling
+semantics are unchanged and pinned by the same-seed trace regression.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any
 
 from repro.sim.engine import Environment, Event, SimulationError
 
 __all__ = ["Resource", "Store", "PriorityStore"]
 
+_PENDING = 0
+_TRIGGERED = 1
+
 
 class _Request(Event):
     """Event representing a pending acquire; fires when granted."""
 
+    __slots__ = ("resource", "priority", "granted", "withdrawn")
+
     def __init__(self, env: Environment, resource: "Resource", priority: int) -> None:
-        super().__init__(env)
+        # Inlined Event.__init__ -- one of these is created per acquire.
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = _PENDING
+        self._defused = False
         self.resource = resource
         self.priority = priority
         self.granted = False
@@ -52,6 +68,8 @@ class Resource:
     number of slots in use (:attr:`in_use`) are exposed for instrumentation
     -- the microservice model uses them to report queue depths.
     """
+
+    __slots__ = ("env", "_capacity", "_in_use", "_seq", "_waiters")
 
     def __init__(self, env: Environment, capacity: int) -> None:
         if capacity < 1:
@@ -84,12 +102,13 @@ class Resource:
             request.succeed(self)
         else:
             self._seq += 1
-            heapq.heappush(self._waiters, (priority, self._seq, request))
+            _heappush(self._waiters, (priority, self._seq, request))
         return request
 
     def _grant_next(self) -> bool:
-        while self._waiters:
-            _, _, request = heapq.heappop(self._waiters)
+        waiters = self._waiters
+        while waiters:
+            _, _, request = _heappop(waiters)
             if request.withdrawn:
                 continue
             request.granted = True
@@ -120,12 +139,27 @@ class Resource:
 
 
 class _StoreGet(Event):
-    pass
+    __slots__ = ()
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = _PENDING
+        self._defused = False
 
 
 class _StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, env: Environment, item: Any) -> None:
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = _PENDING
+        self._defused = False
         self.item = item
 
 
@@ -136,6 +170,8 @@ class Store:
     empty store blocks the caller until an item arrives; ``put`` on a full
     store blocks until space frees up.
     """
+
+    __slots__ = ("env", "capacity", "_items", "_getters", "_putters")
 
     def __init__(self, env: Environment, capacity: int | None = None) -> None:
         if capacity is not None and capacity < 1:
@@ -176,7 +212,7 @@ class Store:
 
     def cancel_get(self, event: _StoreGet) -> None:
         """Withdraw a pending get (no-op if it already fired)."""
-        if not event.triggered:
+        if event._state == _PENDING:
             try:
                 self._getters.remove(event)
             except ValueError:
@@ -191,20 +227,22 @@ class Store:
         return True
 
     def _dispatch(self) -> None:
+        items = self._items
+        getters = self._getters
+        putters = self._putters
+        capacity = self.capacity
         progressed = True
         while progressed:
             progressed = False
             # Move pending puts into the buffer while space remains.
-            while self._putters and (
-                self.capacity is None or len(self._items) < self.capacity
-            ):
-                put = self._putters.pop(0)
+            while putters and (capacity is None or len(items) < capacity):
+                put = putters.pop(0)
                 self._do_put(put.item)
                 put.succeed()
                 progressed = True
             # Hand buffered items to waiting getters.
-            while self._getters and self._items:
-                get = self._getters.pop(0)
+            while getters and items:
+                get = getters.pop(0)
                 get.succeed(self._do_get())
                 progressed = True
 
@@ -217,8 +255,10 @@ class PriorityStore(Store):
     as the video pipeline's high/low-priority streams.
     """
 
+    __slots__ = ()
+
     def _do_put(self, item: Any) -> None:
-        heapq.heappush(self._items, item)
+        _heappush(self._items, item)
 
     def _do_get(self) -> Any:
-        return heapq.heappop(self._items)
+        return _heappop(self._items)

@@ -1,0 +1,16 @@
+"""Fixture: wall-clock timing probe as written under ``benchmarks/perf/``.
+
+Under the perf-bench profile this file is clean (SIM001 allowlisted --
+timing the kernel is the benchmark's purpose); under the strict profile
+both reads below are SIM001 findings.  Keep exactly two wall-clock reads:
+the pinning test counts them.
+"""
+
+import time
+
+
+def measure(workload):
+    start = time.perf_counter()
+    events = workload()
+    elapsed = time.perf_counter() - start
+    return events / elapsed

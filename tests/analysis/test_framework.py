@@ -14,6 +14,7 @@ from repro.analysis import (
 )
 from repro.analysis.policy import (
     EXPERIMENTS_ALLOWLIST,
+    PERF_BENCH_ALLOWLIST,
     SIM_PATH_PACKAGES,
 )
 
@@ -80,6 +81,30 @@ def test_experiments_profile_allowlists_wall_clock():
 def test_paths_outside_repro_get_strict_profile():
     profile = profile_for_path("tests/analysis/fixtures/sim001_flagged.py")
     assert profile.rules == frozenset(registry())
+
+
+def test_perf_bench_profile_allowlists_wall_clock_only():
+    profile = profile_for_path("benchmarks/perf/bench_engine.py")
+    assert profile.name == "perf-bench"
+    assert profile.rules == frozenset(registry()) - PERF_BENCH_ALLOWLIST
+    assert PERF_BENCH_ALLOWLIST == frozenset({"SIM001"})
+
+
+def test_benchmarks_outside_perf_stay_strict():
+    # pytest-benchmark files do their timing through the fixture, not
+    # wall-clock reads of their own; no allowlist applies.
+    profile = profile_for_path("benchmarks/test_fig11_12_performance.py")
+    assert profile.rules == frozenset(registry())
+
+
+def test_perf_bench_fixture_pins_the_policy():
+    fixture = FIXTURES / "perf_bench_wallclock.py"
+    source = fixture.read_text()
+    # Same source, two homes: clean under benchmarks/perf/, two SIM001
+    # findings anywhere else.
+    assert lint_source(source, "benchmarks/perf/bench_probe.py") == []
+    strict = lint_source(source, "benchmarks/test_probe.py")
+    assert [f.rule for f in strict] == ["SIM001", "SIM001"]
 
 
 def test_policy_applies_when_linting_experiments_source():

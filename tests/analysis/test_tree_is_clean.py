@@ -9,7 +9,9 @@ from pathlib import Path
 
 from repro.analysis import lint_paths
 
-SRC = Path(__file__).resolve().parents[2] / "src"
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
+BENCHMARKS = ROOT / "benchmarks"
 
 
 def test_source_tree_is_clean():
@@ -18,3 +20,12 @@ def test_source_tree_is_clean():
     assert findings == [], f"ursalint found violations:\n{rendered}"
     # Sanity: the walk really covered the tree (not an empty directory).
     assert files_checked > 80
+
+
+def test_benchmarks_tree_is_clean():
+    # benchmarks/perf/ gets the perf-bench profile (SIM001 allowlisted);
+    # the pytest-benchmark files are linted strict.
+    findings, files_checked = lint_paths([BENCHMARKS])
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"ursalint found violations:\n{rendered}"
+    assert files_checked > 10

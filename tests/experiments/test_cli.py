@@ -17,11 +17,20 @@ def test_known_names_listed():
 
 def test_run_rejects_bad_name():
     with pytest.raises(ValueError):
-        _run("bogus", None)
+        _run("bogus", None, None)
 
 
 def test_help_exits_zero(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--help"])
     assert excinfo.value.code == 0
-    assert "fig02" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "fig02" in out
+    assert "--jobs" in out
+
+
+def test_jobs_flag_validated():
+    with pytest.raises(SystemExit):
+        main(["fig13", "--jobs", "0"])
+    with pytest.raises(SystemExit):
+        main(["fig13", "--jobs", "not-a-number"])

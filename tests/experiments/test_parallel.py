@@ -1,0 +1,141 @@
+"""Tests for the process-pool experiment fan-out.
+
+The expensive grid experiments are exercised by ``benchmarks/``; here a
+cheap deterministic cell function stands in for ``run_cell`` so the
+determinism contract -- same master seed => identical merged output at
+any job count; different master seeds diverge -- is checked in
+milliseconds.
+"""
+
+import pytest
+
+from repro.experiments.parallel import (
+    RunPlan,
+    default_jobs,
+    partition_seeds,
+    run_many,
+)
+from repro.sim.random import RandomStreams
+
+APPS = ("social-network", "media-service")
+LOADS = ("constant", "dynamic")
+
+
+def cheap_cell(app: str, load: str, seed: int) -> float:
+    """Stand-in for a deployment run: deterministic in (app, load, seed)."""
+    rng = RandomStreams(seed).stream(f"{app}:{load}")
+    return float(rng.random())
+
+
+def cheap_grid(master_seed: int, jobs: int) -> list[tuple[str, str, float]]:
+    """Mirror of run_performance_grid's partition-then-fan-out shape."""
+    workloads = [(a, lo) for a in APPS for lo in LOADS]
+    seeds = dict(
+        zip(workloads, partition_seeds(master_seed, len(workloads), "test-grid"))
+    )
+    plans = [
+        RunPlan(
+            cheap_cell,
+            {"app": a, "load": lo, "seed": seeds[(a, lo)]},
+            label=f"{a}:{lo}",
+        )
+        for (a, lo) in workloads
+    ]
+    results = run_many(plans, jobs=jobs)
+    return [(a, lo, value) for (a, lo), value in zip(workloads, results)]
+
+
+def failing_cell() -> None:
+    raise RuntimeError("boom in worker")
+
+
+# -- seed partitioning -----------------------------------------------------
+
+
+def test_partition_seeds_deterministic():
+    assert partition_seeds(23, 8) == partition_seeds(23, 8)
+
+
+def test_partition_seeds_depend_on_master_seed_and_namespace():
+    assert partition_seeds(23, 4) != partition_seeds(24, 4)
+    assert partition_seeds(23, 4, "a") != partition_seeds(23, 4, "b")
+
+
+def test_partition_seeds_are_prefix_stable():
+    # Growing the grid appends seeds without perturbing existing cells.
+    assert partition_seeds(23, 8)[:4] == partition_seeds(23, 4)
+
+
+def test_partition_seeds_shape_and_range():
+    seeds = partition_seeds(5, 16)
+    assert len(seeds) == 16
+    assert all(isinstance(s, int) and 0 <= s < 2**31 for s in seeds)
+    assert partition_seeds(5, 0) == []
+    with pytest.raises(ValueError):
+        partition_seeds(5, -1)
+
+
+# -- run_many --------------------------------------------------------------
+
+
+def test_jobs4_output_identical_to_jobs1_for_same_master_seed():
+    sequential = cheap_grid(23, jobs=1)
+    parallel = cheap_grid(23, jobs=4)
+    assert parallel == sequential
+
+
+def test_different_master_seeds_diverge():
+    values_a = [v for _, _, v in cheap_grid(23, jobs=4)]
+    values_b = [v for _, _, v in cheap_grid(24, jobs=4)]
+    assert values_a != values_b
+
+
+def test_results_come_back_in_plan_order():
+    plans = [
+        RunPlan(cheap_cell, {"app": "a", "load": "l", "seed": s}, label=str(s))
+        for s in range(8)
+    ]
+    expected = [cheap_cell("a", "l", s) for s in range(8)]
+    assert run_many(plans, jobs=3) == expected
+
+
+def test_run_plan_is_callable():
+    plan = RunPlan(cheap_cell, {"app": "x", "load": "y", "seed": 1})
+    assert plan() == cheap_cell("x", "y", 1)
+
+
+def test_worker_exception_propagates():
+    plans = [RunPlan(cheap_cell, {"app": "a", "load": "l", "seed": 0}),
+             RunPlan(failing_cell)]
+    with pytest.raises(RuntimeError, match="boom in worker"):
+        run_many(plans, jobs=2)
+    with pytest.raises(RuntimeError, match="boom in worker"):
+        run_many(plans, jobs=1)
+
+
+def test_run_many_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        run_many([], jobs=0)
+
+
+def test_run_many_empty_plans():
+    assert run_many([], jobs=4) == []
+
+
+# -- default_jobs ----------------------------------------------------------
+
+
+def test_default_jobs_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert default_jobs() == 7
+
+
+def test_default_jobs_rejects_bad_override(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    with pytest.raises(ValueError):
+        default_jobs()
+
+
+def test_default_jobs_without_override(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_jobs() >= 1

@@ -360,3 +360,53 @@ def test_any_of_with_already_processed_event():
     env.run(until=10)
     # `done` already processed: AnyOf completes immediately at t=2.
     assert log == [2.0]
+
+
+def test_run_until_event_that_never_fires():
+    env = Environment()
+    stop = env.event()  # nothing will ever trigger this
+
+    def proc(env):
+        yield env.timeout(5)
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError, match="never fired"):
+        env.run(until=stop)
+    # The schedule fully drained before the error was raised.
+    assert env.now == 5.0
+
+
+def test_run_until_event_with_empty_schedule():
+    env = Environment()
+    with pytest.raises(SimulationError, match="never fired"):
+        env.run(until=env.event())
+
+
+def test_run_until_past_time_leaves_clock_untouched():
+    env = Environment()
+    env.run(until=7)
+    with pytest.raises(SimulationError, match="in the past"):
+        env.run(until=3)
+    assert env.now == 7.0
+
+
+def test_run_until_unfired_event_with_subclassed_step():
+    # The never-fires check must hold on the non-inlined drain loop used
+    # by step()-overriding subclasses (e.g. trace recorders) too.
+    class CountingEnvironment(Environment):
+        steps = 0
+
+        def step(self):
+            type(self).steps += 1
+            super().step()
+
+    env = CountingEnvironment()
+
+    def proc(env):
+        yield env.timeout(1)
+        yield env.timeout(1)
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError, match="never fired"):
+        env.run(until=env.event())
+    assert CountingEnvironment.steps > 0
