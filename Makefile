@@ -1,6 +1,6 @@
 # Convenience targets for the Ursa reproduction.
 
-.PHONY: install test test-par lint bench bench-full perf clean-cache results loc
+.PHONY: install test test-par lint bench bench-full perf perf-check clean-cache results loc
 
 install:
 	pip install -e .
@@ -26,6 +26,14 @@ bench:
 perf:
 	PYTHONPATH=src python benchmarks/perf/bench_engine.py
 	PYTHONPATH=src python benchmarks/perf/bench_runner.py
+
+# Perf trend gate: snapshot the committed BENCH numbers, re-run the
+# microbenchmarks, fail on >20% regression (see check_regression.py).
+perf-check:
+	rm -rf .bench-baseline && mkdir -p .bench-baseline
+	cp BENCH_engine.json BENCH_runner.json .bench-baseline/
+	$(MAKE) perf
+	python benchmarks/perf/check_regression.py --baseline-dir .bench-baseline
 
 # Paper-length runs (hours).
 bench-full:

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json results against a recorded snapshot.
+
+The perf trend gate: CI (``.github/workflows/bench.yml``) and ``make
+perf-check`` snapshot the committed ``BENCH_engine.json`` /
+``BENCH_runner.json``, re-run ``make perf`` (which overwrites them), and
+then call this script to compare fresh numbers against the snapshot.  A
+throughput metric that drops -- or a duration metric that grows -- by
+more than the threshold (default 20 %) fails the check.
+
+The tolerance is deliberately loose: shared CI runners jitter by several
+percent run to run; the gate exists to catch step-change regressions
+(an accidentally de-optimized hot path), not single-digit noise.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py --baseline-dir /tmp/bench-baseline
+    python benchmarks/perf/check_regression.py --threshold 0.3 ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: (file, JSON path, direction) for every gated metric.  Direction
+#: ``higher`` = throughput (regression is a drop), ``lower`` = duration
+#: (regression is growth).
+METRICS = [
+    ("BENCH_engine.json", ("current", "timeout_churn", "events_per_sec"), "higher"),
+    ("BENCH_engine.json", ("current", "event_pingpong", "events_per_sec"), "higher"),
+    (
+        "BENCH_engine.json",
+        ("current", "resource_contention", "events_per_sec"),
+        "higher",
+    ),
+    ("BENCH_engine.json", ("current", "store_handoff", "events_per_sec"), "higher"),
+    ("BENCH_engine.json", ("current", "composite", "events_per_sec"), "higher"),
+    (
+        "BENCH_runner.json",
+        ("deployment", "sim_seconds_per_wall_second"),
+        "higher",
+    ),
+    ("BENCH_runner.json", ("grid", "sequential_seconds"), "lower"),
+]
+
+
+def _lookup(payload: dict, path: tuple[str, ...]) -> float | None:
+    node = payload
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def _load(path: Path) -> dict | None:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def check(
+    baseline_dir: Path,
+    current_dir: Path,
+    threshold: float,
+) -> tuple[list[str], list[str]]:
+    """Returns (report lines, failure lines)."""
+    lines: list[str] = []
+    failures: list[str] = []
+    cache: dict[Path, dict | None] = {}
+    for filename, path, direction in METRICS:
+        base_payload = cache.setdefault(
+            baseline_dir / filename, _load(baseline_dir / filename)
+        )
+        cur_payload = cache.setdefault(
+            current_dir / filename, _load(current_dir / filename)
+        )
+        name = f"{filename}:{'.'.join(path)}"
+        if base_payload is None or cur_payload is None:
+            lines.append(f"SKIP  {name}  (missing file)")
+            continue
+        base = _lookup(base_payload, path)
+        cur = _lookup(cur_payload, path)
+        if base is None or cur is None or base <= 0:
+            lines.append(f"SKIP  {name}  (missing metric)")
+            continue
+        change = cur / base - 1.0
+        regressed = (
+            change < -threshold if direction == "higher" else change > threshold
+        )
+        status = "FAIL" if regressed else "ok"
+        lines.append(
+            f"{status:4s}  {name}  baseline={base:.1f}  current={cur:.1f}  "
+            f"({change:+.1%}, {direction} is better)"
+        )
+        if regressed:
+            failures.append(lines[-1])
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        required=True,
+        help="directory holding the snapshot BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the fresh BENCH_*.json files (default: repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional regression before failing (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 < args.threshold < 1:
+        parser.error(f"--threshold must be in (0, 1), got {args.threshold}")
+    lines, failures = check(args.baseline_dir, args.current_dir, args.threshold)
+    print("\n".join(lines))
+    if failures:
+        print(
+            f"\n{len(failures)} metric(s) regressed more than "
+            f"{args.threshold:.0%} vs the recorded baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall metrics within {args.threshold:.0%} of the recorded baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

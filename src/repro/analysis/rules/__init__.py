@@ -4,6 +4,6 @@ Importing this package registers every rule with the core registry; add
 new rule modules to the imports below.
 """
 
-from repro.analysis.rules import api, determinism, processes  # noqa: F401
+from repro.analysis.rules import api, determinism, processes, telemetry  # noqa: F401
 
-__all__ = ["api", "determinism", "processes"]
+__all__ = ["api", "determinism", "processes", "telemetry"]

@@ -1,0 +1,120 @@
+"""Telemetry rules: metric writes must match the declared registry.
+
+The :class:`~repro.telemetry.metrics.MetricsHub` validates metric names
+at runtime -- but only when the mistyped write actually executes, which
+for a rarely-taken branch may be never in CI.  TEL001 closes the gap at
+lint time: any *string literal* passed as the metric name to a hub write
+method is checked against
+:data:`~repro.telemetry.registry.DEFAULT_REGISTRY` (name known, kind
+matches the method, label keys declared).  Names built dynamically are
+left to the runtime check.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Rule, register
+from repro.telemetry.registry import DEFAULT_REGISTRY
+
+__all__ = ["UnregisteredMetricRule"]
+
+#: Hub write method -> the metric kind it records.
+_METHOD_KIND = {
+    "record_latency": "latency",
+    "inc_counter": "counter",
+    "observe_gauge": "gauge",
+}
+
+#: Position of the ``labels`` argument in each write method's signature.
+_LABELS_ARG_INDEX = {
+    "record_latency": 2,
+    "inc_counter": 2,
+    "observe_gauge": 2,
+}
+
+
+def _keyword(node: ast.Call, name: str) -> ast.expr | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _literal_label_keys(node: ast.expr | None) -> list[str] | None:
+    """Constant string keys of a dict literal, or ``None`` if not static."""
+    if not isinstance(node, ast.Dict):
+        return None
+    keys = []
+    for key in node.keys:
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        keys.append(key.value)
+    return keys
+
+
+@register
+class UnregisteredMetricRule(Rule):
+    """Flag metric-name literals the telemetry registry does not declare.
+
+    A typo'd metric name silently creates a parallel series that every
+    query misses -- dashboards and SLA checks read zeros while the data
+    lands next door.  The registry plus this rule make the name itself a
+    checked interface.
+    """
+
+    id = "TEL001"
+    title = "unregistered metric name literal"
+    rationale = (
+        "Metric names are declared once in "
+        "repro.telemetry.registry.DEFAULT_REGISTRY; a write using an "
+        "undeclared literal (or the wrong kind/labels) creates a series "
+        "no query reads. Register the metric or fix the typo."
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _METHOD_KIND:
+            self._check_write(node, func.attr)
+        self.generic_visit(node)
+
+    def _check_write(self, node: ast.Call, method: str) -> None:
+        name_node = node.args[0] if node.args else _keyword(node, "name")
+        if not (
+            isinstance(name_node, ast.Constant)
+            and isinstance(name_node.value, str)
+        ):
+            return  # dynamic name: the hub's runtime check owns it
+        name = name_node.value
+        spec = DEFAULT_REGISTRY.get(name)
+        if spec is None:
+            self.report(
+                name_node,
+                f"metric {name!r} is not declared in "
+                "repro.telemetry.registry.DEFAULT_REGISTRY",
+            )
+            return
+        kind = _METHOD_KIND[method]
+        if spec.kind != kind:
+            self.report(
+                name_node,
+                f"metric {name!r} is declared as a {spec.kind} but "
+                f"{method}() records a {kind}",
+            )
+            return
+        labels_index = _LABELS_ARG_INDEX[method]
+        labels_node = (
+            node.args[labels_index]
+            if len(node.args) > labels_index
+            else _keyword(node, "labels")
+        )
+        keys = _literal_label_keys(labels_node)
+        if keys is None:
+            return  # not a static dict literal
+        extra = sorted(set(keys) - set(spec.labels))
+        if extra:
+            self.report(
+                labels_node,
+                f"metric {name!r} written with undeclared label keys "
+                f"{extra}; declared: {sorted(spec.labels)}",
+            )

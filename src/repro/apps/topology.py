@@ -20,6 +20,7 @@ from repro.services.spec import ServiceSpec
 from repro.sim.engine import Environment, Event
 from repro.sim.random import RandomStreams
 from repro.telemetry.metrics import MetricsHub
+from repro.telemetry.tracing import Tracer
 
 __all__ = ["SlaSpec", "RequestClass", "AppSpec", "Application"]
 
@@ -157,7 +158,10 @@ class Application:
     * workload generators call :meth:`submit`;
     * resource managers call :meth:`scale` / :meth:`replicas` and read the
       metrics hub;
-    * experiments read :attr:`hub` for latency/violation/allocation series.
+    * experiments read :attr:`hub` for latency/violation/allocation series
+      and may attach a :class:`~repro.telemetry.tracing.Tracer` (at
+      construction or via :meth:`attach_tracer`) to collect span trees for
+      sampled requests.
     """
 
     def __init__(
@@ -170,6 +174,7 @@ class Application:
         initial_replicas: Mapping[str, int] | int = 2,
         network_delay_s: float = 0.0005,
         utilization_sample_interval_s: float = 5.0,
+        tracer: Tracer | None = None,
     ) -> None:
         self.spec = spec
         self.env = env if env is not None else Environment()
@@ -199,6 +204,15 @@ class Application:
             rc.name: rc for rc in spec.request_classes
         }
         self._class_label_sets: dict[str, tuple] = {}
+        self.tracer = tracer
+        if utilization_sample_interval_s > 0:
+            self.env.process(
+                self._cluster_monitor(utilization_sample_interval_s)
+            )
+
+    def attach_tracer(self, tracer: Tracer | None) -> None:
+        """Install (or remove, with ``None``) the tracer for new requests."""
+        self.tracer = tracer
 
     # -- workload entry -----------------------------------------------------
     def submit(self, class_name: str) -> tuple[Request, Event]:
@@ -216,13 +230,24 @@ class Application:
             priority=rc.priority,
         )
         root = self.services[rc.tree.service]
+        span = (
+            self.tracer.begin(
+                request,
+                rc.tree.service,
+                "mq" if rc.tree.mode == CallMode.MQ else "rpc",
+            )
+            if self.tracer is not None
+            else None
+        )
         if rc.tree.mode == CallMode.MQ:
-            done = root.publish(request, rc.tree)
+            done = root.publish(request, rc.tree, span=span)
         else:
-            _response, done = root.submit(request, rc.tree)
+            _response, done = root.submit(request, rc.tree, span=span)
         labels = self._class_labels(class_name)
         self.hub.inc_counter("client_requests_total", labels=labels)
-        done._add_callback(lambda _ev: self._on_complete(request, rc, labels))
+        done._add_callback(
+            lambda _ev: self._on_complete(request, rc, labels, span)
+        )
         return request, done
 
     def _class_labels(self, class_name: str):
@@ -232,12 +257,16 @@ class Application:
             self._class_label_sets[class_name] = key
         return key
 
-    def _on_complete(self, request: Request, rc: RequestClass, labels) -> None:
+    def _on_complete(
+        self, request: Request, rc: RequestClass, labels, span=None
+    ) -> None:
         request.completion_time = self.env.now
         latency = request.latency
         self.hub.record_latency("request_latency", latency, labels)
         if latency > rc.sla.target_s:
             self.hub.inc_counter("sla_violations_total", labels=labels)
+        if span is not None:
+            self.tracer.finish(span.trace, self.env.now)
 
     # -- control plane -------------------------------------------------------
     def scale(self, service: str, replicas: int) -> None:
@@ -256,6 +285,18 @@ class Application:
             return self.services[name]
         except KeyError:
             raise TopologyError(f"unknown service {name!r}") from None
+
+    def _cluster_monitor(self, interval: float):
+        """Sample cluster-wide allocation gauges (pure observer process)."""
+        env = self.env
+        while True:
+            yield env.timeout(interval)
+            self.hub.observe_gauge(
+                "cluster_allocated_cpus", float(self.cluster.allocated_cpus())
+            )
+            self.hub.observe_gauge(
+                "cluster_free_cpus", float(self.cluster.free_cpus())
+            )
 
     # -- accounting helpers ---------------------------------------------------
     def windowed_violation_rate(

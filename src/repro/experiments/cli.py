@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 __all__ = ["main"]
 
@@ -30,7 +31,37 @@ EXPERIMENTS = (
 )
 
 
-def _run(name: str, apps: list[str] | None, jobs: int | None) -> str:
+class _ProgressReporter:
+    """Per-run completion lines on stderr (``--progress``).
+
+    Fires from :func:`repro.experiments.parallel.run_many`'s
+    ``on_complete`` hook in the parent process; completion order may
+    differ from plan order under ``--jobs > 1``, which is fine for a
+    progress log.  Results themselves stay ordered by plan.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self._t0 = time.perf_counter()
+
+    def __call__(self, plan, _result) -> None:
+        self.done += 1
+        elapsed = time.perf_counter() - self._t0
+        label = plan.label or getattr(plan.fn, "__name__", "run")
+        print(
+            f"[{elapsed:7.1f}s] done #{self.done}: {label}",
+            file=self.stream,
+            flush=True,
+        )
+
+
+def _run(
+    name: str,
+    apps: list[str] | None,
+    jobs: int | None,
+    on_complete=None,
+) -> str:
     if name == "fig02":
         from repro.experiments.fig02_backpressure import run_all_chains
 
@@ -42,7 +73,7 @@ def _run(name: str, apps: list[str] | None, jobs: int | None) -> str:
     if name == "table05":
         from repro.experiments.table05_exploration import run_table05
 
-        return run_table05(jobs=jobs).render()
+        return run_table05(jobs=jobs, on_complete=on_complete).render()
     if name == "fig09":
         from repro.experiments.fig09_10_model_accuracy import (
             FIG9_CLASSES,
@@ -69,12 +100,13 @@ def _run(name: str, apps: list[str] | None, jobs: int | None) -> str:
                 "video-pipeline",
             ),
             jobs=jobs,
+            on_complete=on_complete,
         )
         return grid.violation_table() + "\n\n" + grid.cpu_table()
     if name == "fig13":
         from repro.experiments.fig13_diurnal import run_diurnal_trace
 
-        return run_diurnal_trace(jobs=jobs).render()
+        return run_diurnal_trace(jobs=jobs, on_complete=on_complete).render()
     if name == "table06":
         from repro.experiments.table06_control_plane import run_table06
 
@@ -82,7 +114,7 @@ def _run(name: str, apps: list[str] | None, jobs: int | None) -> str:
     if name == "fig14":
         from repro.experiments.fig14_service_change import run_service_change
 
-        return run_service_change(jobs=jobs).render()
+        return run_service_change(jobs=jobs, on_complete=on_complete).render()
     if name == "summary":
         from repro.experiments.summary import summarize
 
@@ -112,11 +144,20 @@ def main(argv: list[str] | None = None) -> int:
             "identical for any value"
         ),
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "print a line to stderr as each fanned-out run completes "
+            "(grid experiments only); never affects results"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     apps = args.apps.split(",") if args.apps else None
-    print(_run(args.experiment, apps, args.jobs))
+    on_complete = _ProgressReporter() if args.progress else None
+    print(_run(args.experiment, apps, args.jobs, on_complete=on_complete))
     return 0
 
 

@@ -19,9 +19,10 @@ from dataclasses import dataclass, field
 from repro.core.manager import UrsaManager
 from repro.core.overestimation import OverestimationTracker
 from repro.experiments import artifacts
-from repro.experiments.report import render_series
-from repro.experiments.runner import make_app, scale_profile
+from repro.experiments.report import render_attribution, render_series
+from repro.experiments.runner import TracingOptions, make_app, scale_profile
 from repro.sim.random import RandomStreams
+from repro.sim.trace import RunDigest
 from repro.workload.defaults import default_mix_for
 from repro.workload.generator import LoadGenerator
 from repro.workload.patterns import ConstantLoad
@@ -72,9 +73,22 @@ class AccuracySeries:
 class ModelAccuracyResult:
     app_name: str
     series: dict[str, AccuracySeries]
+    #: Per-class critical-path attribution (set when tracing was on).
+    critical_path: str | None = None
+    traced_requests: int = 0
+    #: Event-trace checksum (set when ``digest=True``).
+    run_digest: str | None = None
 
     def render(self) -> str:
-        return "\n\n".join(s.render() for s in self.series.values())
+        parts = ["\n\n".join(s.render() for s in self.series.values())]
+        if self.critical_path is not None:
+            parts.append(
+                f"critical path ({self.traced_requests} traced requests):\n"
+                f"{self.critical_path}"
+            )
+        if self.run_digest is not None:
+            parts.append(f"event-trace digest: {self.run_digest}")
+        return "\n\n".join(parts)
 
 
 def run_model_accuracy(
@@ -83,15 +97,27 @@ def run_model_accuracy(
     window_s: float = 60.0,
     seed: int = 17,
     duration_s: float | None = None,
+    tracing: TracingOptions | None = None,
+    digest: bool = False,
 ) -> ModelAccuracyResult:
-    """Deploy under Ursa and collect measured-vs-estimated series."""
+    """Deploy under Ursa and collect measured-vs-estimated series.
+
+    With ``tracing`` the run also samples span trees and reports where
+    each class's latency accrues -- the request-level cross-check of the
+    model's per-service latency targets.  ``digest=True`` additionally
+    checksums the full event trace (reproducibility fingerprint).
+    """
     profile = scale_profile()
     duration = duration_s if duration_s is not None else profile.deployment_s
     spec = artifacts.app_spec(app_name)
     mix = default_mix_for(app_name)
     rps = artifacts.app_rps(app_name)
     exploration = artifacts.exploration_result(app_name)
-    app = make_app(spec, seed=seed)
+    run_digest = RunDigest() if digest else None
+    tracer = tracing.build_tracer() if tracing is not None else None
+    app = make_app(spec, seed=seed, trace=run_digest, tracer=tracer)
+    if tracer is not None:
+        tracer.hub = app.hub
     app.env.run(until=10)
     manager = UrsaManager(app, exploration)
     class_loads = {c: rps * mix.fraction(c) for c in mix.classes()}
@@ -132,4 +158,17 @@ def run_model_accuracy(
             series[name].points.append((t, measured, estimate))
             tracker.observe(name, measured, bound)
         t += window_s
-    return ModelAccuracyResult(app_name=app_name, series=series)
+    critical_path = None
+    traced = 0
+    if tracer is not None:
+        traced = len(tracer.finished)
+        critical_path = render_attribution(
+            tracer.summary(window_s=window_s), title=None
+        )
+    return ModelAccuracyResult(
+        app_name=app_name,
+        series=series,
+        critical_path=critical_path,
+        traced_requests=traced,
+        run_digest=run_digest.hexdigest() if run_digest is not None else None,
+    )

@@ -151,6 +151,7 @@ def run_performance_grid(
     managers: tuple[str, ...] = ("ursa", "sinan", "firm", "auto-a", "auto-b"),
     seed: int = 23,
     jobs: int | None = None,
+    on_complete=None,
 ) -> PerformanceGrid:
     """The full (app x load x manager) grid, fanned out across ``jobs``.
 
@@ -179,5 +180,5 @@ def run_performance_grid(
         )
         for (a, lo, m) in keys
     ]
-    results = dict(zip(keys, run_many(plans, jobs=jobs)))
+    results = dict(zip(keys, run_many(plans, jobs=jobs, on_complete=on_complete)))
     return PerformanceGrid(results=results)

@@ -75,6 +75,7 @@ def run_diurnal_trace(
     seed: int = 29,
     duration_s: float | None = None,
     jobs: int | None = None,
+    on_complete=None,
 ) -> DiurnalTrace:
     """Fig. 13 trace; a single deployment dispatched via ``run_many``.
 
@@ -93,7 +94,7 @@ def run_diurnal_trace(
         },
         label=f"fig13:{app_name}",
     )
-    return run_many([plan], jobs=jobs)[0]
+    return run_many([plan], jobs=jobs, on_complete=on_complete)[0]
 
 
 def _diurnal_cell(

@@ -134,7 +134,9 @@ def _explore_changed_service(spec, seed: int):
     return partial, controller.f_sla
 
 
-def run_service_change(seed: int = 37, jobs: int | None = None) -> ServiceChangeResult:
+def run_service_change(
+    seed: int = 37, jobs: int | None = None, on_complete=None
+) -> ServiceChangeResult:
     original_spec = artifacts.app_spec("social-network")
     updated_spec = swap_object_detect_model(original_spec)
 
@@ -167,6 +169,7 @@ def run_service_change(seed: int = 37, jobs: int | None = None) -> ServiceChange
             ),
         ],
         jobs=jobs,
+        on_complete=on_complete,
     )
     merged = ExplorationResult(
         app_name=updated_spec.name,

@@ -31,7 +31,7 @@ and debuggers (breakpoints do not survive fork) on the simple path.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -103,6 +103,7 @@ def _execute(plan: RunPlan) -> Any:
 def run_many(
     plans: Sequence[RunPlan],
     jobs: int | None = None,
+    on_complete: Callable[[RunPlan, Any], None] | None = None,
 ) -> list[Any]:
     """Execute ``plans`` and return their results in plan order.
 
@@ -111,6 +112,13 @@ def run_many(
     grids do not pay pool-spinup cost for idle workers.  Results come
     back in the order plans were given regardless of completion order,
     which is what makes parallel output byte-identical to sequential.
+
+    ``on_complete(plan, result)`` is invoked in the *parent* process as
+    each result lands (progress reporting, incremental persistence).  In
+    pooled mode it fires in completion order -- which may differ from
+    plan order -- so callbacks must not assume ordering; the returned
+    list is the ordering contract.  A callback exception propagates,
+    cancelling any runs that have not started yet.
     """
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -118,9 +126,24 @@ def run_many(
     if jobs is None:
         jobs = default_jobs()
     if jobs == 1 or len(plans) <= 1:
-        return [plan() for plan in plans]
+        results = []
+        for plan in plans:
+            result = plan()
+            if on_complete is not None:
+                on_complete(plan, result)
+            results.append(result)
+        return results
     with ProcessPoolExecutor(max_workers=min(jobs, len(plans))) as pool:
         futures = [pool.submit(_execute, plan) for plan in plans]
+        if on_complete is not None:
+            pending = {future: plan for future, plan in zip(futures, plans)}
+            try:
+                for future in as_completed(pending):
+                    on_complete(pending[future], future.result())
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
         # result() in submission order == plan order; completion order
         # is irrelevant to the merged output.
         return [future.result() for future in futures]

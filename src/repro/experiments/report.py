@@ -7,9 +7,17 @@ report; these helpers keep the formatting consistent and diff-friendly
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-__all__ = ["render_table", "render_series", "render_heatmap"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.tracing import CriticalPathSummary
+
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_heatmap",
+    "render_attribution",
+]
 
 
 def render_table(
@@ -69,3 +77,34 @@ def render_heatmap(
         cells = "".join(fmt.format(v).rjust(width) for v in row)
         lines.append(label.ljust(label_width) + cells)
     return "\n".join(lines)
+
+
+def render_attribution(
+    summary: "CriticalPathSummary",
+    top: int = 4,
+    title: str | None = "critical-path attribution",
+) -> str:
+    """Critical-path fractions as a diff-friendly table.
+
+    One row per (request class, service, phase) location, largest share
+    of that class's total latency first, ``top`` rows per class --
+    the tabular twin of ``CriticalPathSummary.render``.
+    """
+    rows = []
+    for cls in summary.classes():
+        agg = summary.pooled(cls)
+        if not agg.requests:
+            continue
+        mean_ms = agg.total_latency / agg.requests * 1e3
+        for service, phase, fraction in agg.fractions()[:top]:
+            rows.append(
+                (cls, agg.requests, f"{mean_ms:.1f}", service, phase,
+                 f"{fraction:.1%}")
+            )
+    if not rows:
+        return "(no traces collected)"
+    return render_table(
+        ("class", "traced", "mean_ms", "service", "phase", "share"),
+        rows,
+        title=title,
+    )

@@ -22,7 +22,9 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 from repro.sim.engine import Environment
 from repro.sim.random import RandomStreams
+from repro.sim.trace import RunDigest
 from repro.stats.distributions import EmpiricalDistribution
+from repro.telemetry.tracing import Tracer, traces_to_jsonl
 from repro.workload.generator import LoadGenerator
 from repro.workload.mixes import RequestMix
 
@@ -31,6 +33,8 @@ __all__ = [
     "scale_profile",
     "DeploymentMetrics",
     "DeploymentResult",
+    "TraceArtifacts",
+    "TracingOptions",
     "run_deployment",
 ]
 
@@ -131,6 +135,46 @@ class DeploymentMetrics:
     final_replicas: dict[str, int]
 
 
+@dataclass(frozen=True)
+class TracingOptions:
+    """How (and how much) to trace a deployment run.
+
+    Plain data so experiment plans carrying it stay picklable; the live
+    :class:`~repro.telemetry.tracing.Tracer` is built inside the worker
+    via :meth:`build_tracer`.
+    """
+
+    #: Sample every n-th request of each class (int) or per-class mapping.
+    sample_every_n: int | Mapping[str, int] = 100
+    #: Restrict tracing to these request classes (``None`` = all).
+    classes: tuple[str, ...] | None = None
+    #: Stop collecting after this many traces (memory bound).
+    max_traces: int | None = None
+    #: Verify per request that the critical path sums to the e2e latency.
+    validate: bool = True
+
+    def build_tracer(self, hub=None) -> Tracer:
+        return Tracer(
+            sample_every_n=self.sample_every_n,
+            classes=self.classes,
+            max_traces=self.max_traces,
+            hub=hub,
+            validate=self.validate,
+        )
+
+
+@dataclass(frozen=True)
+class TraceArtifacts:
+    """Serialized tracing output of one run (picklable, deterministic)."""
+
+    #: Finished traces collected by the sampler.
+    traced_requests: int
+    #: Deterministic JSON-lines dump of the span trees.
+    jsonl: str = field(repr=False)
+    #: Per-class critical-path attribution one-liners.
+    summary: str
+
+
 @dataclass
 class DeploymentResult:
     """Outcome of one managed deployment run.
@@ -148,15 +192,26 @@ class DeploymentResult:
     completed_requests: int
     wall_seconds: float
     metrics: DeploymentMetrics | None = field(repr=False, default=None)
+    #: BLAKE2b checksum of the run's full event trace (``digest=True``).
+    run_digest: str | None = None
+    #: Span trees + critical-path summary (``tracing=`` option).
+    traces: TraceArtifacts | None = field(repr=False, default=None)
 
 
 def make_app(
     spec: AppSpec,
     seed: int,
     initial_replicas: Mapping[str, int] | int = 2,
+    trace: Callable | None = None,
+    tracer: Tracer | None = None,
 ) -> Application:
-    """An application on a fresh default (8-node testbed) cluster."""
-    env = Environment()
+    """An application on a fresh default (8-node testbed) cluster.
+
+    ``trace`` is the engine-level event hook (e.g. a
+    :class:`~repro.sim.trace.RunDigest`); ``tracer`` the request-level
+    span sampler.
+    """
+    env = Environment(trace=trace)
     cluster = Cluster(env, nodes=[Node(f"run-{i}", 96, 256) for i in range(8)])
     return Application(
         spec,
@@ -164,6 +219,7 @@ def make_app(
         cluster=cluster,
         streams=RandomStreams(seed),
         initial_replicas=initial_replicas,
+        tracer=tracer,
     )
 
 
@@ -177,14 +233,26 @@ def run_deployment(
     seed: int = 0,
     duration_s: float | None = None,
     measure_from_s: float | None = None,
+    tracing: TracingOptions | None = None,
+    digest: bool = False,
 ) -> DeploymentResult:
-    """One managed deployment run under ``pattern`` with ``mix``."""
+    """One managed deployment run under ``pattern`` with ``mix``.
+
+    ``tracing`` samples span trees and returns them (serialized) in
+    ``result.traces``; ``digest=True`` checksums the full event trace
+    into ``result.run_digest``.  Both are pure observers -- the simulated
+    timeline is identical with or without them.
+    """
     profile = scale_profile()
     duration = duration_s if duration_s is not None else profile.deployment_s
     measure_from = (
         measure_from_s if measure_from_s is not None else profile.measure_from_s
     )
-    app = make_app(spec, seed)
+    run_digest = RunDigest() if digest else None
+    tracer = tracing.build_tracer() if tracing is not None else None
+    app = make_app(spec, seed, trace=run_digest, tracer=tracer)
+    if tracer is not None:
+        tracer.hub = app.hub
     app.env.run(until=10)
     attach_manager(app)
     generator = LoadGenerator(
@@ -217,6 +285,13 @@ def run_deployment(
         },
         final_replicas={name: app.replicas(name) for name in app.services},
     )
+    traces = None
+    if tracer is not None:
+        traces = TraceArtifacts(
+            traced_requests=len(tracer.finished),
+            jsonl=traces_to_jsonl(tracer.finished),
+            summary=tracer.summary().render(),
+        )
     return DeploymentResult(
         app_name=spec.name,
         manager=manager_name,
@@ -229,4 +304,6 @@ def run_deployment(
         completed_requests=sum(d.count for d in latency_by_class.values()),
         wall_seconds=wall,
         metrics=metrics,
+        run_digest=run_digest.hexdigest() if run_digest is not None else None,
+        traces=traces,
     )

@@ -89,7 +89,9 @@ def _explore_app(app_name: str) -> ExplorationOverheadRow:
 
 
 def run_table05(
-    apps: tuple[str, ...] = TABLE5_APPS, jobs: int | None = None
+    apps: tuple[str, ...] = TABLE5_APPS,
+    jobs: int | None = None,
+    on_complete=None,
 ) -> Table05:
     """Per-app explorations fan out: each worker profiles one app.
 
@@ -100,4 +102,4 @@ def run_table05(
     plans = [
         RunPlan(_explore_app, {"app_name": a}, label=f"table05:{a}") for a in apps
     ]
-    return Table05(rows=run_many(plans, jobs=jobs))
+    return Table05(rows=run_many(plans, jobs=jobs, on_complete=on_complete))

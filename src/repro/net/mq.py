@@ -6,6 +6,12 @@ are effectively unbounded for these workloads); consumer replicas pull
 messages when they have a free worker.  Because producers never wait on
 consumers, MQ edges propagate **no backpressure** -- the property §III
 measures and Ursa's independence assumption relies on.
+
+Trace context crosses MQ edges inside the payload: the service runtime
+publishes ``(request, call, done, publish_time, span)`` tuples, so a
+sampled request's :class:`~repro.telemetry.tracing.Span` survives the
+queue hop and its queue residency is charged to the consumer's span as
+queue wait.
 """
 
 from __future__ import annotations

@@ -28,6 +28,14 @@ time spent waiting for nested-RPC downstream responses -- i.e. thread/CPU
 queueing plus own processing (plus daemon-dispatch wait for event-driven
 RPC, plus queue residency for MQ consumers).  End-to-end request latency
 is the completion time of the whole call tree.
+
+Tracing: when a request is sampled (see
+:class:`~repro.telemetry.tracing.Tracer`), a
+:class:`~repro.telemetry.tracing.Span` rides along through
+``submit``/``publish``/``_execute``; the runtime records one segment per
+wait (queue, service, downstream) with absolute timestamps, creating
+child spans as the call tree fans out.  ``span=None`` (the default, and
+every unsampled request) costs a handful of ``is not None`` checks.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from repro.net.mq import MessageQueue
 from repro.sim.engine import AnyOf, Environment, Event
 from repro.sim.resources import Resource
 from repro.telemetry.metrics import MetricsHub
+from repro.telemetry.tracing import PHASE_DOWNSTREAM, PHASE_QUEUE, PHASE_SERVICE, Span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
@@ -210,12 +219,15 @@ class Microservice:
     # ------------------------------------------------------------------
     # Request entry points
     # ------------------------------------------------------------------
-    def submit(self, request: Request, call: Call) -> tuple[Event, Event]:
+    def submit(
+        self, request: Request, call: Call, span: Span | None = None
+    ) -> tuple[Event, Event]:
         """Invoke this service via RPC for one call-tree node.
 
         Returns ``(response, done)``: ``response`` fires when the service
         answers its caller (nested-RPC semantics), ``done`` when the whole
-        subtree rooted at ``call`` has completed.
+        subtree rooted at ``call`` has completed.  ``span`` is this hop's
+        trace span when the request is sampled.
         """
         if call.service != self.name:
             raise TopologyError(
@@ -223,14 +235,18 @@ class Microservice:
             )
         response = self.env.event()
         done = self.env.event()
-        self.env.process(self._execute(request, call, response, done))
+        self.env.process(self._execute(request, call, response, done, span=span))
         return response, done
 
-    def publish(self, request: Request, call: Call) -> Event:
+    def publish(
+        self, request: Request, call: Call, span: Span | None = None
+    ) -> Event:
         """Invoke this service via its message queue.
 
         Returns the ``done`` event for the subtree.  Never blocks the
-        caller: the message waits in the queue until a consumer picks it up.
+        caller: the message waits in the queue until a consumer picks it
+        up.  The span (if sampled) travels inside the message payload, so
+        queue residency lands on the *consumer's* span as queue wait.
         """
         if call.service != self.name:
             raise TopologyError(
@@ -238,7 +254,7 @@ class Microservice:
             )
         done = self.env.event()
         self.queue.publish(
-            (request, call, done, self.env.now), priority=request.priority
+            (request, call, done, self.env.now, span), priority=request.priority
         )
         self.hub.inc_counter(
             "mq_published_total", labels=self._label_set(request.request_class)
@@ -290,11 +306,18 @@ class Microservice:
         done: Event,
         replica: Replica | None = None,
         publish_time: float | None = None,
+        span: Span | None = None,
     ):
         """Serve one call-tree node (runs as a simulation process).
 
         For RPC entry (``replica is None``) a replica is chosen here and a
         thread acquired; for MQ entry the consumer loop already owns both.
+
+        When ``span`` is set the hop records segments that exactly tile
+        ``[t_submit, response]``: queue (replica/thread/CPU/daemon waits,
+        MQ residency), service (handler execution + network legs), and
+        downstream (blocked on a nested-RPC or event child, delegating
+        that interval to the child's span).
         """
         env = self.env
         t_submit = publish_time if publish_time is not None else env.now
@@ -308,37 +331,66 @@ class Microservice:
             # through the daemon handoff would model the wrong concurrency.
             # ursalint: disable=SIM005 -- deliberate mid-protocol release below
             yield replica.threads.acquire(priority=request.priority)
+        if span is not None:
+            span.replica = replica.pod.name
+            mark = env.now
+            span.record(PHASE_QUEUE, t_submit, mark)
 
         # Local processing: occupy one core for the sampled work.
         work = self._sample_work(request.request_class)
         ptime = work / self.speed_factor
         yield replica.cpu.acquire(priority=request.priority)
+        if span is not None:
+            span.record(PHASE_QUEUE, mark, env.now)
+            mark = env.now
         try:
             yield env.timeout(ptime)
         finally:
             replica.cpu.release()
         replica.busy_time += ptime
+        if span is not None:
+            span.record(PHASE_SERVICE, mark, env.now)
+            mark = env.now
 
         child_dones: list[Event] = []
         downstream_wait = 0.0
 
-        # Fire-and-forget MQ children first: publishing never blocks.
+        # Fire-and-forget MQ children first: publishing never blocks, so
+        # the parent records no segment; the child span's queue phase
+        # covers the message's whole queue residency.
         for child in call.children:
             if child.mode == CallMode.MQ:
                 for _ in range(child.repeat):
-                    child_dones.append(self._peer(child.service).publish(request, child))
+                    child_span = (
+                        span.new_child(child.service, "mq", env.now)
+                        if span is not None
+                        else None
+                    )
+                    child_dones.append(
+                        self._peer(child.service).publish(
+                            request, child, span=child_span
+                        )
+                    )
 
         # Nested RPC children: sequential, holding this service's thread.
         for child in call.children:
             if child.mode == CallMode.RPC:
                 for _ in range(child.repeat):
                     t0 = env.now
+                    child_span = (
+                        span.new_child(child.service, "rpc", t0)
+                        if span is not None
+                        else None
+                    )
                     child_response, child_done = self._peer(child.service).submit(
-                        request, child
+                        request, child, span=child_span
                     )
                     yield child_response
                     downstream_wait += env.now - t0
                     child_dones.append(child_done)
+                    if span is not None:
+                        span.record(PHASE_DOWNSTREAM, t0, env.now, child_span)
+                        mark = env.now
 
         event_children = [c for c in call.children if c.mode == CallMode.EVENT]
         daemon_held = False
@@ -349,6 +401,9 @@ class Microservice:
             # ursalint: disable=SIM005 -- released after the event-driven leg
             yield replica.daemons.acquire(priority=request.priority)
             daemon_held = True
+            if span is not None:
+                span.record(PHASE_QUEUE, mark, env.now)
+                mark = env.now
 
         replica.threads.release()
         if self.network_delay_s > 0:
@@ -356,6 +411,10 @@ class Microservice:
             yield env.timeout(2.0 * self.network_delay_s)
         service_latency = env.now - t_submit - downstream_wait
         self.hub.record_latency("service_latency", service_latency, labels)
+        if span is not None:
+            span.record(PHASE_SERVICE, mark, env.now)
+            mark = env.now
+            span.response_end = env.now
         response.succeed()
 
         if daemon_held:
@@ -363,11 +422,20 @@ class Microservice:
             # downstream response (the R1 step of Fig. 1(b)).
             for child in event_children:
                 for _ in range(child.repeat):
+                    t0 = env.now
+                    child_span = (
+                        span.new_child(child.service, "event", t0)
+                        if span is not None
+                        else None
+                    )
                     child_response, child_done = self._peer(child.service).submit(
-                        request, child
+                        request, child, span=child_span
                     )
                     yield child_response
                     child_dones.append(child_done)
+                    if span is not None:
+                        span.record(PHASE_DOWNSTREAM, t0, env.now, child_span)
+                        mark = env.now
             replica.daemons.release()
 
         replica.inflight -= 1
@@ -376,6 +444,8 @@ class Microservice:
         pending = [ev for ev in child_dones if not ev.processed]
         if pending:
             yield env.all_of(pending)
+        if span is not None:
+            span.end = env.now
         done.succeed()
 
     def _consumer_loop(self, replica: Replica):
@@ -394,7 +464,9 @@ class Microservice:
                 self.queue.cancel_consume(get_ev)
                 break
             self.queue.consumed += 1
-            request, call, done, publish_time = MessageQueue.payload_of(get_ev.value)
+            request, call, done, publish_time, span = MessageQueue.payload_of(
+                get_ev.value
+            )
             # The pulled message is owned by this replica from here on; it
             # counts as in-flight so scale-down drains wait for it.
             replica.inflight += 1
@@ -411,6 +483,7 @@ class Microservice:
                     done,
                     replica=replica,
                     publish_time=publish_time,
+                    span=span,
                 )
             )
 

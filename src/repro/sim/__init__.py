@@ -9,6 +9,10 @@ Public surface:
   :class:`~repro.sim.resources.PriorityStore` -- shared resources.
 * :class:`~repro.sim.random.RandomStreams` and the distribution classes --
   reproducible stochastic inputs.
+* :class:`~repro.sim.trace.EventTraceRecorder` /
+  :class:`~repro.sim.trace.RunDigest` -- hooks for the
+  ``Environment(trace=...)`` callback (reproducibility checks, run
+  fingerprints next to ``results/``).
 """
 
 from repro.sim.engine import (
@@ -33,6 +37,7 @@ from repro.sim.random import (
     Uniform,
 )
 from repro.sim.resources import PriorityStore, Resource, Store
+from repro.sim.trace import EventTraceRecorder, RunDigest, write_digest
 
 __all__ = [
     "AllOf",
@@ -41,6 +46,7 @@ __all__ = [
     "Distribution",
     "Environment",
     "Event",
+    "EventTraceRecorder",
     "Exponential",
     "Hyperexponential",
     "Interrupt",
@@ -51,8 +57,10 @@ __all__ = [
     "Process",
     "RandomStreams",
     "Resource",
+    "RunDigest",
     "SimulationError",
     "Store",
     "Timeout",
     "Uniform",
+    "write_digest",
 ]

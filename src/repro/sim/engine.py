@@ -357,11 +357,27 @@ class Environment:
         env.run(until=100.0)
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        trace: Callable[[float, int, int, Event], None] | None = None,
+    ) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Process | None = None
+        #: Optional event-trace hook: called as ``trace(when, priority,
+        #: seq, event)`` for every event popped off the schedule, *before*
+        #: its callbacks run.  ``None`` (the default) keeps the inlined
+        #: drain loops in :meth:`run` -- tracing off costs nothing on the
+        #: hot path.  See :mod:`repro.sim.trace` for ready-made hooks
+        #: (event recorders, run digests).
+        self._trace = trace
+
+    @property
+    def trace(self) -> Callable[[float, int, int, Event], None] | None:
+        """The installed event-trace callback, if any."""
+        return self._trace
 
     @property
     def now(self) -> float:
@@ -414,6 +430,8 @@ class Environment:
             raise SimulationError("step() on an empty schedule")
         when, _priority, _seq, event = _heappop(self._queue)
         self._now = when
+        if self._trace is not None:
+            self._trace(when, _priority, _seq, event)
         callbacks = event.callbacks
         event.callbacks = None
         event._state = _PROCESSED
@@ -435,13 +453,15 @@ class Environment:
         :class:`SimulationError` rather than returning silently.
         """
         queue = self._queue
-        # When step() is not overridden (the only subclass hook, used by
-        # trace-recording environments), inline its body into the drain
-        # loops: one Python method call per event is measurable at the
-        # millions-of-events scale of a deployment run.  The inlined body
-        # is identical to step() minus the empty-schedule guard, which the
-        # loop conditions already establish.
-        inline = type(self).step is Environment.step
+        # When step() is not overridden and no trace hook is installed,
+        # inline its body into the drain loops: one Python method call per
+        # event is measurable at the millions-of-events scale of a
+        # deployment run.  The inlined body is identical to step() minus
+        # the empty-schedule guard (the loop conditions establish it) and
+        # the trace call (absent by construction).  Traced runs take the
+        # step() path and see the exact same (when, priority, seq, event)
+        # queue entries.
+        inline = type(self).step is Environment.step and self._trace is None
         step = self.step
         if isinstance(until, Event):
             stop = until

@@ -1,0 +1,104 @@
+"""Engine-level event-trace hooks: recorders and run digests.
+
+:class:`~repro.sim.engine.Environment` accepts a ``trace`` callback that
+is invoked as ``trace(when, priority, seq, event)`` for every event the
+scheduler processes, before its callbacks run.  This module provides the
+two standard hooks built on it:
+
+* :class:`EventTraceRecorder` -- records ``(when, priority, seq,
+  event-type-name)`` tuples, the executable form of the engine's
+  "same seed, byte-identical trace" promise (used by
+  ``tests/sim/test_determinism.py``).
+* :class:`RunDigest` -- streams the same tuples into a BLAKE2b checksum
+  instead of storing them, so full-scale runs can assert reproducibility
+  (or archive a fingerprint next to their ``results/`` artifacts) at
+  O(1) memory.
+
+Both hooks observe only what the scheduler already computed -- they never
+touch simulation state, so a traced run produces exactly the timings an
+untraced run would.
+
+Typical experiment usage::
+
+    digest = RunDigest()
+    env = Environment(trace=digest)
+    ...run...
+    write_digest(digest, "results/fig09_model_accuracy.digest")
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from pathlib import Path
+
+from repro.sim.engine import Event
+
+__all__ = ["EventTraceRecorder", "RunDigest", "write_digest"]
+
+_PACK = struct.Struct("<dqq").pack
+
+
+class EventTraceRecorder:
+    """Trace hook recording every scheduled event as a plain tuple.
+
+    The recorded entries are ``(when, priority, seq, type(event).__name__)``
+    -- everything that determines scheduling order plus the event's kind.
+    Two runs of the same seeded simulation must produce equal traces;
+    :meth:`as_bytes` gives the canonical byte form for comparison.
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[float, int, int, str]] = []
+        self._append = self.entries.append
+
+    def __call__(self, when: float, priority: int, seq: int, event: Event) -> None:
+        self._append((when, priority, seq, type(event).__name__))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def as_bytes(self) -> bytes:
+        """Canonical byte encoding of the trace (for equality asserts)."""
+        return repr(self.entries).encode("utf-8")
+
+
+class RunDigest:
+    """Trace hook folding the event trace into a BLAKE2b checksum.
+
+    Constant memory regardless of run length, so it stays cheap at
+    ``REPRO_SCALE=full``.  The digest covers exactly what
+    :class:`EventTraceRecorder` records: scheduling time, priority,
+    sequence number, and event type name -- i.e. two runs have equal
+    digests iff their event traces are identical.
+    """
+
+    def __init__(self) -> None:
+        self._hash = hashlib.blake2b(digest_size=16)
+        self.events = 0
+
+    def __call__(self, when: float, priority: int, seq: int, event: Event) -> None:
+        update = self._hash.update
+        update(_PACK(when, priority, seq))
+        update(type(event).__name__.encode("ascii"))
+        self.events += 1
+
+    def hexdigest(self) -> str:
+        """Hex checksum of the trace so far (does not finalise the hook)."""
+        return self._hash.copy().hexdigest()
+
+
+def write_digest(digest: "RunDigest | str", path: str | Path) -> str:
+    """Store a run digest next to a results artifact.
+
+    Accepts either a :class:`RunDigest` or an already-computed hex string;
+    writes ``<digest>\\n`` to ``path`` (conventionally the artifact path
+    with a ``.digest`` suffix) and returns the hex string.  Comparing the
+    stored file across machines or PRs answers "was this exactly the same
+    simulation?" without re-running anything.
+    """
+    value = digest if isinstance(digest, str) else digest.hexdigest()
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(value + "\n", encoding="ascii")
+    return value

@@ -1,25 +1,62 @@
-"""Prometheus-like telemetry: histograms and a windowed metrics hub.
+"""Prometheus/Jaeger-like telemetry: metrics, tracing, and exporters.
 
-Metric naming conventions used throughout the package:
+Three layers:
 
-* ``request_latency`` (latency) -- end-to-end request latency, labels
-  ``{"request": <request type>}``.
-* ``service_latency`` (latency) -- per-service response time
-  (service time excluding downstream waits for RPC; processing time for
-  MQ consumers), labels ``{"service": ..., "request": ...}``.
-* ``requests_total`` (counter) -- arrivals, labels
-  ``{"service": ..., "request": ...}`` or ``{"request": ...}`` for
-  client-level arrivals.
-* ``sla_violations_total`` (counter) -- end-to-end SLA violations,
-  labels ``{"request": ...}``.
-* ``cpu_utilization`` (gauge) -- per-service CPU utilisation in [0, 1],
-  labels ``{"service": ...}``.
-* ``replicas`` (gauge) -- per-service replica count.
-* ``cpu_allocated`` (gauge) -- per-service total allocated CPUs.
-* ``queue_depth`` (gauge) -- per-service pending request count.
+* :class:`~repro.telemetry.metrics.MetricsHub` -- windowed aggregate
+  metrics (the Prometheus substitute).  Every metric name is declared in
+  :data:`~repro.telemetry.registry.DEFAULT_REGISTRY` with its kind and
+  expected labels; the hub warns (or raises, ``strict=True``) on
+  unregistered writes and the ursalint rule ``TEL001`` checks literals at
+  lint time.
+* :mod:`~repro.telemetry.tracing` -- per-request span trees plus the
+  critical-path analyzer attributing end-to-end latency to
+  (service, phase) pairs (the Jaeger substitute).
+* :mod:`~repro.telemetry.export` -- CSV/JSON dumps for offline plotting.
+
+See ``docs/observability.md`` for the span model, critical-path
+semantics, and the digest workflow.
 """
 
 from repro.telemetry.histogram import LatencyHistogram
 from repro.telemetry.metrics import LabelSet, MetricsHub, labels_key
+from repro.telemetry.registry import (
+    DEFAULT_REGISTRY,
+    MetricRegistry,
+    MetricSpec,
+    UnregisteredMetricWarning,
+)
+from repro.telemetry.tracing import (
+    CriticalPathSummary,
+    PathSegment,
+    Span,
+    Trace,
+    Tracer,
+    attribute_latency,
+    critical_path,
+    traces_to_chrome,
+    traces_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
 
-__all__ = ["LatencyHistogram", "LabelSet", "MetricsHub", "labels_key"]
+__all__ = [
+    "CriticalPathSummary",
+    "DEFAULT_REGISTRY",
+    "LabelSet",
+    "LatencyHistogram",
+    "MetricRegistry",
+    "MetricSpec",
+    "MetricsHub",
+    "PathSegment",
+    "Span",
+    "Trace",
+    "Tracer",
+    "UnregisteredMetricWarning",
+    "attribute_latency",
+    "critical_path",
+    "labels_key",
+    "traces_to_chrome",
+    "traces_to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -19,10 +19,16 @@ request rate, mean CPU utilisation).
 from __future__ import annotations
 
 import math
+import warnings
 from collections.abc import Mapping
 
 from repro.errors import TelemetryError
 from repro.stats.distributions import EmpiricalDistribution
+from repro.telemetry.registry import (
+    DEFAULT_REGISTRY,
+    MetricRegistry,
+    UnregisteredMetricWarning,
+)
 
 __all__ = ["MetricsHub", "LabelSet", "labels_key"]
 
@@ -47,17 +53,45 @@ class MetricsHub:
 
     The hub needs the current simulation time on every write; callers pass
     a clock function (usually ``lambda: env.now``) at construction.
+
+    Writes are validated against a
+    :class:`~repro.telemetry.registry.MetricRegistry`: an undeclared name,
+    a kind mismatch, or an undeclared label key warns
+    (:class:`~repro.telemetry.registry.UnregisteredMetricWarning`) by
+    default and raises :class:`~repro.errors.TelemetryError` when
+    ``strict=True``.  Validation happens only when a new series is
+    created, so the per-observation hot path pays nothing.  Pass
+    ``registry=None`` to disable checking (ad-hoc hubs in tests).
     """
 
-    def __init__(self, clock, window_s: float = 60.0) -> None:
+    def __init__(
+        self,
+        clock,
+        window_s: float = 60.0,
+        registry: MetricRegistry | None = DEFAULT_REGISTRY,
+        strict: bool = False,
+    ) -> None:
         if window_s <= 0:
             raise TelemetryError(f"window must be > 0, got {window_s}")
         self._clock = clock
         self.window_s = float(window_s)
+        self.registry = registry
+        self.strict = bool(strict)
         # metric name -> labels -> window index -> aggregate
         self._latency: dict[str, dict[LabelSet, dict[int, EmpiricalDistribution]]] = {}
         self._counters: dict[str, dict[LabelSet, dict[int, float]]] = {}
         self._gauges: dict[str, dict[LabelSet, dict[int, list[float]]]] = {}
+
+    def _check(self, kind: str, name: str, labels: LabelSet) -> None:
+        """Validate a new series against the registry (first write only)."""
+        if self.registry is None:
+            return
+        problem = self.registry.check(name, kind, (k for k, _ in labels))
+        if problem is None:
+            return
+        if self.strict:
+            raise TelemetryError(problem)
+        warnings.warn(problem, UnregisteredMetricWarning, stacklevel=3)
 
     # -- writes -----------------------------------------------------------
     def _window(self, at: float | None = None) -> int:
@@ -72,7 +106,12 @@ class MetricsHub:
     ) -> None:
         """Record one latency observation for metric ``name``."""
         window = self._window()
-        series = self._latency.setdefault(name, {}).setdefault(labels_key(labels), {})
+        key = labels_key(labels)
+        table = self._latency.setdefault(name, {})
+        series = table.get(key)
+        if series is None:
+            self._check("latency", name, key)
+            series = table[key] = {}
         dist = series.get(window)
         if dist is None:
             dist = series[window] = EmpiricalDistribution()
@@ -88,7 +127,12 @@ class MetricsHub:
         if amount < 0:
             raise TelemetryError(f"counter increment must be >= 0, got {amount}")
         window = self._window()
-        series = self._counters.setdefault(name, {}).setdefault(labels_key(labels), {})
+        key = labels_key(labels)
+        table = self._counters.setdefault(name, {})
+        series = table.get(key)
+        if series is None:
+            self._check("counter", name, key)
+            series = table[key] = {}
         series[window] = series.get(window, 0.0) + amount
 
     def observe_gauge(
@@ -99,7 +143,12 @@ class MetricsHub:
     ) -> None:
         """Record one point-in-time gauge sample."""
         window = self._window()
-        series = self._gauges.setdefault(name, {}).setdefault(labels_key(labels), {})
+        key = labels_key(labels)
+        table = self._gauges.setdefault(name, {})
+        series = table.get(key)
+        if series is None:
+            self._check("gauge", name, key)
+            series = table[key] = {}
         series.setdefault(window, []).append(value)
 
     # -- reads ------------------------------------------------------------
@@ -172,10 +221,13 @@ class MetricsHub:
                 continue
             bucket_start = w * self.window_s
             bucket_end = bucket_start + self.window_s
+            # The intersection of [t0, t1) with a window-sized bucket can
+            # never exceed window_s, so the fraction below is already in
+            # [0, 1] -- no clamp needed.
             overlap = min(t1, bucket_end) - max(t0, bucket_start)
             if overlap <= 0:
                 continue
-            total += count * min(1.0, overlap / self.window_s)
+            total += count * (overlap / self.window_s)
         return total
 
     def counter_rate(

@@ -1,0 +1,202 @@
+"""The metric-name registry: every metric declared in one place.
+
+Metric names used to be free-form strings passed to
+:class:`~repro.telemetry.metrics.MetricsHub` -- a typo silently created a
+parallel series that every query missed (the failure mode the ROADMAP
+flagged).  This module declares the canonical names, their kind, and
+their expected label keys; the hub checks writes against the registry
+(warn by default, raise in strict mode), and the ursalint rule ``TEL001``
+checks string literals at lint time so typos never reach a run.
+
+Adding a metric is a one-line :data:`DEFAULT_REGISTRY` entry; ad-hoc hubs
+(unit tests, scratch scripts) can pass ``registry=None`` to opt out or
+build their own :class:`MetricRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "MetricRegistry",
+    "MetricSpec",
+    "UnregisteredMetricWarning",
+]
+
+
+class UnregisteredMetricWarning(UserWarning):
+    """A metric write used a name or shape the registry does not know."""
+
+
+#: Valid metric kinds (the three aggregation families of the hub).
+KINDS = ("latency", "counter", "gauge")
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric: name, kind, and expected label keys.
+
+    ``labels`` lists every label key a series of this metric may carry;
+    a write may use any *subset* (e.g. ``requests_total`` is recorded
+    both per-service and client-level), but never a key outside the set.
+    """
+
+    name: str
+    kind: str
+    labels: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"metric kind must be one of {KINDS}, got {self.kind!r}"
+            )
+        object.__setattr__(self, "labels", tuple(self.labels))
+
+
+class MetricRegistry:
+    """An immutable-by-convention set of :class:`MetricSpec` declarations."""
+
+    def __init__(self, specs: Iterable[MetricSpec] = ()) -> None:
+        self._specs: dict[str, MetricSpec] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: MetricSpec) -> MetricSpec:
+        """Add a declaration; re-registering an identical spec is a no-op."""
+        existing = self._specs.get(spec.name)
+        if existing is not None and existing != spec:
+            raise ValueError(
+                f"metric {spec.name!r} already registered as {existing}"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> MetricSpec | None:
+        return self._specs.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[MetricSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def check(
+        self,
+        name: str,
+        kind: str,
+        label_keys: Iterable[str],
+    ) -> str | None:
+        """Validate one write; returns a problem description or ``None``."""
+        spec = self._specs.get(name)
+        if spec is None:
+            return (
+                f"metric {name!r} is not declared in the registry "
+                f"(known: {', '.join(self.names()) or 'none'})"
+            )
+        if spec.kind != kind:
+            return (
+                f"metric {name!r} is declared as a {spec.kind} but was "
+                f"written as a {kind}"
+            )
+        extra = sorted(set(label_keys) - set(spec.labels))
+        if extra:
+            return (
+                f"metric {name!r} written with undeclared label keys "
+                f"{extra}; declared: {sorted(spec.labels)}"
+            )
+        return None
+
+
+#: Every metric the reproduction records, in one table.  The ursalint
+#: rule TEL001 and the hub's runtime check both read this.
+DEFAULT_REGISTRY = MetricRegistry(
+    [
+        MetricSpec(
+            "request_latency",
+            "latency",
+            ("request",),
+            "end-to-end request latency (call-tree completion)",
+        ),
+        MetricSpec(
+            "service_latency",
+            "latency",
+            ("request", "service"),
+            "per-service response time minus nested-RPC downstream waits",
+        ),
+        MetricSpec(
+            "requests_total",
+            "counter",
+            ("request", "service"),
+            "request arrivals at a service",
+        ),
+        MetricSpec(
+            "client_requests_total",
+            "counter",
+            ("request",),
+            "client-level request arrivals",
+        ),
+        MetricSpec(
+            "sla_violations_total",
+            "counter",
+            ("request",),
+            "completed requests whose latency exceeded the class SLA target",
+        ),
+        MetricSpec(
+            "mq_published_total",
+            "counter",
+            ("request", "service"),
+            "messages published to a service's queue",
+        ),
+        MetricSpec(
+            "cpu_utilization",
+            "gauge",
+            ("service",),
+            "per-service CPU utilisation in [0, 1]",
+        ),
+        MetricSpec(
+            "replicas",
+            "gauge",
+            ("service",),
+            "per-service running replica count",
+        ),
+        MetricSpec(
+            "cpu_allocated",
+            "gauge",
+            ("service",),
+            "per-service total allocated CPUs",
+        ),
+        MetricSpec(
+            "queue_depth",
+            "gauge",
+            ("service",),
+            "per-service pending requests (MQ backlog + thread-queue waiters)",
+        ),
+        MetricSpec(
+            "cluster_allocated_cpus",
+            "gauge",
+            (),
+            "CPUs reserved across all deployments on the cluster",
+        ),
+        MetricSpec(
+            "cluster_free_cpus",
+            "gauge",
+            (),
+            "schedulable CPUs remaining on the cluster",
+        ),
+        MetricSpec(
+            "traces_sampled_total",
+            "counter",
+            ("request",),
+            "requests selected by the tracer's sampling policy",
+        ),
+    ]
+)

@@ -1,0 +1,10 @@
+"""TEL001 fixture: registered (or dynamic) metric writes; must be clean."""
+
+
+def record(hub, service, name):
+    hub.record_latency("service_latency", 0.5, {"service": service, "request": "r"})
+    hub.inc_counter("requests_total", labels={"request": "r", "service": service})
+    # Subset of the declared label keys is allowed.
+    hub.observe_gauge("cpu_utilization", 0.4)
+    # Dynamic names are the runtime check's job, not the linter's.
+    hub.inc_counter(name, labels={"anything": "goes"})

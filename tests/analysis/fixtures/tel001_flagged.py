@@ -1,0 +1,10 @@
+"""TEL001 fixture: unregistered metric writes that must be flagged."""
+
+
+def record(hub, service):
+    # Typo'd name: no such metric in the registry.
+    hub.record_latency("servce_latency", 0.5, {"service": service})
+    # Kind mismatch: requests_total is a counter, not a gauge.
+    hub.observe_gauge("requests_total", 1.0, {"service": service})
+    # Undeclared label key on a registered metric.
+    hub.inc_counter("sla_violations_total", labels={"tier": "frontend"})

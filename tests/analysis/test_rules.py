@@ -17,6 +17,7 @@ RULE_FIXTURES = {
     "SIM005": ("sim005_flagged.py", "sim005_clean.py"),
     "SIM006": ("sim006_flagged.py", "sim006_clean.py"),
     "API001": ("api001_flagged.py", "api001_clean.py"),
+    "TEL001": ("tel001_flagged.py", "tel001_clean.py"),
 }
 
 
@@ -50,6 +51,7 @@ def test_flagged_fixture_counts():
         "SIM005": 1,  # acquire without finally-release
         "SIM006": 2,  # == and != against env.now
         "API001": 3,  # two arg defaults + dataclass field
+        "TEL001": 3,  # typo'd name, kind mismatch, undeclared label key
     }
     for rule_id, count in expected.items():
         flagged, _ = RULE_FIXTURES[rule_id]

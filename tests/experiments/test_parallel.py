@@ -122,6 +122,47 @@ def test_run_many_empty_plans():
     assert run_many([], jobs=4) == []
 
 
+# -- on_complete -----------------------------------------------------------
+
+
+def test_on_complete_sequential_fires_in_plan_order():
+    plans = [
+        RunPlan(cheap_cell, {"app": "a", "load": "l", "seed": s}, label=f"s{s}")
+        for s in range(5)
+    ]
+    seen = []
+    results = run_many(
+        plans, jobs=1, on_complete=lambda plan, result: seen.append((plan, result))
+    )
+    assert [plan for plan, _ in seen] == plans
+    assert [result for _, result in seen] == results
+
+
+def test_on_complete_pooled_fires_once_per_plan():
+    plans = [
+        RunPlan(cheap_cell, {"app": "a", "load": "l", "seed": s}, label=f"s{s}")
+        for s in range(6)
+    ]
+    seen = {}
+    results = run_many(
+        plans, jobs=3, on_complete=lambda plan, result: seen.update({plan.label: result})
+    )
+    # Completion order is nondeterministic, but every plan reports exactly
+    # once with its own result, and the returned list stays plan-ordered.
+    assert seen == {plan.label: result for plan, result in zip(plans, results)}
+    assert results == [cheap_cell("a", "l", s) for s in range(6)]
+
+
+def test_on_complete_not_called_for_failed_plan():
+    plans = [RunPlan(cheap_cell, {"app": "a", "load": "l", "seed": 0}),
+             RunPlan(failing_cell)]
+    seen = []
+    for jobs in (1, 2):
+        with pytest.raises(RuntimeError, match="boom in worker"):
+            run_many(plans, jobs=jobs, on_complete=lambda plan, _r: seen.append(plan))
+    assert all(plan is plans[0] for plan in seen)
+
+
 # -- default_jobs ----------------------------------------------------------
 
 

@@ -15,6 +15,7 @@ from repro.cluster.node import Node
 from repro.sim.engine import Environment, SimulationError
 from repro.sim.random import RandomStreams
 from repro.sim.resources import Resource
+from repro.sim.trace import EventTraceRecorder
 from repro.workload.defaults import social_network_mix
 from repro.workload.generator import LoadGenerator
 from repro.workload.patterns import ConstantLoad
@@ -22,21 +23,9 @@ from repro.workload.patterns import ConstantLoad
 import pytest
 
 
-class TracingEnvironment(Environment):
-    """Environment recording (time, priority, seq, event type) per step."""
-
-    def __init__(self) -> None:
-        super().__init__()
-        self.trace: list[tuple[float, int, int, str]] = []
-
-    def step(self) -> None:
-        when, priority, seq, event = self._queue[0]
-        self.trace.append((when, priority, seq, type(event).__name__))
-        super().step()
-
-
 def _run_social_network(seed: int, until: float = 20.0) -> bytes:
-    env = TracingEnvironment()
+    recorder = EventTraceRecorder()
+    env = Environment(trace=recorder)
     cluster = Cluster(env, nodes=[Node(f"n{i}", 96, 256) for i in range(4)])
     app = Application(
         build_social_network_spec(),
@@ -54,7 +43,7 @@ def _run_social_network(seed: int, until: float = 20.0) -> bytes:
     generator.start()
     env.run(until=until)
     assert sum(generator.generated.values()) > 0, "load generator produced nothing"
-    return repr(env.trace).encode("utf-8")
+    return recorder.as_bytes()
 
 
 def test_same_seed_is_byte_identical():

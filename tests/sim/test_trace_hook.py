@@ -1,0 +1,146 @@
+"""Tests for the engine trace hook and the run-digest helpers."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+from repro.sim.trace import EventTraceRecorder, RunDigest, write_digest
+
+
+def _workload(env: Environment, seed: int) -> None:
+    """A small deterministic mix of timeouts, events, and contention."""
+    resource = Resource(env, capacity=2)
+
+    def looper(env, delay):
+        for _ in range(20):
+            yield env.timeout(delay)
+
+    def contender(env, resource, priority):
+        for _ in range(10):
+            yield resource.acquire(priority=priority)
+            try:
+                yield env.timeout(0.05)
+            finally:
+                resource.release()
+
+    for i in range(4):
+        env.process(looper(env, 0.1 + 0.01 * ((seed + i) % 5)))
+    for i in range(3):
+        env.process(contender(env, resource, i % 2))
+    env.run()
+
+
+def test_trace_hook_sees_every_processed_event():
+    recorder = EventTraceRecorder()
+    env = Environment(trace=recorder)
+    _workload(env, seed=0)
+    assert len(recorder) > 0
+    times = [when for when, _p, _s, _name in recorder.entries]
+    assert times == sorted(times)
+    assert all(name for _w, _p, _s, name in recorder.entries)
+
+
+def test_trace_property_and_default():
+    recorder = EventTraceRecorder()
+    assert Environment().trace is None
+    assert Environment(trace=recorder).trace is recorder
+
+
+def test_traced_run_matches_untraced_timeline():
+    """The hook is a pure observer: tracing must not change the schedule."""
+    untraced = Environment()
+    _workload(untraced, seed=3)
+    traced = Environment(trace=EventTraceRecorder())
+    _workload(traced, seed=3)
+    assert traced.now == untraced.now
+    assert traced._seq == untraced._seq
+
+
+def test_recorder_is_deterministic_across_runs():
+    traces = []
+    for _ in range(2):
+        recorder = EventTraceRecorder()
+        env = Environment(trace=recorder)
+        _workload(env, seed=1)
+        traces.append(recorder.as_bytes())
+    assert traces[0] == traces[1]
+
+
+def test_digest_matches_iff_traces_match():
+    def run(seed: int) -> tuple[str, bytes]:
+        recorder = EventTraceRecorder()
+        digest = RunDigest()
+
+        def both(when, priority, seq, event):
+            recorder(when, priority, seq, event)
+            digest(when, priority, seq, event)
+
+        env = Environment(trace=both)
+        _workload(env, seed=seed)
+        return digest.hexdigest(), recorder.as_bytes()
+
+    d1, t1 = run(0)
+    d2, t2 = run(0)
+    d3, t3 = run(2)
+    assert (d1, t1) == (d2, t2)
+    assert t3 != t1
+    assert d3 != d1
+
+
+def test_digest_counts_events_and_does_not_finalise():
+    digest = RunDigest()
+    env = Environment(trace=digest)
+    _workload(env, seed=0)
+    assert digest.events > 0
+    first = digest.hexdigest()
+    # hexdigest() must not finalise: the hook can keep updating after.
+    assert digest.hexdigest() == first
+    digest(env.now + 1.0, 0, 10**6, env.event())
+    assert digest.hexdigest() != first
+
+
+def test_write_digest(tmp_path):
+    digest = RunDigest()
+    env = Environment(trace=digest)
+    _workload(env, seed=0)
+    path = tmp_path / "nested" / "run.digest"
+    value = write_digest(digest, path)
+    assert path.read_text() == value + "\n"
+    assert value == digest.hexdigest()
+    # Accepts a precomputed hex string too.
+    assert write_digest("abc123", tmp_path / "raw.digest") == "abc123"
+    assert (tmp_path / "raw.digest").read_text() == "abc123\n"
+
+
+def test_custom_step_subclass_still_supported():
+    """Subclassing step() remains possible alongside the trace hook."""
+    seen = []
+
+    class CountingEnvironment(Environment):
+        def step(self) -> None:
+            seen.append(self._queue[0][0])
+            super().step()
+
+    env = CountingEnvironment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(2.0)
+
+    env.process(proc(env))
+    env.run()
+    assert len(seen) >= 2
+
+
+@pytest.mark.parametrize("until", [5.0, None])
+def test_trace_hook_with_until(until):
+    recorder = EventTraceRecorder()
+    env = Environment(trace=recorder)
+
+    def proc(env):
+        for _ in range(10):
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run(until=until)
+    assert len(recorder) > 0

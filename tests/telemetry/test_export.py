@@ -25,7 +25,7 @@ class Clock:
 @pytest.fixture
 def hub():
     clock = Clock()
-    hub = MetricsHub(clock, window_s=10.0)
+    hub = MetricsHub(clock, window_s=10.0, registry=None)
     for window in range(6):
         clock.now = window * 10.0 + 1.0
         hub.observe_gauge("cpu", 0.1 * window, {"service": "s"})

@@ -21,7 +21,8 @@ def clock():
 
 @pytest.fixture
 def hub(clock):
-    return MetricsHub(clock, window_s=60.0)
+    # registry=None: these tests use ad-hoc metric names on purpose.
+    return MetricsHub(clock, window_s=60.0, registry=None)
 
 
 def test_labels_key_canonical():
