@@ -1,6 +1,6 @@
 # Convenience targets for the Ursa reproduction.
 
-.PHONY: install test test-par lint bench bench-full perf perf-check clean-cache results loc
+.PHONY: install test test-par lint typecheck bench bench-full perf perf-check clean-cache results results-check loc
 
 install:
 	pip install -e .
@@ -16,6 +16,11 @@ test-par:
 lint:
 	ruff check src tests benchmarks
 	PYTHONPATH=src python -m repro.analysis src/ benchmarks/
+
+# Static types for the provenance-critical modules (results store,
+# histogram).  Requires mypy from the dev extras; CI runs this gate.
+typecheck:
+	mypy
 
 # Regenerates every paper table/figure; writes rendered output to results/.
 bench:
@@ -45,6 +50,11 @@ clean-cache:
 
 results:
 	@ls -1 results/ 2>/dev/null || echo "run 'make bench' first"
+
+# Verify every committed result still matches its provenance sidecar
+# (digest self-checksum + rendered-text hash; docs/results_provenance.md).
+results-check:
+	PYTHONPATH=src python -m repro.experiments.store
 
 loc:
 	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

@@ -2,26 +2,36 @@
 
 Each benchmark regenerates one paper table/figure, runs it exactly once
 (``benchmark.pedantic`` with one round -- the simulations are long), and
-writes the rendered output to ``results/`` for EXPERIMENTS.md.
+writes the rendered output to ``results/`` for EXPERIMENTS.md.  When the
+experiment module provides a provenance :class:`~repro.experiments.store.RunMeta`,
+the write goes through :func:`repro.experiments.store.save_result`, which
+persists a ``results/<name>.meta.json`` sidecar and *fails* if a recorded
+deterministic run no longer reproduces (set ``REPRO_RESULTS_UPDATE=1`` to
+accept an intentional change).
 """
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import pytest
 
-RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+from repro.experiments import store
 
 
 @pytest.fixture
 def save_result():
-    """Callable writing a rendered experiment block to results/<name>.txt."""
+    """Callable writing a rendered experiment block to results/<name>.txt.
 
-    def save(name: str, text: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + "\n")
+    With ``meta`` the block is persisted via the results store (digest
+    comparison + sidecar); without, it is a plain text write.
+    """
+
+    def save(name: str, text: str, meta: store.RunMeta | None = None) -> None:
+        if meta is not None:
+            path = store.save_result(name, text, meta)
+        else:
+            store.results_dir().mkdir(exist_ok=True)
+            path = store.results_dir() / f"{name}.txt"
+            path.write_text(text + "\n")
         print(f"\n{text}\n[saved to {path}]")
 
     return save

@@ -34,6 +34,7 @@ from pathlib import Path
 from repro.experiments import artifacts
 from repro.experiments.fig11_12_performance import run_cell, run_performance_grid
 from repro.experiments.parallel import default_jobs
+from repro.experiments.runner import RunOptions
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 OUTPUT = REPO_ROOT / "BENCH_runner.json"
@@ -56,7 +57,7 @@ RECORDED_BASELINE = {
 def bench_deployment() -> dict:
     artifacts.exploration_result("social-network")  # prewarm
     start = time.perf_counter()
-    result = run_cell("social-network", "constant", "ursa", seed=23)
+    result = run_cell("social-network", "constant", "ursa", RunOptions(seed=23))
     wall = time.perf_counter() - start
     sim_seconds = result.metrics.duration_s
     return {

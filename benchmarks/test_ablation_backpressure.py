@@ -22,13 +22,16 @@ from repro.experiments import artifacts
 from repro.experiments.ablations import (
     ABLATION_APP,
     BP_SERVICE,
+    backpressure_meta,
     run_backpressure_ablation,
 )
 
 
 def test_ablation_backpressure(benchmark, save_result):
     table, enforced, disabled = run_once(benchmark, run_backpressure_ablation)
-    save_result("ablation_backpressure", table)
+    save_result(
+        "ablation_backpressure", table, backpressure_meta(enforced, disabled)
+    )
     max_util_enforced = max(o.utilization for o in enforced.options)
     max_util_disabled = max(o.utilization for o in disabled.options)
     # The enforced variant never records options in the backpressure zone.

@@ -13,12 +13,12 @@ cells can fan out across processes.
 
 from conftest import run_once
 
-from repro.experiments.ablations import run_grid_ablation
+from repro.experiments.ablations import grid_meta, run_grid_ablation
 
 
 def test_ablation_grid(benchmark, save_result):
     table, objectives = run_once(benchmark, run_grid_ablation)
-    save_result("ablation_grid", table)
+    save_result("ablation_grid", table, grid_meta(objectives))
     # A finer grid's feasible splits are a superset of a coarser grid's,
     # so the optimum can only improve (or stay) as the grid refines.
     if objectives["coarse-2"] != float("inf"):

@@ -17,12 +17,12 @@ variants can fan out across processes.
 
 from conftest import run_once
 
-from repro.experiments.ablations import run_ttest_ablation
+from repro.experiments.ablations import run_ttest_ablation, ttest_meta
 
 
 def test_ablation_ttest(benchmark, save_result):
     table, with_ttest, naive = run_once(benchmark, run_ttest_ablation)
-    save_result("ablation_ttest", table)
+    save_result("ablation_ttest", table, ttest_meta(with_ttest, naive))
     # The naive variant cannot scale in (every comparison "exceeds"), so
     # it allocates at least as many CPUs for the same workload.
     assert naive["cpus"] >= with_ttest["cpus"] - 0.5

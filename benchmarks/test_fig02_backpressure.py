@@ -9,6 +9,8 @@ from conftest import run_once
 
 from repro.experiments.fig02_backpressure import (
     backpressure_factor,
+    experiment_meta,
+    render_report,
     run_all_chains,
 )
 from repro.net.messages import CallMode
@@ -16,15 +18,9 @@ from repro.net.messages import CallMode
 
 def test_fig02_backpressure(benchmark, save_result):
     heatmaps = run_once(benchmark, run_all_chains)
-    text = "\n\n".join(hm.render() for hm in heatmaps.values())
-    summary = ["", "backpressure factors (throttled/baseline p99):"]
-    for mode, hm in heatmaps.items():
-        factors = {t: backpressure_factor(hm, t) for t in range(1, 6)}
-        summary.append(
-            f"  {mode.value}: "
-            + "  ".join(f"tier{t}={f:.2f}" for t, f in factors.items())
-        )
-    save_result("fig02_backpressure", text + "\n" + "\n".join(summary))
+    save_result(
+        "fig02_backpressure", render_report(heatmaps), experiment_meta(heatmaps)
+    )
 
     rpc = heatmaps[CallMode.RPC]
     event = heatmaps[CallMode.EVENT]

@@ -7,12 +7,15 @@ convergence is several times its converged value.
 
 from conftest import run_once
 
-from repro.experiments.fig04_thresholds import run_threshold_profiling
+from repro.experiments.fig04_thresholds import (
+    experiment_meta,
+    run_threshold_profiling,
+)
 
 
 def test_fig04_thresholds(benchmark, save_result):
     curves = run_once(benchmark, run_threshold_profiling)
-    save_result("fig04_thresholds", curves.render())
+    save_result("fig04_thresholds", curves.render(), experiment_meta(curves))
     for name, profile in curves.profiles.items():
         assert 0.30 <= profile.threshold_utilization <= 0.80, name
         converged = profile.points[-1].proxy_p99_mean

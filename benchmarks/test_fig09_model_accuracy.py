@@ -9,16 +9,27 @@ import math
 from conftest import run_once
 
 from repro.experiments.fig09_10_model_accuracy import (
+    FIG9_10_SEED,
     FIG9_CLASSES,
+    experiment_meta,
     run_model_accuracy,
 )
+from repro.experiments.runner import RunOptions
 
 
 def test_fig09_model_accuracy(benchmark, save_result):
     result = run_once(
-        benchmark, run_model_accuracy, "social-network", FIG9_CLASSES
+        benchmark,
+        run_model_accuracy,
+        "social-network",
+        FIG9_CLASSES,
+        options=RunOptions(seed=FIG9_10_SEED, digest=True),
     )
-    save_result("fig09_model_accuracy", result.render())
+    save_result(
+        "fig09_model_accuracy",
+        result.render(),
+        experiment_meta(result, "fig09_model_accuracy"),
+    )
     ratios = {}
     for name, series in result.series.items():
         if len(series.points) >= 3:

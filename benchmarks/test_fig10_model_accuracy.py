@@ -8,7 +8,12 @@ import math
 
 from conftest import run_once
 
-from repro.experiments.fig09_10_model_accuracy import run_model_accuracy
+from repro.experiments.fig09_10_model_accuracy import (
+    FIG9_10_SEED,
+    experiment_meta,
+    run_model_accuracy,
+)
+from repro.experiments.runner import RunOptions
 
 
 def test_fig10_model_accuracy(benchmark, save_result):
@@ -17,8 +22,13 @@ def test_fig10_model_accuracy(benchmark, save_result):
         run_model_accuracy,
         "video-pipeline",
         ("high-priority", "low-priority"),
+        options=RunOptions(seed=FIG9_10_SEED, digest=True),
     )
-    save_result("fig10_model_accuracy", result.render())
+    save_result(
+        "fig10_model_accuracy",
+        result.render(),
+        experiment_meta(result, "fig10_model_accuracy"),
+    )
     for name, series in result.series.items():
         if len(series.points) < 3:
             continue

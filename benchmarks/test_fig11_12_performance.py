@@ -18,7 +18,10 @@ import statistics
 
 from conftest import run_once
 
-from repro.experiments.fig11_12_performance import run_performance_grid
+from repro.experiments.fig11_12_performance import (
+    experiment_meta,
+    run_performance_grid,
+)
 
 DEFAULT_APPS = (
     "social-network",
@@ -39,7 +42,7 @@ def test_fig11_12_performance(benchmark, save_result):
     apps = _apps()
     grid = run_once(benchmark, run_performance_grid, apps)
     text = grid.violation_table() + "\n\n" + grid.cpu_table()
-    save_result("fig11_12_performance", text)
+    save_result("fig11_12_performance", text, experiment_meta(grid))
 
     def cells(manager, metric):
         return [

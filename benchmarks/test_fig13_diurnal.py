@@ -8,12 +8,12 @@ must add and remove replicas).
 
 from conftest import run_once
 
-from repro.experiments.fig13_diurnal import run_diurnal_trace
+from repro.experiments.fig13_diurnal import experiment_meta, run_diurnal_trace
 
 
 def test_fig13_diurnal(benchmark, save_result):
     trace = run_once(benchmark, run_diurnal_trace)
-    save_result("fig13_diurnal", trace.render())
+    save_result("fig13_diurnal", trace.render(), experiment_meta(trace))
     assert trace.traces, "no services traced"
     correlations = {
         name: t.correlation()

@@ -8,12 +8,15 @@ after recalculation the updated deployment keeps the object-detect SLA
 
 from conftest import run_once
 
-from repro.experiments.fig14_service_change import run_service_change
+from repro.experiments.fig14_service_change import (
+    experiment_meta,
+    run_service_change,
+)
 
 
 def test_fig14_service_change(benchmark, save_result):
     result = run_once(benchmark, run_service_change)
-    save_result("fig14_service_change", result.render())
+    save_result("fig14_service_change", result.render(), experiment_meta(result))
     # Partial exploration is small: one service's worth of samples.
     assert result.partial_samples <= 200
     assert result.partial_time_s <= 3 * 3600

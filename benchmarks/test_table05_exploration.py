@@ -8,12 +8,12 @@ same order, not identical.
 
 from conftest import run_once
 
-from repro.experiments.table05_exploration import run_table05
+from repro.experiments.table05_exploration import experiment_meta, run_table05
 
 
 def test_table05_exploration(benchmark, save_result):
     table = run_once(benchmark, run_table05)
-    save_result("table05_exploration", table.render())
+    save_result("table05_exploration", table.render(), experiment_meta(table))
     for row in table.rows:
         # Ursa collects hundreds, not thousands, of samples.
         assert row.ursa_samples < 2000, row.app

@@ -9,12 +9,12 @@ Shape targets (absolute numbers are host-dependent):
 
 from conftest import run_once
 
-from repro.experiments.table06_control_plane import run_table06
+from repro.experiments.table06_control_plane import experiment_meta, run_table06
 
 
 def test_table06_control_plane(benchmark, save_result):
     table = run_once(benchmark, run_table06)
-    save_result("table06_control_plane", table.render())
+    save_result("table06_control_plane", table.render(), experiment_meta(table))
     deploy = table.deploy_ms
     # Ordering shape.
     assert deploy["autoscaling"] <= deploy["ursa"] * 2.0

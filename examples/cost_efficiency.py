@@ -14,7 +14,7 @@ from repro.apps import build_vanilla_social_network_spec
 from repro.core import ExplorationController
 from repro.experiments.goodput import compare_cost_efficiency
 from repro.experiments.managers import attach_autoscaler, attach_ursa
-from repro.experiments.runner import run_deployment
+from repro.experiments.runner import RunOptions, run_deployment
 from repro.sim import RandomStreams
 from repro.workload import ConstantLoad
 from repro.workload.defaults import vanilla_social_network_mix
@@ -38,14 +38,15 @@ def main() -> None:
     print("== running the three systems on the identical workload")
     class_loads = {c: rps * mix.fraction(c) for c in mix.classes()}
     runs = {}
+    options = RunOptions(seed=71, duration_s=540)
     runs["ursa"] = run_deployment(
         spec, mix, pattern, attach_ursa(exploration, class_loads),
-        "ursa", "constant", seed=71, duration_s=540,
+        "ursa", "constant", options,
     )
     for variant in ("auto-a", "auto-b"):
         runs[variant] = run_deployment(
             spec, mix, pattern, attach_autoscaler(variant, mix, rps),
-            variant, "constant", seed=71, duration_s=540,
+            variant, "constant", options,
         )
 
     print(f"{'system':10s} {'violations':>11s} {'mean CPUs':>10s}")

@@ -47,12 +47,12 @@ def _list_rules(out) -> None:
         print(f"        {rule_cls.rationale}", file=out)
 
 
-def _parse_rule_list(raw: str) -> set[str]:
+def _parse_rule_list(raw: str) -> tuple[str, ...]:
     rules = {token.strip().upper() for token in raw.split(",") if token.strip()}
     unknown = rules - set(registry())
     if unknown:
         raise LintError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
-    return rules
+    return tuple(sorted(rules))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -108,9 +108,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     paths = args.paths or _default_paths()
     try:
         selected = _parse_rule_list(args.select) if args.select else None
-        ignored = _parse_rule_list(args.ignore) if args.ignore else set()
+        ignored = _parse_rule_list(args.ignore) if args.ignore else ()
         if selected is not None:
-            findings, files_checked = lint_paths(paths, selected - ignored)
+            findings, files_checked = lint_paths(
+                paths, tuple(r for r in selected if r not in ignored)
+            )
         elif ignored:
             # Per-file policy minus the ignored rules.
             findings = []
@@ -118,7 +120,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             from repro.analysis.core import iter_python_files, lint_file
 
             for file in iter_python_files(paths):
-                rules = profile_for_path(file).rules - ignored
+                rules = profile_for_path(file).rules.difference(ignored)
                 findings.extend(lint_file(file, rules))
                 files_checked += 1
             findings.sort()

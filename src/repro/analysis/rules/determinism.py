@@ -224,6 +224,21 @@ class SetIterationRule(Rule):
     def __init__(self, ctx) -> None:
         super().__init__(ctx)
         self._scopes: list[dict[str, bool]] = [{}]
+        self._set_returning: frozenset[str] = frozenset()
+
+    def run(self, tree: ast.Module) -> None:
+        # Pre-pass: module-local functions/methods annotated to return a
+        # set type.  Iterating their call result is just as unordered as
+        # iterating a set literal, but used to escape the rule because
+        # the call site carries no annotation of its own.
+        self._set_returning = frozenset(
+            node.name
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.returns is not None
+            and self._is_set_annotation(node.returns)
+        )
+        self.visit(tree)
 
     # -- set-typed expression detection --------------------------------
     def _is_set_expr(self, node: ast.AST) -> bool:
@@ -232,6 +247,13 @@ class SetIterationRule(Rule):
         if isinstance(node, ast.Call):
             func = node.func
             if isinstance(func, ast.Name) and func.id in _SET_BUILTINS:
+                return True
+            if isinstance(func, ast.Name) and func.id in self._set_returning:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._set_returning
+            ):
                 return True
             if (
                 isinstance(func, ast.Attribute)

@@ -4,10 +4,12 @@ The :class:`~repro.telemetry.metrics.MetricsHub` validates metric names
 at runtime -- but only when the mistyped write actually executes, which
 for a rarely-taken branch may be never in CI.  TEL001 closes the gap at
 lint time: any *string literal* passed as the metric name to a hub write
-method is checked against
+method -- directly or through a module-level string constant (the
+``_METRIC = "request_latency"`` idiom) -- is checked against
 :data:`~repro.telemetry.registry.DEFAULT_REGISTRY` (name known, kind
 matches the method, label keys declared).  Names built dynamically are
-left to the runtime check.
+left to the runtime check, which every hub in the tree now runs in
+strict mode.
 """
 
 from __future__ import annotations
@@ -72,6 +74,46 @@ class UnregisteredMetricRule(Rule):
         "no query reads. Register the metric or fix the typo."
     )
 
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._module_constants: dict[str, str] = {}
+
+    def run(self, tree: ast.Module) -> None:
+        # Pre-pass: module-level string constants, so the common
+        # ``_METRIC = "request_latency"`` indirection stays checkable.
+        # Reassigned names are dropped (their value is ambiguous).
+        seen: dict[str, str | None] = {}
+        for stmt in tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id in seen:
+                    seen[target.id] = None
+                elif isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    seen[target.id] = value.value
+                else:
+                    seen[target.id] = None
+        self._module_constants = {
+            name: text for name, text in seen.items() if text is not None
+        }
+        self.visit(tree)
+
+    def _resolve_name(self, node: ast.expr | None) -> str | None:
+        """The static string value of ``node``, or ``None``."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self._module_constants.get(node.id)
+        return None
+
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
         if isinstance(func, ast.Attribute) and func.attr in _METHOD_KIND:
@@ -80,12 +122,9 @@ class UnregisteredMetricRule(Rule):
 
     def _check_write(self, node: ast.Call, method: str) -> None:
         name_node = node.args[0] if node.args else _keyword(node, "name")
-        if not (
-            isinstance(name_node, ast.Constant)
-            and isinstance(name_node.value, str)
-        ):
+        name = self._resolve_name(name_node)
+        if name is None:
             return  # dynamic name: the hub's runtime check owns it
-        name = name_node.value
         spec = DEFAULT_REGISTRY.get(name)
         if spec is None:
             self.report(

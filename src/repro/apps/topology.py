@@ -124,13 +124,15 @@ class AppSpec:
         """Request class -> SLA (the paper's Tables II-IV)."""
         return {rc.name: rc.sla for rc in self.request_classes}
 
-    def rpc_called_services(self) -> set[str]:
-        """Services invoked via RPC or event-driven RPC somewhere.
+    def rpc_called_services(self) -> tuple[str, ...]:
+        """Services invoked via RPC or event-driven RPC somewhere, sorted.
 
         Only these need backpressure-free threshold profiling (§III): a
         service consumed exclusively through message queues cannot inflate
         any caller's latency.  Roots of non-MQ classes count (the client
-        calls them synchronously).
+        calls them synchronously).  Returned sorted so callers may iterate
+        it directly without tripping SIM003 (set iteration order is
+        run-dependent under hash salting).
         """
         called: set[str] = set()
         for rc in self.request_classes:
@@ -140,7 +142,7 @@ class AppSpec:
                 for child in call.children:
                     if child.mode in (CallMode.RPC, CallMode.EVENT):
                         called.add(child.service)
-        return called
+        return tuple(sorted(called))
 
     def with_service(self, spec: ServiceSpec) -> "AppSpec":
         """A copy with one service spec replaced (§VII-G logic updates)."""

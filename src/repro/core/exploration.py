@@ -237,7 +237,7 @@ class ExplorationController:
         cluster = self.cluster_factory(env)
         # The telemetry hub's aggregation window matches the sampling
         # window so per-sample latency distributions and rates are exact.
-        hub = MetricsHub(lambda: env.now, window_s=self.window_s)
+        hub = MetricsHub(lambda: env.now, window_s=self.window_s, strict=True)
         app = Application(
             spec,
             env=env,

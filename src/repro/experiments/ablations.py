@@ -31,7 +31,9 @@ from repro.experiments import artifacts
 from repro.experiments.parallel import RunPlan, run_many
 from repro.experiments.report import render_table
 from repro.experiments.runner import make_app, scale_profile
+from repro.experiments.store import RunMeta
 from repro.sim.random import RandomStreams
+from repro.sim.trace import RunDigest
 from repro.solver import AllocationModel, ClassSla, ServiceOptions, solve
 from repro.stats.distributions import DEFAULT_PERCENTILE_GRID
 from repro.workload.defaults import default_mix_for
@@ -44,11 +46,17 @@ __all__ = [
     "GRID_SUBSETS",
     "ttest_variant",
     "run_ttest_ablation",
+    "ttest_meta",
     "backpressure_variant",
     "run_backpressure_ablation",
+    "backpressure_meta",
     "grid_subset_solve",
     "run_grid_ablation",
+    "grid_meta",
 ]
+
+#: Default seed of the t-test ablation deployments.
+TTEST_SEED = 41
 
 #: All three ablations use the vanilla social network: it is the
 #: cheapest app whose topology still exercises every mechanism.
@@ -61,7 +69,7 @@ BP_SERVICE = "timeline-service"
 # -- t-test scaling (Welch vs naive) --------------------------------------
 
 
-def ttest_variant(alpha: float, seed: int = 41) -> dict:
+def ttest_variant(alpha: float, seed: int = TTEST_SEED) -> dict:
     """One Ursa deployment with the controller's t-test alpha overridden."""
     profile = scale_profile()
     duration = profile.deployment_s
@@ -69,7 +77,8 @@ def ttest_variant(alpha: float, seed: int = 41) -> dict:
     mix = default_mix_for(ABLATION_APP)
     rps = artifacts.app_rps(ABLATION_APP)
     exploration = artifacts.exploration_result(ABLATION_APP)
-    app = make_app(spec, seed=seed)
+    run_digest = RunDigest()
+    app = make_app(spec, seed=seed, trace=run_digest)
     app.env.run(until=10)
     manager = UrsaManager(app, exploration)
     manager.controller.alpha = alpha
@@ -85,6 +94,7 @@ def ttest_variant(alpha: float, seed: int = 41) -> dict:
             profile.measure_from_s, duration
         ),
         "cpus": app.mean_cpu_allocation(profile.measure_from_s, duration),
+        "run_digest": run_digest.hexdigest(),
     }
 
 
@@ -117,6 +127,28 @@ def run_ttest_ablation(jobs: int | None = None):
         title="Ablation: t-test noise filtering in the resource controller",
     )
     return table, with_ttest, naive
+
+
+def ttest_meta(with_ttest: dict, naive: dict, seed: int = TTEST_SEED) -> RunMeta:
+    """Provenance sidecar for the t-test ablation (two digested runs)."""
+    return RunMeta(
+        experiment="ablation_ttest",
+        scale=scale_profile().name,
+        seeds={"welch": seed, "naive": seed},
+        digests={
+            label: variant["run_digest"]
+            for label, variant in (("welch", with_ttest), ("naive", naive))
+            if variant.get("run_digest")
+        },
+        summaries={
+            label: {
+                "scaling_decisions": float(variant["decisions"]),
+                "violation_rate": round(variant["violations"], 9),
+                "mean_cpus": round(variant["cpus"], 9),
+            }
+            for label, variant in (("welch", with_ttest), ("naive", naive))
+        },
+    )
 
 
 # -- backpressure-free stop during exploration ----------------------------
@@ -182,6 +214,28 @@ def run_backpressure_ablation(jobs: int | None = None):
         ),
     )
     return table, enforced, disabled
+
+
+def backpressure_meta(enforced, disabled) -> RunMeta:
+    """Provenance sidecar for the backpressure-stop ablation.
+
+    The exploration controller owns its environments, so this is
+    content-only provenance (no engine-level digests).
+    """
+    return RunMeta(
+        experiment="ablation_bp",
+        scale=scale_profile().name,
+        seeds={"enforced": 1, "disabled": 2},
+        summaries={
+            label: {
+                "options": float(len(p.options)),
+                "max_util_recorded": round(
+                    max(o.utilization for o in p.options), 9
+                ),
+            }
+            for label, p in (("enforced", enforced), ("disabled", disabled))
+        },
+    )
 
 
 # -- percentile-grid resolution of the Theorem 1 discretisation -----------
@@ -262,3 +316,22 @@ def run_grid_ablation(jobs: int | None = None):
         title="Ablation: percentile grid resolution",
     )
     return table, objectives
+
+
+def grid_meta(objectives: dict[str, float]) -> RunMeta:
+    """Provenance sidecar for the grid-resolution ablation.
+
+    The rendered table embeds wall-clock solve times, so the text hash
+    cannot be compared across runs (``deterministic=False``); the MIP
+    objectives themselves are deterministic and recorded as summaries.
+    """
+    return RunMeta(
+        experiment="ablation_grid",
+        scale=scale_profile().name,
+        seeds={},
+        deterministic=False,
+        summaries={
+            name: {"objective_cpus": round(obj, 9)}
+            for name, obj in sorted(objectives.items())
+        },
+    )

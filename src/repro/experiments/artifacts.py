@@ -10,6 +10,8 @@ regeneration.
 
 from __future__ import annotations
 
+import contextlib
+import fcntl
 import os
 import pickle
 from pathlib import Path
@@ -67,25 +69,58 @@ def cache_dir() -> Path:
     return path
 
 
+def _load(path: Path):
+    """One read attempt; a corrupt entry is a miss, not an error."""
+    if not path.exists():
+        return None
+    try:
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    except Exception:
+        # A truncated/corrupt cache entry (e.g. an interrupted write
+        # by an older, non-atomic writer) is a miss, not an error.
+        path.unlink(missing_ok=True)
+        return None
+
+
+@contextlib.contextmanager
+def _key_lock(path: Path):
+    """Exclusive advisory lock serialising builds of one cache key.
+
+    The lock file sits next to the pickle (``<key>.pkl.lock``) and is
+    left in place -- unlinking it would race a third process that just
+    opened the old inode and now holds a lock nobody else sees.
+    """
+    lock_path = path.with_name(path.name + ".lock")
+    with lock_path.open("a") as fh:
+        fcntl.flock(fh, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh, fcntl.LOCK_UN)
+
+
 def _cached(key: str, build: Callable[[], object]):
     path = cache_dir() / f"{key}-{scale_profile().name}.pkl"
-    if path.exists():
-        try:
-            with path.open("rb") as fh:
-                return pickle.load(fh)
-        except Exception:
-            # A truncated/corrupt cache entry (e.g. an interrupted write
-            # by an older, non-atomic writer) is a miss, not an error.
-            path.unlink(missing_ok=True)
-    artefact = build()
-    # Write-to-temp + atomic rename: parallel workers (or two concurrent
-    # benchmark processes) racing on the same key each publish a complete
-    # file; a reader never sees a half-written pickle.  Builders are
-    # deterministic, so last-writer-wins is harmless.
-    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-    with tmp.open("wb") as fh:
-        pickle.dump(artefact, fh)
-    os.replace(tmp, path)
+    artefact = _load(path)
+    if artefact is not None:
+        return artefact
+    # Serialise concurrent builders of the same key: without the lock, N
+    # processes missing simultaneously each pay the full build (table05's
+    # fan-out cost N explorations cold).  Distinct keys stay concurrent.
+    with _key_lock(path):
+        # Double-checked read: whoever held the lock first has published
+        # the artefact by the time we acquire it.
+        artefact = _load(path)
+        if artefact is not None:
+            return artefact
+        artefact = build()
+        # Write-to-temp + atomic rename: a reader never sees a
+        # half-written pickle, even one not going through the lock.
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(artefact, fh)
+        os.replace(tmp, path)
     return artefact
 
 

@@ -61,34 +61,63 @@ def _run(
     apps: list[str] | None,
     jobs: int | None,
     on_complete=None,
-) -> str:
+):
+    """Run one experiment; returns ``(text, meta_or_None)``.
+
+    ``meta`` is the provenance :class:`~repro.experiments.store.RunMeta`
+    persisted alongside the text when ``--save`` is given; ``summary``
+    aggregates other results and carries no provenance of its own.
+    """
     if name == "fig02":
-        from repro.experiments.fig02_backpressure import run_all_chains
-
-        return "\n\n".join(hm.render() for hm in run_all_chains().values())
-    if name == "fig04":
-        from repro.experiments.fig04_thresholds import run_threshold_profiling
-
-        return run_threshold_profiling().render()
-    if name == "table05":
-        from repro.experiments.table05_exploration import run_table05
-
-        return run_table05(jobs=jobs, on_complete=on_complete).render()
-    if name == "fig09":
-        from repro.experiments.fig09_10_model_accuracy import (
-            FIG9_CLASSES,
-            run_model_accuracy,
+        from repro.experiments.fig02_backpressure import (
+            experiment_meta,
+            render_report,
+            run_all_chains,
         )
 
-        return run_model_accuracy("social-network", FIG9_CLASSES).render()
-    if name == "fig10":
-        from repro.experiments.fig09_10_model_accuracy import run_model_accuracy
+        heatmaps = run_all_chains()
+        return render_report(heatmaps), experiment_meta(heatmaps)
+    if name == "fig04":
+        from repro.experiments.fig04_thresholds import (
+            experiment_meta,
+            run_threshold_profiling,
+        )
 
-        return run_model_accuracy(
-            "video-pipeline", ("high-priority", "low-priority")
-        ).render()
+        curves = run_threshold_profiling()
+        return curves.render(), experiment_meta(curves)
+    if name == "table05":
+        from repro.experiments.table05_exploration import (
+            experiment_meta,
+            run_table05,
+        )
+
+        table = run_table05(jobs=jobs, on_complete=on_complete)
+        return table.render(), experiment_meta(table)
+    if name in ("fig09", "fig10"):
+        from repro.experiments.fig09_10_model_accuracy import (
+            FIG9_10_SEED,
+            FIG9_CLASSES,
+            experiment_meta,
+            run_model_accuracy,
+        )
+        from repro.experiments.runner import RunOptions
+
+        app_name, classes = (
+            ("social-network", FIG9_CLASSES)
+            if name == "fig09"
+            else ("video-pipeline", ("high-priority", "low-priority"))
+        )
+        result = run_model_accuracy(
+            app_name,
+            classes,
+            options=RunOptions(seed=FIG9_10_SEED, digest=True),
+        )
+        return result.render(), experiment_meta(result, _RESULT_NAMES[name])
     if name == "fig11-12":
-        from repro.experiments.fig11_12_performance import run_performance_grid
+        from repro.experiments.fig11_12_performance import (
+            experiment_meta,
+            run_performance_grid,
+        )
 
         grid = run_performance_grid(
             tuple(apps)
@@ -102,24 +131,52 @@ def _run(
             jobs=jobs,
             on_complete=on_complete,
         )
-        return grid.violation_table() + "\n\n" + grid.cpu_table()
+        text = grid.violation_table() + "\n\n" + grid.cpu_table()
+        return text, experiment_meta(grid)
     if name == "fig13":
-        from repro.experiments.fig13_diurnal import run_diurnal_trace
+        from repro.experiments.fig13_diurnal import (
+            experiment_meta,
+            run_diurnal_trace,
+        )
 
-        return run_diurnal_trace(jobs=jobs, on_complete=on_complete).render()
+        trace = run_diurnal_trace(jobs=jobs, on_complete=on_complete)
+        return trace.render(), experiment_meta(trace)
     if name == "table06":
-        from repro.experiments.table06_control_plane import run_table06
+        from repro.experiments.table06_control_plane import (
+            experiment_meta,
+            run_table06,
+        )
 
-        return run_table06().render()
+        table = run_table06()
+        return table.render(), experiment_meta(table)
     if name == "fig14":
-        from repro.experiments.fig14_service_change import run_service_change
+        from repro.experiments.fig14_service_change import (
+            experiment_meta,
+            run_service_change,
+        )
 
-        return run_service_change(jobs=jobs, on_complete=on_complete).render()
+        result = run_service_change(jobs=jobs, on_complete=on_complete)
+        return result.render(), experiment_meta(result)
     if name == "summary":
         from repro.experiments.summary import summarize
 
-        return summarize()
+        return summarize(), None
     raise ValueError(f"unknown experiment {name!r}")
+
+
+#: CLI experiment name -> results-store name (shared with benchmarks/,
+#: so ``--save`` updates the same sidecars the benchmark suite checks).
+_RESULT_NAMES = {
+    "fig02": "fig02_backpressure",
+    "fig04": "fig04_thresholds",
+    "table05": "table05_exploration",
+    "fig09": "fig09_model_accuracy",
+    "fig10": "fig10_model_accuracy",
+    "fig11-12": "fig11_12_performance",
+    "fig13": "fig13_diurnal",
+    "table06": "table06_control_plane",
+    "fig14": "fig14_service_change",
+}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -152,12 +209,30 @@ def main(argv: list[str] | None = None) -> int:
             "(grid experiments only); never affects results"
         ),
     )
+    parser.add_argument(
+        "--save",
+        action="store_true",
+        help=(
+            "persist the rendered output and its provenance sidecar to "
+            "results/ via the results store (fails if a recorded "
+            "deterministic run no longer reproduces; set "
+            "REPRO_RESULTS_UPDATE=1 to accept the change)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.save and args.experiment not in _RESULT_NAMES:
+        parser.error(f"--save is not supported for {args.experiment!r}")
     apps = args.apps.split(",") if args.apps else None
     on_complete = _ProgressReporter() if args.progress else None
-    print(_run(args.experiment, apps, args.jobs, on_complete=on_complete))
+    text, meta = _run(args.experiment, apps, args.jobs, on_complete=on_complete)
+    print(text)
+    if args.save and meta is not None:
+        from repro.experiments import store
+
+        path = store.save_result(_RESULT_NAMES[args.experiment], text, meta)
+        print(f"[saved to {path}]", file=sys.stderr)
     return 0
 
 

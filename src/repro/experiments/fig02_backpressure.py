@@ -17,19 +17,31 @@ from dataclasses import dataclass
 
 from repro.apps.chains import CHAIN_CLASS, build_chain_spec, tier_name
 from repro.experiments.report import render_heatmap
-from repro.experiments.runner import make_app
+from repro.experiments.runner import make_app, scale_profile
+from repro.experiments.store import RunMeta
 from repro.net.messages import CallMode
 from repro.sim.random import RandomStreams
+from repro.sim.trace import RunDigest
 from repro.workload.generator import LoadGenerator
 from repro.workload.mixes import RequestMix
 from repro.workload.patterns import ConstantLoad
 
-__all__ = ["ChainHeatmap", "run_chain", "run_all_chains", "backpressure_factor"]
+__all__ = [
+    "ChainHeatmap",
+    "run_chain",
+    "run_all_chains",
+    "backpressure_factor",
+    "render_report",
+    "experiment_meta",
+]
 
 #: Experiment timeline (seconds): 10 one-minute columns, throttle in 3-6.
 MINUTES = 10
 THROTTLE_START_MIN = 3
 THROTTLE_END_MIN = 6
+
+#: Default seed for the three chain runs.
+FIG2_SEED = 5
 
 
 @dataclass
@@ -39,6 +51,8 @@ class ChainHeatmap:
     mode: CallMode
     tiers: int
     values: list[list[float]]  # [tier][minute]
+    #: Event-trace checksum of the chain's run (``digest=True``).
+    run_digest: str | None = None
 
     def render(self) -> str:
         return render_heatmap(
@@ -56,11 +70,13 @@ def run_chain(
     work_mean_s: float = 0.010,
     replicas: int = 2,
     throttle_factor: float = 0.25,
-    seed: int = 5,
+    seed: int = FIG2_SEED,
+    digest: bool = True,
 ) -> ChainHeatmap:
     """One chain's ten-minute stress test with mid-run leaf throttling."""
     spec = build_chain_spec(mode, tiers=tiers, work_mean_s=work_mean_s)
-    app = make_app(spec, seed=seed, initial_replicas=replicas)
+    run_digest = RunDigest() if digest else None
+    app = make_app(spec, seed=seed, initial_replicas=replicas, trace=run_digest)
     app.env.run(until=10)
     # A Locust-style bounded user pool: under overload the backlog queues
     # at the client, so per-tier response times reflect backpressure, not
@@ -98,12 +114,35 @@ def run_chain(
                 default=0.0,
             )
             values[i - 1][minute] = p99 * 1000.0
-    return ChainHeatmap(mode=mode, tiers=tiers, values=values)
+    return ChainHeatmap(
+        mode=mode,
+        tiers=tiers,
+        values=values,
+        run_digest=run_digest.hexdigest() if run_digest is not None else None,
+    )
 
 
 def run_all_chains(**kwargs) -> dict[CallMode, ChainHeatmap]:
     """All three Fig. 2 panels."""
     return {mode: run_chain(mode, **kwargs) for mode in CallMode}
+
+
+def render_report(heatmaps: dict[CallMode, ChainHeatmap]) -> str:
+    """Canonical rendered text for ``results/fig02_backpressure.txt``.
+
+    Shared by the CLI and the benchmark so both save byte-identical text
+    under the same sidecar identity: the three heatmaps followed by the
+    per-tier inflation-factor summary.
+    """
+    text = "\n\n".join(hm.render() for hm in heatmaps.values())
+    summary = ["", "backpressure factors (throttled/baseline p99):"]
+    for mode, hm in heatmaps.items():
+        factors = {t: backpressure_factor(hm, t) for t in range(1, 6)}
+        summary.append(
+            f"  {mode.value}: "
+            + "  ".join(f"tier{t}={f:.2f}" for t, f in factors.items())
+        )
+    return text + "\n" + "\n".join(summary)
 
 
 def backpressure_factor(heatmap: ChainHeatmap, tier: int) -> float:
@@ -121,3 +160,26 @@ def backpressure_factor(heatmap: ChainHeatmap, tier: int) -> float:
     if base <= 0:
         return float("inf") if throttled > 0 else 1.0
     return throttled / base
+
+
+def experiment_meta(
+    heatmaps: dict[CallMode, ChainHeatmap], seed: int = FIG2_SEED
+) -> RunMeta:
+    """Provenance sidecar for the Fig. 2 output (one run per chain)."""
+    return RunMeta(
+        experiment="fig02",
+        scale=scale_profile().name,
+        seeds={mode.value: seed for mode in heatmaps},
+        digests={
+            mode.value: hm.run_digest
+            for mode, hm in heatmaps.items()
+            if hm.run_digest is not None
+        },
+        summaries={
+            mode.value: {
+                f"tier{t}_inflation_x": round(backpressure_factor(hm, t), 6)
+                for t in range(1, hm.tiers + 1)
+            }
+            for mode, hm in heatmaps.items()
+        },
+    )

@@ -16,9 +16,18 @@ from dataclasses import dataclass
 from repro.core.backpressure import BackpressureProfile, BackpressureProfiler
 from repro.experiments.report import render_table
 from repro.experiments.runner import scale_profile
+from repro.experiments.store import RunMeta
 from repro.sim.random import LogNormal, RandomStreams
 
-__all__ = ["ThresholdCurves", "run_threshold_profiling", "PROFILED_SERVICES"]
+__all__ = [
+    "ThresholdCurves",
+    "run_threshold_profiling",
+    "PROFILED_SERVICES",
+    "experiment_meta",
+]
+
+#: Default profiler seed.
+FIG4_SEED = 3
 
 #: The two §III case-study services with their handler work models.
 PROFILED_SERVICES = {
@@ -59,7 +68,7 @@ class ThresholdCurves:
 
 
 def run_threshold_profiling(
-    max_cpu_limit: int = 8, seed: int = 3
+    max_cpu_limit: int = 8, seed: int = FIG4_SEED
 ) -> ThresholdCurves:
     profile = scale_profile()
     profiler = BackpressureProfiler(
@@ -72,3 +81,24 @@ def run_threshold_profiling(
         for name, work in PROFILED_SERVICES.items()
     }
     return ThresholdCurves(profiles=results)
+
+
+def experiment_meta(curves: ThresholdCurves, seed: int = FIG4_SEED) -> RunMeta:
+    """Provenance sidecar for the Fig. 4 output.
+
+    The profiler owns its environments internally, so there is no
+    engine-level event-trace digest; provenance is content-only (the
+    sidecar's text hash still pins the rendered curves).
+    """
+    return RunMeta(
+        experiment="fig04",
+        scale=scale_profile().name,
+        seeds={name: seed for name in curves.profiles},
+        summaries={
+            name: {
+                "threshold_utilization": round(p.threshold_utilization, 9),
+                "converged_cpu_limit": float(p.converged_cpu_limit),
+            }
+            for name, p in curves.profiles.items()
+        },
+    )

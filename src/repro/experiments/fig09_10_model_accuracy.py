@@ -20,14 +20,27 @@ from repro.core.manager import UrsaManager
 from repro.core.overestimation import OverestimationTracker
 from repro.experiments import artifacts
 from repro.experiments.report import render_attribution, render_series
-from repro.experiments.runner import TracingOptions, make_app, scale_profile
+from repro.experiments.runner import (
+    RunOptions,
+    TracingOptions,
+    _UNSET,
+    make_app,
+    merge_legacy_options,
+    scale_profile,
+)
+from repro.experiments.store import RunMeta
 from repro.sim.random import RandomStreams
 from repro.sim.trace import RunDigest
 from repro.workload.defaults import default_mix_for
 from repro.workload.generator import LoadGenerator
 from repro.workload.patterns import ConstantLoad
 
-__all__ = ["AccuracySeries", "ModelAccuracyResult", "run_model_accuracy"]
+__all__ = [
+    "AccuracySeries",
+    "ModelAccuracyResult",
+    "run_model_accuracy",
+    "experiment_meta",
+]
 
 #: Fig. 9's four representative social-network request types.
 FIG9_CLASSES = (
@@ -76,7 +89,9 @@ class ModelAccuracyResult:
     #: Per-class critical-path attribution (set when tracing was on).
     critical_path: str | None = None
     traced_requests: int = 0
-    #: Event-trace checksum (set when ``digest=True``).
+    #: Event-trace checksum (set when ``options.digest``).  Persisted in
+    #: the ``results/`` sidecar by :func:`experiment_meta`, not rendered
+    #: -- provenance lives next to the text, not inside it.
     run_digest: str | None = None
 
     def render(self) -> str:
@@ -86,36 +101,58 @@ class ModelAccuracyResult:
                 f"critical path ({self.traced_requests} traced requests):\n"
                 f"{self.critical_path}"
             )
-        if self.run_digest is not None:
-            parts.append(f"event-trace digest: {self.run_digest}")
         return "\n\n".join(parts)
+
+
+#: Historical default seed for Fig. 9/10 runs (predates RunOptions).
+FIG9_10_SEED = 17
 
 
 def run_model_accuracy(
     app_name: str,
     classes: tuple[str, ...] | None = None,
     window_s: float = 60.0,
-    seed: int = 17,
-    duration_s: float | None = None,
-    tracing: TracingOptions | None = None,
-    digest: bool = False,
+    options: RunOptions | None = None,
+    *,
+    seed: int = _UNSET,
+    duration_s: float | None = _UNSET,
+    tracing: TracingOptions | None = _UNSET,
+    digest: bool = _UNSET,
 ) -> ModelAccuracyResult:
     """Deploy under Ursa and collect measured-vs-estimated series.
 
-    With ``tracing`` the run also samples span trees and reports where
-    each class's latency accrues -- the request-level cross-check of the
-    model's per-service latency targets.  ``digest=True`` additionally
-    checksums the full event trace (reproducibility fingerprint).
+    Per-run knobs travel in ``options`` (the trailing keywords are
+    deprecated shims).  With ``options.tracing`` the run also samples
+    span trees and reports where each class's latency accrues -- the
+    request-level cross-check of the model's per-service latency
+    targets.  ``options.digest`` additionally checksums the full event
+    trace (reproducibility fingerprint).
     """
-    profile = scale_profile()
-    duration = duration_s if duration_s is not None else profile.deployment_s
+    had_options = options is not None
+    options = merge_legacy_options(
+        options,
+        "run_model_accuracy",
+        seed=seed,
+        duration_s=duration_s,
+        tracing=tracing,
+        digest=digest,
+    )
+    if not had_options and seed is _UNSET:
+        # This experiment's historical default seed differs from
+        # RunOptions' 0; keep rendered outputs stable for callers that
+        # pass no options at all.
+        options = options.replace(seed=FIG9_10_SEED)
+    profile = options.profile()
+    duration = options.resolved_duration_s()
     spec = artifacts.app_spec(app_name)
     mix = default_mix_for(app_name)
     rps = artifacts.app_rps(app_name)
     exploration = artifacts.exploration_result(app_name)
-    run_digest = RunDigest() if digest else None
-    tracer = tracing.build_tracer() if tracing is not None else None
-    app = make_app(spec, seed=seed, trace=run_digest, tracer=tracer)
+    run_digest = RunDigest() if options.digest else None
+    tracer = (
+        options.tracing.build_tracer() if options.tracing is not None else None
+    )
+    app = make_app(spec, seed=options.seed, trace=run_digest, tracer=tracer)
     if tracer is not None:
         tracer.hub = app.hub
     app.env.run(until=10)
@@ -127,7 +164,7 @@ def run_model_accuracy(
         app,
         pattern=ConstantLoad(rps),
         mix=mix,
-        streams=RandomStreams(seed + 1),
+        streams=RandomStreams(options.seed + 1),
         stop_at_s=duration,
     ).start()
 
@@ -171,4 +208,29 @@ def run_model_accuracy(
         critical_path=critical_path,
         traced_requests=traced,
         run_digest=run_digest.hexdigest() if run_digest is not None else None,
+    )
+
+
+def experiment_meta(
+    result: ModelAccuracyResult,
+    experiment: str,
+    seed: int = FIG9_10_SEED,
+) -> RunMeta:
+    """Provenance sidecar for a Fig. 9/10 output (one Ursa deployment)."""
+    digests = {}
+    if result.run_digest is not None:
+        digests[result.app_name] = result.run_digest
+    return RunMeta(
+        experiment=experiment,
+        scale=scale_profile().name,
+        seeds={result.app_name: seed},
+        digests=digests,
+        summaries={
+            name: {
+                "windows": float(len(series.points)),
+                "mean_est_over_meas": round(series.mean_ratio, 9),
+            }
+            for name, series in result.series.items()
+            if series.points
+        },
     )

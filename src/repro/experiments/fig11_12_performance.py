@@ -19,7 +19,7 @@ Expected shapes from the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.experiments import artifacts
 from repro.experiments.managers import (
@@ -30,12 +30,25 @@ from repro.experiments.managers import (
 )
 from repro.experiments.parallel import RunPlan, partition_seeds, run_many
 from repro.experiments.report import render_table
-from repro.experiments.runner import DeploymentResult, run_deployment, scale_profile
+from repro.experiments.runner import (
+    DeploymentResult,
+    RunOptions,
+    _UNSET,
+    merge_legacy_options,
+    run_deployment,
+    scale_profile,
+)
+from repro.experiments.store import RunMeta
 from repro.workload.defaults import default_mix_for, skewed_mixes
 from repro.workload.mixes import RequestMix
 from repro.workload.patterns import ConstantLoad, DiurnalLoad
 
-__all__ = ["PerformanceGrid", "run_performance_grid", "LOAD_KINDS"]
+__all__ = [
+    "PerformanceGrid",
+    "run_performance_grid",
+    "LOAD_KINDS",
+    "experiment_meta",
+]
 
 LOAD_KINDS = ("constant", "dynamic", "skewed")
 
@@ -63,6 +76,9 @@ class PerformanceGrid:
     """(app, load, manager) -> DeploymentResult."""
 
     results: dict[tuple[str, str, str], DeploymentResult]
+    #: (app, load) -> the workload seed shared by that cell's managers
+    #: (recorded so the results sidecar can pin the seed partition).
+    cell_seeds: dict[tuple[str, str], int] = field(default_factory=dict)
 
     def violation_table(self) -> str:
         return self._table("windowed_violation_rate", "Fig.11 SLA violation rate")
@@ -87,18 +103,29 @@ class PerformanceGrid:
         return render_table(["app", "load", *managers], rows, title=title)
 
 
+#: Historical default seed for Fig. 11/12 cells (predates RunOptions).
+FIG11_12_SEED = 23
+
+
 def run_cell(
     app_name: str,
     load_kind: str,
     manager: str,
-    seed: int = 23,
-    duration_s: float | None = None,
+    options: RunOptions | None = None,
+    *,
+    seed: int = _UNSET,
+    duration_s: float | None = _UNSET,
 ) -> DeploymentResult:
     """One (app, load, manager) deployment run."""
+    had_options = options is not None
+    options = merge_legacy_options(
+        options, "run_cell", seed=seed, duration_s=duration_s
+    )
+    if not had_options and seed is _UNSET:
+        options = options.replace(seed=FIG11_12_SEED)
     spec = artifacts.app_spec(app_name)
     rps = artifacts.app_rps(app_name)
-    profile = scale_profile()
-    duration = duration_s if duration_s is not None else profile.deployment_s
+    duration = options.resolved_duration_s()
     mix = _mix_for(app_name, load_kind)
     pattern = _pattern_for(load_kind, rps, duration)
     exploration_mix = default_mix_for(app_name)
@@ -123,8 +150,7 @@ def run_cell(
         attach,
         manager_name=manager,
         load_name=load_kind,
-        seed=seed,
-        duration_s=duration,
+        options=options,
     )
 
 
@@ -174,11 +200,35 @@ def run_performance_grid(
                 "app_name": a,
                 "load_kind": lo,
                 "manager": m,
-                "seed": seeds[(a, lo)],
+                "options": RunOptions(seed=seeds[(a, lo)], digest=True),
             },
             label=f"fig11-12:{a}:{lo}:{m}",
         )
         for (a, lo, m) in keys
     ]
     results = dict(zip(keys, run_many(plans, jobs=jobs, on_complete=on_complete)))
-    return PerformanceGrid(results=results)
+    return PerformanceGrid(results=results, cell_seeds=seeds)
+
+
+def experiment_meta(grid: PerformanceGrid) -> RunMeta:
+    """Provenance sidecar for the Fig. 11/12 grid (one run per cell)."""
+    summaries = {}
+    digests = {}
+    for (app, load, manager), result in sorted(grid.results.items()):
+        label = f"{app}/{load}/{manager}"
+        summaries[label] = {
+            "violation_rate": round(result.windowed_violation_rate, 9),
+            "mean_cpus": round(result.mean_cpu_allocation, 9),
+            "completed_requests": float(result.completed_requests),
+        }
+        if result.run_digest is not None:
+            digests[label] = result.run_digest
+    return RunMeta(
+        experiment="fig11-12",
+        scale=scale_profile().name,
+        seeds={
+            f"{app}/{load}": s for (app, load), s in grid.cell_seeds.items()
+        },
+        digests=digests,
+        summaries=summaries,
+    )

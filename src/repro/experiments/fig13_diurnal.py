@@ -15,12 +15,22 @@ from repro.experiments import artifacts
 from repro.experiments.parallel import RunPlan, run_many
 from repro.experiments.report import render_series
 from repro.experiments.runner import make_app, scale_profile
+from repro.experiments.store import RunMeta
 from repro.sim.random import RandomStreams
+from repro.sim.trace import RunDigest
 from repro.workload.defaults import default_mix_for
 from repro.workload.generator import LoadGenerator
 from repro.workload.patterns import DiurnalLoad
 
-__all__ = ["DiurnalTrace", "run_diurnal_trace", "FIG13_SERVICES"]
+__all__ = [
+    "DiurnalTrace",
+    "run_diurnal_trace",
+    "FIG13_SERVICES",
+    "experiment_meta",
+]
+
+#: Default seed for the single diurnal deployment.
+FIG13_SEED = 29
 
 #: Four representative social-network microservices (paper Fig. 13 shows
 #: individual, representative services).
@@ -63,6 +73,8 @@ class ServiceTrace:
 @dataclass
 class DiurnalTrace:
     traces: dict[str, ServiceTrace]
+    #: Event-trace checksum of the deployment (``digest=True``).
+    run_digest: str | None = None
 
     def render(self) -> str:
         return "\n\n".join(t.render() for t in self.traces.values())
@@ -72,8 +84,9 @@ def run_diurnal_trace(
     app_name: str = "social-network",
     services: tuple[str, ...] = FIG13_SERVICES,
     window_s: float = 60.0,
-    seed: int = 29,
+    seed: int = FIG13_SEED,
     duration_s: float | None = None,
+    digest: bool = True,
     jobs: int | None = None,
     on_complete=None,
 ) -> DiurnalTrace:
@@ -91,6 +104,7 @@ def run_diurnal_trace(
             "window_s": window_s,
             "seed": seed,
             "duration_s": duration_s,
+            "digest": digest,
         },
         label=f"fig13:{app_name}",
     )
@@ -103,6 +117,7 @@ def _diurnal_cell(
     window_s: float,
     seed: int,
     duration_s: float | None,
+    digest: bool = True,
 ) -> DiurnalTrace:
     profile = scale_profile()
     duration = duration_s if duration_s is not None else profile.deployment_s * 1.5
@@ -110,7 +125,8 @@ def _diurnal_cell(
     mix = default_mix_for(app_name)
     rps = artifacts.app_rps(app_name)
     exploration = artifacts.exploration_result(app_name)
-    app = make_app(spec, seed=seed)
+    run_digest = RunDigest() if digest else None
+    app = make_app(spec, seed=seed, trace=run_digest)
     app.env.run(until=10)
     manager = UrsaManager(app, exploration)
     manager.initialize({c: rps * 0.7 * mix.fraction(c) for c in mix.classes()})
@@ -155,4 +171,29 @@ def _diurnal_cell(
             )
             t += window_s
         traces[service] = ServiceTrace(service, load_series, cpu_series)
-    return DiurnalTrace(traces=traces)
+    return DiurnalTrace(
+        traces=traces,
+        run_digest=run_digest.hexdigest() if run_digest is not None else None,
+    )
+
+
+def experiment_meta(
+    trace: DiurnalTrace,
+    app_name: str = "social-network",
+    seed: int = FIG13_SEED,
+) -> RunMeta:
+    """Provenance sidecar for the Fig. 13 output (one diurnal run)."""
+    digests = {}
+    if trace.run_digest is not None:
+        digests[app_name] = trace.run_digest
+    return RunMeta(
+        experiment="fig13",
+        scale=scale_profile().name,
+        seeds={app_name: seed},
+        digests=digests,
+        summaries={
+            name: {"load_cpu_correlation": round(t.correlation(), 9)}
+            for name, t in trace.traces.items()
+            if len(t.cpus) >= 3
+        },
+    )

@@ -22,15 +22,20 @@ from repro.experiments import artifacts
 from repro.experiments.parallel import RunPlan, run_many
 from repro.experiments.report import render_series
 from repro.experiments.runner import make_app, scale_profile
+from repro.experiments.store import RunMeta
 from repro.sim.random import RandomStreams
+from repro.sim.trace import RunDigest
 from repro.workload.defaults import default_mix_for
 from repro.workload.generator import LoadGenerator
 from repro.workload.patterns import ConstantLoad
 
-__all__ = ["ServiceChangeResult", "run_service_change"]
+__all__ = ["ServiceChangeResult", "run_service_change", "experiment_meta"]
 
 CHANGED_SERVICE = "object-detect-ml"
 TARGET_CLASS = "object-detect"
+
+#: Default seed for the Fig. 14 deployments.
+FIG14_SEED = 37
 
 
 @dataclass
@@ -38,6 +43,8 @@ class DeploymentSummary:
     label: str
     violation_rate: float
     cdf: list[tuple[float, float]]  # (latency_s, cumulative fraction)
+    #: Event-trace checksum of the deployment run.
+    run_digest: str | None = None
 
     def render(self) -> str:
         series = render_series(
@@ -72,7 +79,8 @@ def _deploy_and_measure(
     duration = profile.deployment_s
     mix = default_mix_for("social-network")
     rps = artifacts.app_rps("social-network")
-    app = make_app(spec, seed=seed)
+    run_digest = RunDigest()
+    app = make_app(spec, seed=seed, trace=run_digest)
     app.env.run(until=10)
     manager = UrsaManager(app, exploration)
     manager.initialize({c: rps * mix.fraction(c) for c in mix.classes()})
@@ -102,6 +110,7 @@ def _deploy_and_measure(
         label=label,
         violation_rate=dist.fraction_above(sla.target_s) if dist else 0.0,
         cdf=cdf,
+        run_digest=run_digest.hexdigest(),
     )
 
 
@@ -135,7 +144,7 @@ def _explore_changed_service(spec, seed: int):
 
 
 def run_service_change(
-    seed: int = 37, jobs: int | None = None, on_complete=None
+    seed: int = FIG14_SEED, jobs: int | None = None, on_complete=None
 ) -> ServiceChangeResult:
     original_spec = artifacts.app_spec("social-network")
     updated_spec = swap_object_detect_model(original_spec)
@@ -192,4 +201,34 @@ def run_service_change(
         partial_violation_rate=partial_violation,
         original=original,
         updated=updated,
+    )
+
+
+def experiment_meta(
+    result: ServiceChangeResult, seed: int = FIG14_SEED
+) -> RunMeta:
+    """Provenance sidecar for the Fig. 14 output.
+
+    The two deployments (before/after the model swap) carry event-trace
+    digests; the partial re-exploration runs its environments inside the
+    controller and is covered by the sidecar's text hash only.
+    """
+    digests = {}
+    for key, summary in (("original", result.original), ("updated", result.updated)):
+        if summary.run_digest is not None:
+            digests[key] = summary.run_digest
+    return RunMeta(
+        experiment="fig14",
+        scale=scale_profile().name,
+        seeds={"original": seed, "updated": seed + 1},
+        digests=digests,
+        summaries={
+            "original": {"violation_rate": round(result.original.violation_rate, 9)},
+            "updated": {"violation_rate": round(result.updated.violation_rate, 9)},
+            "partial_exploration": {
+                "samples": float(result.partial_samples),
+                "time_s": round(result.partial_time_s, 6),
+                "violation_rate": round(result.partial_violation_rate, 9),
+            },
+        },
     )

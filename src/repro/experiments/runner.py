@@ -12,10 +12,12 @@ Scale profiles: the ``REPRO_SCALE`` environment variable selects ``quick``
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.apps.topology import Application, AppSpec
 from repro.cluster.cluster import Cluster
@@ -23,7 +25,7 @@ from repro.cluster.node import Node
 from repro.sim.engine import Environment
 from repro.sim.random import RandomStreams
 from repro.sim.trace import RunDigest
-from repro.stats.distributions import EmpiricalDistribution
+from repro.stats.histogram import FixedHistogram
 from repro.telemetry.tracing import Tracer, traces_to_jsonl
 from repro.workload.generator import LoadGenerator
 from repro.workload.mixes import RequestMix
@@ -33,6 +35,7 @@ __all__ = [
     "scale_profile",
     "DeploymentMetrics",
     "DeploymentResult",
+    "RunOptions",
     "TraceArtifacts",
     "TracingOptions",
     "run_deployment",
@@ -126,9 +129,15 @@ class DeploymentMetrics:
     #: Measurement window (simulated seconds) the summaries cover.
     measure_from_s: float
     duration_s: float
-    #: Request class -> pooled end-to-end latency distribution (the
-    #: paper's ``t(x)`` histograms) over the measurement window.
-    latency_by_class: dict[str, EmpiricalDistribution]
+    #: Request class -> end-to-end latency summary (the paper's ``t(x)``
+    #: histograms) over the measurement window.  Summarised to fixed-size
+    #: :class:`~repro.stats.histogram.FixedHistogram`\ s before crossing
+    #: the ``run_many`` process boundary: a full-scale run's raw sample
+    #: lists pickle to megabytes per class, the histograms to kilobytes,
+    #: with P99/violation-rate error bounded by
+    #: ``FixedHistogram.relative_error_bound`` (~0.45 %); exact
+    #: count/mean/min/max are preserved (see docs/performance.md).
+    latency_by_class: dict[str, FixedHistogram]
     #: Service -> mean CPUs allocated over the measurement window.
     cpu_by_service: dict[str, float]
     #: Service -> replica count at the end of the run.
@@ -161,6 +170,96 @@ class TracingOptions:
             hub=hub,
             validate=self.validate,
         )
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Consolidated per-run options for every experiment entry point.
+
+    Replaces the ``seed=``/``duration_s=``/``measure_from_s=``/
+    ``tracing=``/``digest=`` keyword sprawl that had grown on
+    :func:`run_deployment` and
+    :func:`~repro.experiments.fig09_10_model_accuracy.run_model_accuracy`.
+    Frozen plain data, so :class:`~repro.experiments.parallel.RunPlan`\\ s
+    carry it across the process boundary unchanged and the results store
+    (:mod:`repro.experiments.store`) can fold it into a run's identity.
+
+    The old keywords still work but emit :class:`DeprecationWarning`.
+    """
+
+    #: Master seed for the run's random streams.
+    seed: int = 0
+    #: Run length / measurement start (simulated seconds); ``None`` means
+    #: take them from the active scale profile.
+    duration_s: float | None = None
+    measure_from_s: float | None = None
+    #: Span-tree sampling (``None`` = off).
+    tracing: TracingOptions | None = None
+    #: Checksum the full event trace into ``result.run_digest``.
+    digest: bool = False
+    #: Scale profile name override (``None`` = honour ``REPRO_SCALE``).
+    scale: str | None = None
+
+    def profile(self) -> ScaleProfile:
+        """The scale profile this run uses (explicit override or env)."""
+        if self.scale is None:
+            return scale_profile()
+        try:
+            return _PROFILES[self.scale]
+        except KeyError:
+            raise ValueError(
+                f"unknown scale {self.scale!r}; choose from {sorted(_PROFILES)}"
+            ) from None
+
+    def resolved_duration_s(self) -> float:
+        return (
+            self.duration_s
+            if self.duration_s is not None
+            else self.profile().deployment_s
+        )
+
+    def resolved_measure_from_s(self) -> float:
+        return (
+            self.measure_from_s
+            if self.measure_from_s is not None
+            else self.profile().measure_from_s
+        )
+
+    def replace(self, **changes: Any) -> "RunOptions":
+        return dataclasses.replace(self, **changes)
+
+
+#: Sentinel distinguishing "legacy keyword not passed" from explicit None.
+_UNSET: Any = object()
+
+
+def merge_legacy_options(
+    options: RunOptions | None,
+    caller: str,
+    **legacy: Any,
+) -> RunOptions:
+    """Fold deprecated per-run keywords into a :class:`RunOptions`.
+
+    Entry points that predate :class:`RunOptions` route their old
+    keywords here: passing any of them warns, and combining them with an
+    explicit ``options=`` is an error (the override order would be
+    ambiguous).
+    """
+    supplied = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if not supplied:
+        return options if options is not None else RunOptions()
+    if options is not None:
+        raise TypeError(
+            f"{caller}() got both options= and legacy keyword(s) "
+            f"{sorted(supplied)}; move them into RunOptions"
+        )
+    warnings.warn(
+        f"{caller}({', '.join(f'{k}=' for k in sorted(supplied))}) is "
+        "deprecated; pass options=RunOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return RunOptions(**supplied)
 
 
 @dataclass(frozen=True)
@@ -230,27 +329,40 @@ def run_deployment(
     attach_manager: Callable[[Application], object],
     manager_name: str,
     load_name: str,
-    seed: int = 0,
-    duration_s: float | None = None,
-    measure_from_s: float | None = None,
-    tracing: TracingOptions | None = None,
-    digest: bool = False,
+    options: RunOptions | None = None,
+    *,
+    seed: int = _UNSET,
+    duration_s: float | None = _UNSET,
+    measure_from_s: float | None = _UNSET,
+    tracing: TracingOptions | None = _UNSET,
+    digest: bool = _UNSET,
 ) -> DeploymentResult:
     """One managed deployment run under ``pattern`` with ``mix``.
 
-    ``tracing`` samples span trees and returns them (serialized) in
-    ``result.traces``; ``digest=True`` checksums the full event trace
-    into ``result.run_digest``.  Both are pure observers -- the simulated
-    timeline is identical with or without them.
+    Per-run knobs travel in ``options`` (a :class:`RunOptions`); the
+    trailing keywords are deprecated shims for the pre-``RunOptions``
+    signature.  ``options.tracing`` samples span trees and returns them
+    (serialized) in ``result.traces``; ``options.digest`` checksums the
+    full event trace into ``result.run_digest``.  Both are pure
+    observers -- the simulated timeline is identical with or without
+    them.
     """
-    profile = scale_profile()
-    duration = duration_s if duration_s is not None else profile.deployment_s
-    measure_from = (
-        measure_from_s if measure_from_s is not None else profile.measure_from_s
+    options = merge_legacy_options(
+        options,
+        "run_deployment",
+        seed=seed,
+        duration_s=duration_s,
+        measure_from_s=measure_from_s,
+        tracing=tracing,
+        digest=digest,
     )
-    run_digest = RunDigest() if digest else None
-    tracer = tracing.build_tracer() if tracing is not None else None
-    app = make_app(spec, seed, trace=run_digest, tracer=tracer)
+    duration = options.resolved_duration_s()
+    measure_from = options.resolved_measure_from_s()
+    run_digest = RunDigest() if options.digest else None
+    tracer = (
+        options.tracing.build_tracer() if options.tracing is not None else None
+    )
+    app = make_app(spec, options.seed, trace=run_digest, tracer=tracer)
     if tracer is not None:
         tracer.hub = app.hub
     app.env.run(until=10)
@@ -259,7 +371,7 @@ def run_deployment(
         app,
         pattern=pattern,
         mix=mix,
-        streams=RandomStreams(seed + 7),
+        streams=RandomStreams(options.seed + 7),
         stop_at_s=duration - 30.0,
     )
     generator.start()
@@ -267,8 +379,10 @@ def run_deployment(
     app.env.run(until=duration)
     wall = time.perf_counter() - wall_start
     latency_by_class = {
-        rc.name: app.hub.latency_distribution(
-            "request_latency", measure_from, duration, {"request": rc.name}
+        rc.name: FixedHistogram.from_samples(
+            app.hub.latency_distribution(
+                "request_latency", measure_from, duration, {"request": rc.name}
+            ).samples()
         )
         for rc in spec.request_classes
     }

@@ -1,0 +1,339 @@
+"""Deterministic results store: sidecar provenance for ``results/``.
+
+Every regenerated ``results/<name>.txt`` gains a ``results/<name>.meta.json``
+sidecar recording *how* the text was produced: the experiment's identity
+(scale profile, seed partition, package version), the event-trace digests
+of the runs behind it, and per-class metric summaries.  Two guarantees
+follow:
+
+* **Save-time mismatch detection.**  :func:`save_result` compares the new
+  run against the recorded sidecar: if the identity (experiment, scale,
+  seeds, version) matches but the digests -- or, for deterministic
+  renders, the text itself -- differ, the previously recorded run no
+  longer reproduces and the save raises :class:`ResultsMismatchError`
+  instead of silently overwriting.  Set ``REPRO_RESULTS_UPDATE=1`` to
+  accept the new run deliberately.
+* **Offline integrity checking.**  ``python -m repro.experiments.store``
+  (``make results-check``) re-validates every committed sidecar without
+  re-running anything: the sidecar's self-checksum (``meta_digest``)
+  catches corrupted or hand-edited provenance, and ``result_sha256``
+  catches a ``.txt`` that drifted from the recorded run.
+
+Sidecars are canonical JSON (sorted keys, fixed separators) with no
+timestamps, so regenerating an experiment with the same seed produces a
+byte-identical sidecar -- the file itself is the reproducibility witness.
+See docs/results_provenance.md for the format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro._version import __version__
+
+__all__ = [
+    "ResultsMismatchError",
+    "RunMeta",
+    "deployment_summaries",
+    "load_sidecar",
+    "results_dir",
+    "save_result",
+    "check_results",
+    "sidecar_path",
+    "main",
+]
+
+#: Bump when the sidecar layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Summary percentiles recorded per request class.
+_SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class ResultsMismatchError(RuntimeError):
+    """A previously recorded run no longer reproduces.
+
+    Raised by :func:`save_result` when the new run has the same identity
+    (experiment, scale, seeds, package version) as the committed sidecar
+    but a different event-trace digest or rendered text.  This is the
+    loud failure the store exists for: either the change is intentional
+    (re-save with ``REPRO_RESULTS_UPDATE=1``) or nondeterminism crept in.
+    """
+
+
+@dataclass(frozen=True)
+class RunMeta:
+    """Provenance of one rendered experiment output.
+
+    Built by each experiment module's ``experiment_meta`` helper and
+    persisted as the ``results/<name>.meta.json`` sidecar.
+    """
+
+    #: Experiment identifier (``fig02``, ``table05``, ...).
+    experiment: str
+    #: Scale profile the runs used (``quick``/``full``).
+    scale: str
+    #: Label -> seed for every seeded run behind the output.
+    seeds: Mapping[str, int] = field(default_factory=dict)
+    #: Label -> event-trace digest (runs that own their Environment).
+    #: Controller-internal experiments have no engine hook and record
+    #: content hashes only -- see docs/results_provenance.md.
+    digests: Mapping[str, str] = field(default_factory=dict)
+    #: Per-class (or per-cell) metric summaries, e.g. p99 / violations.
+    summaries: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    #: Whether the rendered text is reproducible byte-for-byte.  False
+    #: for outputs embedding wall-clock measurements (table06); their
+    #: text hash is recorded but not enforced.
+    deterministic: bool = True
+    #: Free-form extras (grid shape, window sizes, ...).
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def payload(self) -> dict[str, Any]:
+        """JSON-ready dict (deep-copied, deterministically ordered)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "package_version": __version__,
+            "deterministic": self.deterministic,
+            "seeds": {k: int(v) for k, v in sorted(self.seeds.items())},
+            "digests": {k: str(v) for k, v in sorted(self.digests.items())},
+            "summaries": {
+                label: {k: v for k, v in sorted(stats.items())}
+                for label, stats in sorted(self.summaries.items())
+            },
+            "extra": json.loads(_canonical_json(dict(self.extra))),
+        }
+
+
+def _canonical_json(payload: Mapping[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _meta_digest(payload: Mapping[str, Any]) -> str:
+    """Self-checksum over everything except the ``meta_digest`` field."""
+    body = {k: v for k, v in payload.items() if k != "meta_digest"}
+    return hashlib.blake2b(
+        _canonical_json(body).encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+def _text_sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def results_dir() -> Path:
+    """``results/`` in the repo root (``REPRO_RESULTS_DIR`` overrides)."""
+    override = os.environ.get("REPRO_RESULTS_DIR")
+    if override:
+        path = Path(override)
+    else:
+        path = Path(__file__).resolve().parents[3] / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def sidecar_path(name: str) -> Path:
+    return results_dir() / f"{name}.meta.json"
+
+
+def load_sidecar(name: str) -> dict[str, Any] | None:
+    """The parsed sidecar for ``name``, or ``None`` if absent/unreadable."""
+    path = sidecar_path(name)
+    if not path.exists():
+        return None
+    try:
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    return loaded if isinstance(loaded, dict) else None
+
+
+def _same_identity(old: Mapping[str, Any], new: Mapping[str, Any]) -> bool:
+    """Same (experiment, scale, seeds, package version) configuration?"""
+    return all(
+        old.get(key) == new.get(key)
+        for key in ("experiment", "scale", "seeds", "package_version")
+    )
+
+
+def _update_allowed() -> bool:
+    return os.environ.get("REPRO_RESULTS_UPDATE", "") == "1"
+
+
+def save_result(name: str, text: str, meta: RunMeta) -> Path:
+    """Persist a rendered result plus its provenance sidecar.
+
+    Writes ``results/<name>.txt`` (with a trailing newline) and
+    ``results/<name>.meta.json``.  If a sidecar from a previous
+    regeneration exists with the same identity but different digests (or
+    different text, for deterministic outputs), raises
+    :class:`ResultsMismatchError` -- unless ``REPRO_RESULTS_UPDATE=1``.
+    """
+    rendered = text if text.endswith("\n") else text + "\n"
+    payload = meta.payload()
+    payload["result_sha256"] = _text_sha256(rendered)
+    payload["meta_digest"] = _meta_digest(payload)
+
+    old = load_sidecar(name)
+    if old is not None and _same_identity(old, payload) and not _update_allowed():
+        problems = []
+        if old.get("digests") != payload["digests"]:
+            problems.append(
+                f"event-trace digests changed:\n"
+                f"  recorded: {old.get('digests')}\n"
+                f"  new run:  {payload['digests']}"
+            )
+        if meta.deterministic and old.get("deterministic", True) and (
+            old.get("result_sha256") != payload["result_sha256"]
+        ):
+            problems.append(
+                f"rendered text changed "
+                f"(sha256 {old.get('result_sha256')} -> "
+                f"{payload['result_sha256']})"
+            )
+        if problems:
+            raise ResultsMismatchError(
+                f"{name}: same experiment/scale/seeds/version as the "
+                f"recorded run, but it no longer reproduces.\n"
+                + "\n".join(problems)
+                + "\nIf the change is intentional, re-run with "
+                "REPRO_RESULTS_UPDATE=1 to accept the new run."
+            )
+
+    directory = results_dir()
+    txt_path = directory / f"{name}.txt"
+    txt_path.write_text(rendered, encoding="utf-8")
+    side = sidecar_path(name)
+    tmp = side.with_name(f"{side.name}.tmp{os.getpid()}")
+    tmp.write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    os.replace(tmp, side)
+    return side
+
+
+def deployment_summaries(result: Any) -> dict[str, dict[str, float]]:
+    """Per-class metric summaries of a ``DeploymentResult``.
+
+    Folds the latency histograms and violation rates the store persists
+    into plain floats (rounded so the JSON stays platform-stable).
+    """
+    summaries: dict[str, dict[str, float]] = {}
+    metrics = getattr(result, "metrics", None)
+    latency = metrics.latency_by_class if metrics is not None else {}
+    for name, hist in sorted(latency.items()):
+        stats: dict[str, float] = {"count": float(hist.count)}
+        if hist.count:
+            stats["mean_s"] = round(hist.mean, 9)
+            for q in _SUMMARY_PERCENTILES:
+                stats[f"p{q:g}_s"] = round(hist.percentile(q), 9)
+        violation = result.per_class_violation_rate.get(name)
+        if violation is not None:
+            stats["violation_rate"] = round(violation, 9)
+        summaries[name] = stats
+    return summaries
+
+
+# ----------------------------------------------------------------------
+# Offline checking (``python -m repro.experiments.store``)
+
+
+def check_results(
+    names: list[str] | None = None, strict: bool = False
+) -> list[str]:
+    """Validate committed results against their sidecars, offline.
+
+    Returns a list of human-readable problems (empty = all good):
+
+    * sidecar fails to parse, or its ``meta_digest`` self-checksum does
+      not match (corrupted / hand-edited provenance);
+    * ``result_sha256`` does not match the committed ``.txt`` (the text
+      drifted from the recorded run) -- enforced only for sidecars
+      marked ``deterministic``;
+    * a sidecar with no matching ``.txt`` (stale provenance);
+    * with ``strict=True``, a ``.txt`` with no sidecar.
+    """
+    directory = results_dir()
+    if names is None:
+        names = sorted(p.stem for p in directory.glob("*.txt"))
+    problems: list[str] = []
+    for name in names:
+        txt_path = directory / f"{name}.txt"
+        if not txt_path.exists():
+            problems.append(f"{name}: results/{name}.txt does not exist")
+            continue
+        sidecar = load_sidecar(name)
+        if sidecar is None:
+            if sidecar_path(name).exists():
+                problems.append(f"{name}: sidecar is not valid JSON")
+            elif strict:
+                problems.append(f"{name}: missing sidecar (strict mode)")
+            continue
+        recorded = sidecar.get("meta_digest")
+        if recorded != _meta_digest(sidecar):
+            problems.append(
+                f"{name}: sidecar self-checksum mismatch "
+                f"(recorded {recorded}, computed {_meta_digest(sidecar)}) "
+                "-- provenance was corrupted or hand-edited"
+            )
+            continue
+        if sidecar.get("deterministic", True):
+            actual = _text_sha256(txt_path.read_text(encoding="utf-8"))
+            if actual != sidecar.get("result_sha256"):
+                problems.append(
+                    f"{name}: results/{name}.txt does not match the "
+                    f"recorded run (sha256 {actual} vs recorded "
+                    f"{sidecar.get('result_sha256')}) -- regenerate or "
+                    "update the sidecar"
+                )
+    for side in sorted(directory.glob("*.meta.json")):
+        stem = side.name[: -len(".meta.json")]
+        if not (directory / f"{stem}.txt").exists():
+            problems.append(
+                f"{stem}: stale sidecar with no results/{stem}.txt"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.store",
+        description=(
+            "Validate results/*.txt against their .meta.json provenance "
+            "sidecars without re-running experiments."
+        ),
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="result names to check (default: every results/*.txt)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on .txt files that have no sidecar yet",
+    )
+    args = parser.parse_args(argv)
+    problems = check_results(args.names or None, strict=args.strict)
+    for problem in problems:
+        print(f"FAIL {problem}", file=sys.stderr)
+    checked = args.names or sorted(
+        p.stem for p in results_dir().glob("*.txt")
+    )
+    print(
+        f"results-check: {len(checked)} result(s), "
+        f"{len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -17,8 +17,15 @@ from dataclasses import dataclass
 from repro.experiments import artifacts
 from repro.experiments.parallel import RunPlan, run_many
 from repro.experiments.report import render_table
+from repro.experiments.runner import scale_profile
+from repro.experiments.store import RunMeta
 
-__all__ = ["ExplorationOverheadRow", "run_table05", "ML_PRESCRIBED_SAMPLES"]
+__all__ = [
+    "ExplorationOverheadRow",
+    "run_table05",
+    "ML_PRESCRIBED_SAMPLES",
+    "experiment_meta",
+]
 
 #: §VII-C: 10k samples for Sinan and Firm, sampled once per minute.
 ML_PRESCRIBED_SAMPLES = 10_000
@@ -103,3 +110,24 @@ def run_table05(
         RunPlan(_explore_app, {"app_name": a}, label=f"table05:{a}") for a in apps
     ]
     return Table05(rows=run_many(plans, jobs=jobs, on_complete=on_complete))
+
+
+def experiment_meta(table: Table05) -> RunMeta:
+    """Provenance sidecar for Table V.
+
+    Exploration runs its environments inside the controller (and the
+    result is usually a cache hit), so provenance is content-only: the
+    sidecar pins the per-app sample counts and the rendered-text hash.
+    """
+    return RunMeta(
+        experiment="table05",
+        scale=scale_profile().name,
+        seeds={},
+        summaries={
+            r.app: {
+                "ursa_samples": float(r.ursa_samples),
+                "ursa_time_h": round(r.ursa_time_h, 6),
+            }
+            for r in table.rows
+        },
+    )

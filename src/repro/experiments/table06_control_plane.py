@@ -29,13 +29,17 @@ from repro.baselines.sinan import SinanManager
 from repro.core.manager import UrsaManager
 from repro.experiments import artifacts
 from repro.experiments.report import render_table
-from repro.experiments.runner import make_app
+from repro.experiments.runner import make_app, scale_profile
+from repro.experiments.store import RunMeta
 from repro.sim.random import RandomStreams
 from repro.workload.defaults import default_mix_for
 from repro.workload.generator import LoadGenerator
 from repro.workload.patterns import ConstantLoad
 
-__all__ = ["ControlPlaneLatency", "run_table06"]
+__all__ = ["ControlPlaneLatency", "run_table06", "experiment_meta"]
+
+#: Default seed for the warmed deployments the timings run on.
+TABLE6_SEED = 31
 
 
 @dataclass
@@ -61,7 +65,7 @@ class ControlPlaneLatency:
 
 
 def run_table06(
-    app_name: str = "social-network", seed: int = 31, warm_s: float = 150.0
+    app_name: str = "social-network", seed: int = TABLE6_SEED, warm_s: float = 150.0
 ) -> ControlPlaneLatency:
     """Measure decision latencies on a warmed-up deployment."""
     spec = artifacts.app_spec(app_name)
@@ -132,3 +136,27 @@ def run_table06(
     update_ms["autoscaling"] = deploy_ms["autoscaling"]
 
     return ControlPlaneLatency(deploy_ms=deploy_ms, update_ms=update_ms)
+
+
+def experiment_meta(
+    result: ControlPlaneLatency,
+    app_name: str = "social-network",
+    seed: int = TABLE6_SEED,
+) -> RunMeta:
+    """Provenance sidecar for Table VI.
+
+    The table reports host wall-clock timings, so ``deterministic`` is
+    False: regeneration is expected to change the numbers and the store
+    must not flag the drift.  What *is* pinned is the identity (scale,
+    seed, package version) under which the timings were taken.
+    """
+    return RunMeta(
+        experiment="table06",
+        scale=scale_profile().name,
+        seeds={app_name: seed},
+        deterministic=False,
+        summaries={
+            system: {"deploy_ms": round(ms, 6)}
+            for system, ms in sorted(result.deploy_ms.items())
+        },
+    )

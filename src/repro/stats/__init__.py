@@ -5,6 +5,7 @@ from repro.stats.distributions import (
     EmpiricalDistribution,
     percentile,
 )
+from repro.stats.histogram import FixedHistogram
 from repro.stats.queueing import (
     erlang_c,
     mm1_response_percentile,
@@ -18,6 +19,7 @@ from repro.stats.ttest import TTestResult, mean_exceeds, means_differ, welch_t_t
 __all__ = [
     "DEFAULT_PERCENTILE_GRID",
     "EmpiricalDistribution",
+    "FixedHistogram",
     "TTestResult",
     "mean_exceeds",
     "means_differ",

@@ -1,10 +1,16 @@
 """SIM003 fixture: sorted iteration and order-free set use; must be clean."""
 
 
+def active_services(app) -> set[str]:
+    return {name for name in app.services if app.is_active(name)}
+
+
 def restart_services(app, names):
     pending = set(names) - set(app.started)
     if "frontend" in pending:  # membership tests are order-free
         app.restart("frontend")
     for service in sorted(pending):
         app.restart(service)
+    if "frontend" in active_services(app):  # membership, still order-free
+        app.restart("frontend")
     return len(pending)

@@ -1,7 +1,16 @@
 """TEL001 fixture: registered (or dynamic) metric writes; must be clean."""
 
+#: A registered name behind a module-level constant resolves cleanly.
+_LATENCY_METRIC = "service_latency"
+
+#: Reassigned constants are ambiguous and fall back to the runtime check.
+_AMBIGUOUS = "not_a_metric"
+_AMBIGUOUS = "also_not_a_metric"  # noqa: F811
+
 
 def record(hub, service, name):
+    hub.record_latency(_LATENCY_METRIC, 0.5, {"service": service})
+    hub.inc_counter(_AMBIGUOUS, labels={"anything": "goes"})
     hub.record_latency("service_latency", 0.5, {"service": service, "request": "r"})
     hub.inc_counter("requests_total", labels={"request": "r", "service": service})
     # Subset of the declared label keys is allowed.

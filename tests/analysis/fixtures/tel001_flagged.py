@@ -1,7 +1,12 @@
 """TEL001 fixture: unregistered metric writes that must be flagged."""
 
+#: Module-level constants resolve like literals.
+_TYPOD_METRIC = "request_latencies"
+
 
 def record(hub, service):
+    # Typo'd name reached through a module-level constant.
+    hub.record_latency(_TYPOD_METRIC, 0.5, {"request": "r"})
     # Typo'd name: no such metric in the registry.
     hub.record_latency("servce_latency", 0.5, {"service": service})
     # Kind mismatch: requests_total is a counter, not a gauge.

@@ -46,12 +46,12 @@ def test_flagged_fixture_counts():
     expected = {
         "SIM001": 3,  # time.time, time.perf_counter, datetime.now
         "SIM002": 3,  # np.random.seed, random.random, np.random.uniform
-        "SIM003": 2,  # for-loop over set expr, comprehension over set union
+        "SIM003": 3,  # set expr loop, set-returning call loop, comprehension
         "SIM004": 2,  # except Exception, bare except
         "SIM005": 1,  # acquire without finally-release
         "SIM006": 2,  # == and != against env.now
         "API001": 3,  # two arg defaults + dataclass field
-        "TEL001": 3,  # typo'd name, kind mismatch, undeclared label key
+        "TEL001": 4,  # const typo, literal typo, kind mismatch, bad label
     }
     for rule_id, count in expected.items():
         flagged, _ = RULE_FIXTURES[rule_id]

@@ -127,5 +127,7 @@ def test_rpc_called_services_excludes_mq_only():
     for name in ("frontend", "image-store", "post-storage", "redis-post",
                  "social-graph"):
         assert name in social
+    # Sorted tuple: deterministic to iterate, no SIM003 hazard.
+    assert social == tuple(sorted(social))
     # The pure-MQ pipeline has no RPC-called services at all.
-    assert build_video_pipeline_spec().rpc_called_services() == set()
+    assert build_video_pipeline_spec().rpc_called_services() == ()

@@ -1,5 +1,10 @@
 """Tests for the artifact cache plumbing (no heavy builds)."""
 
+import multiprocessing
+import os
+import pickle
+import time
+
 import pytest
 
 from repro.experiments import artifacts
@@ -44,3 +49,63 @@ def test_cache_key_includes_scale_profile(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_SCALE", "full")
     artifacts._cached("k", lambda: 2)
     assert len(list(tmp_path.glob("k-*.pkl"))) == 2
+
+
+def test_corrupt_entry_is_a_miss(monkeypatch, tmp_path):
+    monkeypatch.setattr(artifacts, "cache_dir", lambda: tmp_path)
+
+    def build():
+        return [1, 2, 3]
+
+    artifacts._cached("corrupt", build)
+    (path,) = tmp_path.glob("corrupt-*.pkl")
+    path.write_bytes(b"\x80\x04 truncated garbage")
+    assert artifacts._cached("corrupt", build) == [1, 2, 3]
+    with path.open("rb") as fh:
+        assert pickle.load(fh) == [1, 2, 3], "rebuilt entry republished"
+
+
+def test_concurrent_misses_build_once(monkeypatch, tmp_path):
+    """Four processes racing on one cold key perform exactly one build.
+
+    Without the per-key lock each racer pays the full build (cold-cache
+    ``table05``-style fan-outs cost N explorations instead of one).
+    """
+    monkeypatch.setattr(artifacts, "cache_dir", lambda: tmp_path)
+    builds_dir = tmp_path / "build-markers"
+    builds_dir.mkdir()
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+
+    def worker():
+        def build():
+            marker = builds_dir / f"pid-{os.getpid()}-{time.monotonic_ns()}"
+            marker.touch()
+            time.sleep(0.2)  # widen the race window
+            return {"value": 42}
+
+        queue.put(artifacts._cached("race-key", build)["value"])
+
+    procs = [ctx.Process(target=worker) for _ in range(4)]
+    for p in procs:
+        p.start()
+    values = [queue.get(timeout=30) for _ in procs]
+    for p in procs:
+        p.join(timeout=30)
+    assert values == [42, 42, 42, 42]
+    assert len(list(builds_dir.iterdir())) == 1, "lock must serialise builds"
+
+
+def test_lock_file_left_in_place(monkeypatch, tmp_path):
+    """The lock file persists -- unlinking it would reopen the race."""
+    monkeypatch.setattr(artifacts, "cache_dir", lambda: tmp_path)
+    artifacts._cached("keep-lock", lambda: 1)
+    assert list(tmp_path.glob("keep-lock-*.pkl.lock"))
+
+
+def test_distinct_keys_do_not_share_a_lock(monkeypatch, tmp_path):
+    """Key A's lock never blocks key B's build (no global serialisation)."""
+    monkeypatch.setattr(artifacts, "cache_dir", lambda: tmp_path)
+    path_a = tmp_path / f"a-{artifacts.scale_profile().name}.pkl"
+    with artifacts._key_lock(path_a):
+        assert artifacts._cached("b", lambda: "built-b") == "built-b"

@@ -34,3 +34,10 @@ def test_jobs_flag_validated():
         main(["fig13", "--jobs", "0"])
     with pytest.raises(SystemExit):
         main(["fig13", "--jobs", "not-a-number"])
+
+
+def test_save_rejected_for_summary():
+    # ``summary`` aggregates other results and has no provenance of its
+    # own to persist.
+    with pytest.raises(SystemExit):
+        main(["summary", "--save"])

@@ -1,0 +1,177 @@
+"""Results store: sidecar round-trips, mismatch detection, offline checks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import store
+from repro.experiments.store import (
+    ResultsMismatchError,
+    RunMeta,
+    check_results,
+    deployment_summaries,
+    load_sidecar,
+    save_result,
+    sidecar_path,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_results_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.delenv("REPRO_RESULTS_UPDATE", raising=False)
+
+
+def _meta(**overrides) -> RunMeta:
+    base = dict(
+        experiment="figXX",
+        scale="quick",
+        seeds={"cell": 11},
+        digests={"cell": "ab" * 16},
+        summaries={"cls": {"p99_s": 0.25, "violation_rate": 0.01}},
+    )
+    base.update(overrides)
+    return RunMeta(**base)
+
+
+def test_save_writes_text_and_valid_sidecar():
+    side = save_result("figXX", "rendered table", _meta())
+    assert side == sidecar_path("figXX")
+    assert (store.results_dir() / "figXX.txt").read_text() == "rendered table\n"
+    sidecar = load_sidecar("figXX")
+    assert sidecar is not None
+    assert sidecar["experiment"] == "figXX"
+    assert sidecar["digests"] == {"cell": "ab" * 16}
+    assert sidecar["seeds"] == {"cell": 11}
+    assert sidecar["package_version"]
+    assert check_results() == []
+
+
+def test_regeneration_with_same_run_is_byte_identical():
+    save_result("figXX", "rendered table", _meta())
+    first = sidecar_path("figXX").read_bytes()
+    save_result("figXX", "rendered table", _meta())
+    assert sidecar_path("figXX").read_bytes() == first
+
+
+def test_digest_mismatch_fails_loudly():
+    save_result("figXX", "rendered table", _meta())
+    with pytest.raises(ResultsMismatchError, match="digests changed"):
+        save_result(
+            "figXX", "rendered table", _meta(digests={"cell": "cd" * 16})
+        )
+
+
+def test_text_drift_fails_for_deterministic_outputs():
+    save_result("figXX", "rendered table", _meta())
+    with pytest.raises(ResultsMismatchError, match="text changed"):
+        save_result("figXX", "different render", _meta())
+
+
+def test_nondeterministic_text_may_drift():
+    meta = _meta(deterministic=False)
+    save_result("figXX", "took 12.3 ms", meta)
+    save_result("figXX", "took 45.6 ms", meta)  # no raise
+    assert check_results() == []
+
+
+def test_update_env_var_accepts_the_new_run(monkeypatch):
+    save_result("figXX", "rendered table", _meta())
+    monkeypatch.setenv("REPRO_RESULTS_UPDATE", "1")
+    save_result("figXX", "rendered table", _meta(digests={"cell": "cd" * 16}))
+    sidecar = load_sidecar("figXX")
+    assert sidecar["digests"] == {"cell": "cd" * 16}
+
+
+def test_identity_change_overwrites_without_error():
+    save_result("figXX", "rendered table", _meta())
+    # Different seed partition = a different experiment configuration,
+    # not a reproducibility failure.
+    save_result(
+        "figXX",
+        "other render",
+        _meta(seeds={"cell": 99}, digests={"cell": "cd" * 16}),
+    )
+    assert load_sidecar("figXX")["seeds"] == {"cell": 99}
+
+
+def test_check_detects_injected_text_mismatch():
+    save_result("figXX", "rendered table", _meta())
+    txt = store.results_dir() / "figXX.txt"
+    txt.write_text("tampered\n")
+    problems = check_results()
+    assert len(problems) == 1
+    assert "does not match the recorded run" in problems[0]
+    assert store.main([]) == 1
+
+
+def test_check_detects_tampered_sidecar():
+    save_result("figXX", "rendered table", _meta())
+    side = sidecar_path("figXX")
+    payload = json.loads(side.read_text())
+    payload["digests"]["cell"] = "ef" * 16  # forge without re-checksumming
+    side.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    problems = check_results()
+    assert len(problems) == 1
+    assert "self-checksum mismatch" in problems[0]
+
+
+def test_check_detects_stale_sidecar_and_strict_missing():
+    save_result("figXX", "rendered table", _meta())
+    (store.results_dir() / "figXX.txt").unlink()
+    (store.results_dir() / "other.txt").write_text("no sidecar\n")
+    problems = check_results()
+    assert any("stale sidecar" in p for p in problems)
+    assert not any("other" in p for p in problems)
+    strict_problems = check_results(strict=True)
+    assert any("other: missing sidecar" in p for p in strict_problems)
+
+
+def test_invalid_json_sidecar_is_reported():
+    save_result("figXX", "rendered table", _meta())
+    sidecar_path("figXX").write_text("{not json")
+    problems = check_results()
+    assert problems == ["figXX: sidecar is not valid JSON"]
+
+
+def test_digest_round_trip_through_a_real_run():
+    # Write -> regenerate -> compare, with actual deployments: the same
+    # seed must save cleanly twice (matching digests, identical sidecar),
+    # and a different seed must be treated as a new configuration.
+    from repro.experiments.store import deployment_summaries
+    from tests.experiments.test_trace_determinism import traced_run
+
+    def save_run(seed: int):
+        result = traced_run(seed, tracing=False)
+        meta = RunMeta(
+            experiment="store-round-trip",
+            scale="quick",
+            seeds={"run": seed},
+            digests={"run": result.run_digest},
+            summaries=deployment_summaries(result),
+        )
+        return save_result("store-round-trip", "digest-round-trip", meta)
+
+    save_run(11)
+    first = sidecar_path("store-round-trip").read_bytes()
+    save_run(11)  # same seed reproduces: no raise, identical sidecar
+    assert sidecar_path("store-round-trip").read_bytes() == first
+    recorded = json.loads(first)
+    assert recorded["digests"]["run"]
+    assert recorded["summaries"]  # per-class metric summaries present
+    save_run(12)  # new seed = new identity: overwrite, no raise
+    assert json.loads(sidecar_path("store-round-trip").read_bytes()) != recorded
+
+
+def test_deployment_summaries_shape():
+    from tests.experiments.test_trace_determinism import traced_run
+
+    result = traced_run(11, tracing=False)
+    summaries = deployment_summaries(result)
+    assert summaries  # one entry per request class with traffic
+    for stats in summaries.values():
+        assert "count" in stats
+        if stats["count"]:
+            assert {"mean_s", "p50_s", "p95_s", "p99_s"} <= set(stats)

@@ -8,7 +8,7 @@ enabling tracing/digesting must not perturb the simulated timeline
 
 from repro.experiments.artifacts import app_spec
 from repro.experiments.parallel import RunPlan, run_many
-from repro.experiments.runner import TracingOptions, run_deployment
+from repro.experiments.runner import RunOptions, TracingOptions, run_deployment
 from repro.workload.defaults import default_mix_for
 from repro.workload.patterns import ConstantLoad
 
@@ -28,11 +28,17 @@ def traced_run(seed: int, tracing: bool = True):
         attach_noop,
         manager_name="noop",
         load_name="constant",
-        seed=seed,
-        duration_s=50.0,
-        measure_from_s=15.0,
-        tracing=TracingOptions(sample_every_n=3, validate=True) if tracing else None,
-        digest=True,
+        options=RunOptions(
+            seed=seed,
+            duration_s=50.0,
+            measure_from_s=15.0,
+            tracing=(
+                TracingOptions(sample_every_n=3, validate=True)
+                if tracing
+                else None
+            ),
+            digest=True,
+        ),
     )
 
 

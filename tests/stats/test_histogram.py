@@ -1,0 +1,155 @@
+"""FixedHistogram: error bounds, merging, and pickle-size reduction."""
+
+from __future__ import annotations
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.stats.distributions import EmpiricalDistribution
+from repro.stats.histogram import FixedHistogram
+
+
+def _skewed_latencies(n: int, seed: int) -> list[float]:
+    """Lognormal body plus a heavy tail -- the shape of request latency."""
+    rng = random.Random(seed)
+    samples = [math.exp(rng.gauss(math.log(0.08), 0.6)) for _ in range(n)]
+    # ~2% of requests hit queueing spikes an order of magnitude slower.
+    for i in range(0, n, 50):
+        samples[i] *= rng.uniform(8.0, 25.0)
+    return samples
+
+
+def test_percentiles_within_documented_bound() -> None:
+    samples = _skewed_latencies(20_000, seed=7)
+    exact = EmpiricalDistribution.from_samples(samples)
+    hist = FixedHistogram.from_samples(samples)
+    bound = hist.relative_error_bound
+    assert bound < 0.005
+    for q in (50, 75, 90, 95, 99, 99.5, 99.9):
+        true = exact.percentile(q)
+        approx = hist.percentile(q)
+        assert abs(approx - true) / true <= bound + 1e-9, (
+            f"p{q}: {approx} vs {true}"
+        )
+
+
+def test_p99_and_violation_rate_deviation_under_one_percent() -> None:
+    # The acceptance-criteria check: P99 and SLA-violation-rate deviation
+    # < 1% vs raw samples on realistically skewed data.
+    samples = _skewed_latencies(50_000, seed=23)
+    exact = EmpiricalDistribution.from_samples(samples)
+    hist = FixedHistogram.from_samples(samples)
+
+    p99_exact = exact.percentile(99)
+    p99_hist = hist.percentile(99)
+    assert abs(p99_hist - p99_exact) / p99_exact < 0.01
+
+    sla = exact.percentile(90)  # a threshold inside the distribution body
+    frac_exact = exact.fraction_above(sla)
+    frac_hist = hist.fraction_above(sla)
+    assert abs(frac_hist - frac_exact) < 0.01
+
+
+def test_exact_aggregates_are_exact() -> None:
+    samples = _skewed_latencies(5_000, seed=3)
+    hist = FixedHistogram.from_samples(samples)
+    assert hist.count == len(samples)
+    assert hist.min == min(samples)
+    assert hist.max == max(samples)
+    assert hist.mean == pytest.approx(sum(samples) / len(samples))
+    assert len(hist) == len(samples)
+    assert bool(hist)
+
+
+def test_underflow_and_overflow_buckets() -> None:
+    hist = FixedHistogram(min_value=1e-3, max_value=1.0, bins=64)
+    hist.record(1e-6)  # underflow
+    hist.record(0.5)
+    hist.record(50.0)  # overflow
+    assert hist.count == 3
+    assert hist.min == 1e-6
+    assert hist.max == 50.0
+    # p0/p100 clamp to the exact extremes.
+    assert hist.percentile(0) == pytest.approx(1e-6)
+    assert hist.percentile(100) == pytest.approx(50.0)
+    assert hist.fraction_above(1.0) == pytest.approx(1 / 3)
+
+
+def test_fraction_above_edge_cases() -> None:
+    hist = FixedHistogram.from_samples([0.1] * 10)
+    assert hist.fraction_above(10.0) == 0.0
+    assert hist.fraction_above(0.0) == 1.0
+
+
+def test_merge_pools_counts_and_preserves_bounds() -> None:
+    a_samples = _skewed_latencies(4_000, seed=1)
+    b_samples = _skewed_latencies(4_000, seed=2)
+    a = FixedHistogram.from_samples(a_samples)
+    b = FixedHistogram.from_samples(b_samples)
+    merged = a.merge(b)
+    pooled = FixedHistogram.from_samples(a_samples + b_samples)
+    assert merged.count == pooled.count
+    assert merged.min == pooled.min
+    assert merged.max == pooled.max
+    assert merged.mean == pytest.approx(pooled.mean)
+    for q in (50, 95, 99):
+        assert merged.percentile(q) == pytest.approx(pooled.percentile(q))
+
+
+def test_merge_rejects_mismatched_bucketing() -> None:
+    a = FixedHistogram(bins=64)
+    b = FixedHistogram(bins=128)
+    with pytest.raises(ValueError, match="bucketing"):
+        a.merge(b)
+
+
+def test_determinism_same_samples_same_pickle() -> None:
+    samples = _skewed_latencies(1_000, seed=11)
+    a = FixedHistogram.from_samples(samples)
+    b = FixedHistogram.from_samples(samples)
+    assert pickle.dumps(a) == pickle.dumps(b)
+
+
+def test_pickle_round_trip() -> None:
+    samples = _skewed_latencies(2_000, seed=5)
+    hist = FixedHistogram.from_samples(samples)
+    clone = pickle.loads(pickle.dumps(hist))
+    assert clone.count == hist.count
+    assert clone.percentile(99) == hist.percentile(99)
+    assert clone.fraction_above(0.2) == hist.fraction_above(0.2)
+
+
+def test_pickle_size_reduction_at_least_10x() -> None:
+    # Acceptance criterion: the histogram pickles >= 10x smaller than the
+    # raw-sample distribution it summarises, at full-scale sample counts.
+    samples = _skewed_latencies(100_000, seed=42)
+    raw = pickle.dumps(EmpiricalDistribution.from_samples(samples))
+    summarised = pickle.dumps(FixedHistogram.from_samples(samples))
+    assert len(raw) >= 10 * len(summarised), (
+        f"raw={len(raw)}B hist={len(summarised)}B "
+        f"ratio={len(raw) / len(summarised):.1f}x"
+    )
+
+
+def test_constructor_validation() -> None:
+    with pytest.raises(ValueError):
+        FixedHistogram(min_value=0.0)
+    with pytest.raises(ValueError):
+        FixedHistogram(min_value=1.0, max_value=0.5)
+    with pytest.raises(ValueError):
+        FixedHistogram(bins=0)
+    hist = FixedHistogram()
+    with pytest.raises(ValueError):
+        hist.record(-1.0)
+    with pytest.raises(ValueError):
+        hist.record(1.0, count=0)
+    with pytest.raises(ValueError):
+        hist.percentile(50)
+    with pytest.raises(ValueError):
+        hist.fraction_above(1.0)
+    hist.record(1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
