@@ -1,6 +1,6 @@
 # Convenience targets for the Ursa reproduction.
 
-.PHONY: install test test-par lint typecheck bench bench-full perf perf-check clean-cache results results-check loc
+.PHONY: install test test-par sanitize lint typecheck bench bench-full perf perf-check clean-cache results results-check loc
 
 install:
 	pip install -e .
@@ -12,10 +12,17 @@ test:
 test-par:
 	pytest tests/ -n auto
 
-# Style (ruff) + determinism invariants (ursalint, see docs/static_analysis.md).
+# Tier-1 under the runtime worker sanitizer: every run_many worker
+# snapshots repro.* module globals around plan execution and fails on
+# drift (docs/static_analysis.md).
+sanitize:
+	REPRO_SANITIZE=1 pytest tests/
+
+# Style (ruff) + determinism invariants (ursalint per-file rules plus the
+# whole-program PAR pass, see docs/static_analysis.md).
 lint:
 	ruff check src tests benchmarks
-	PYTHONPATH=src python -m repro.analysis src/ benchmarks/
+	PYTHONPATH=src python -m repro.analysis src/ benchmarks/ tests/
 
 # Static types for the provenance-critical modules (results store,
 # histogram).  Requires mypy from the dev extras; CI runs this gate.
@@ -34,10 +41,13 @@ perf:
 
 # Perf trend gate: snapshot the committed BENCH numbers, re-run the
 # microbenchmarks, fail on >20% regression (see check_regression.py).
+# Runs under REPRO_SANITIZE=1: the sanitizer's overhead is one module
+# scan per plan, so the numbers stay comparable while every perf run
+# doubles as a shared-state check (docs/performance.md).
 perf-check:
 	rm -rf .bench-baseline && mkdir -p .bench-baseline
 	cp BENCH_engine.json BENCH_runner.json .bench-baseline/
-	$(MAKE) perf
+	REPRO_SANITIZE=1 $(MAKE) perf
 	python benchmarks/perf/check_regression.py --baseline-dir .bench-baseline
 
 # Paper-length runs (hours).

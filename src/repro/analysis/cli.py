@@ -1,5 +1,9 @@
 """Command-line entry point: ``python -m repro.analysis [paths...]``.
 
+Runs the per-file rules over every ``.py`` file, then the whole-program
+pass (:mod:`repro.analysis.program`) over the given directories, and
+merges the findings into one report.
+
 Exit codes: 0 -- clean; 1 -- findings; 2 -- usage or lint errors (bad
 rule id, unreadable file, syntax error in a checked file).
 """
@@ -14,6 +18,7 @@ from typing import Sequence
 
 from repro.analysis.core import Finding, LintError, lint_paths, registry
 from repro.analysis.policy import profile_for_path
+from repro.analysis.program import analyze_program, program_registry
 
 __all__ = ["main"]
 
@@ -45,11 +50,14 @@ def _list_rules(out) -> None:
     for rule_id, rule_cls in registry().items():
         print(f"{rule_id}  {rule_cls.title}", file=out)
         print(f"        {rule_cls.rationale}", file=out)
+    for rule_id, program_rule in sorted(program_registry().items()):
+        print(f"{rule_id}  {program_rule.title} (whole-program)", file=out)
+        print(f"        {program_rule.rationale}", file=out)
 
 
 def _parse_rule_list(raw: str) -> tuple[str, ...]:
     rules = {token.strip().upper() for token in raw.split(",") if token.strip()}
-    unknown = rules - set(registry())
+    unknown = rules - set(registry()) - set(program_registry())
     if unknown:
         raise LintError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
     return tuple(sorted(rules))
@@ -85,6 +93,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--no-program",
+        action="store_true",
+        help="skip the whole-program pass (PAR rules)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
@@ -102,17 +115,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.show_policy:
         profile = profile_for_path(args.show_policy)
         print(f"{args.show_policy}: profile={profile.name} "
-              f"rules={','.join(sorted(profile.rules))}")
+              f"rules={','.join(sorted(profile.rules))} "
+              f"program={','.join(sorted(profile.program_rules))}")
         return 0
 
     paths = args.paths or _default_paths()
+    program_ids = frozenset(program_registry())
     try:
         selected = _parse_rule_list(args.select) if args.select else None
         ignored = _parse_rule_list(args.ignore) if args.ignore else ()
         if selected is not None:
-            findings, files_checked = lint_paths(
-                paths, tuple(r for r in selected if r not in ignored)
+            file_rules = tuple(
+                r for r in selected if r not in ignored and r not in program_ids
             )
+            findings, files_checked = lint_paths(paths, file_rules)
         elif ignored:
             # Per-file policy minus the ignored rules.
             findings = []
@@ -126,6 +142,28 @@ def main(argv: Sequence[str] | None = None) -> int:
             findings.sort()
         else:
             findings, files_checked = lint_paths(paths)
+        if not args.no_program:
+            roots = [p for p in paths if Path(p).is_dir()]
+            if roots:
+                if selected is not None:
+                    program_rules = frozenset(
+                        r for r in selected
+                        if r in program_ids and r not in ignored
+                    )
+                    program_findings = (
+                        analyze_program(roots, program_rules)
+                        if program_rules
+                        else []
+                    )
+                elif ignored:
+                    program_findings = [
+                        f
+                        for f in analyze_program(roots)
+                        if f.rule not in ignored
+                    ]
+                else:
+                    program_findings = analyze_program(roots)
+                findings = sorted(findings + program_findings)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -20,6 +20,17 @@ offending line, or on a comment-only line to suppress the next line.  An
 optional reason may follow after ``--``::
 
     start = time.perf_counter()  # ursalint: disable=SIM001 -- Table VI probe
+
+Ownership annotations use ``# ursalint: transfers=RECEIVER[,RECEIVER...]``
+with the same line-targeting.  Unlike ``disable``, a ``transfers``
+annotation is *checked*: it declares that the ``acquire()`` on the
+annotated line deliberately hands the held slot to another process, and
+:class:`~repro.analysis.rules.processes.AcquireReleaseRule` verifies the
+declared receiver matches the acquire and that a matching ``release()``
+exists elsewhere in the module::
+
+    # ursalint: transfers=replica.threads -- released by _execute
+    yield replica.threads.acquire(priority=request.priority)
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ __all__ = [
     "LintContext",
     "LintError",
     "Rule",
+    "TransferAnnotation",
     "dotted_name",
     "function_scope_walk",
     "is_generator_function",
@@ -126,39 +138,77 @@ class Rule(ast.NodeVisitor):
 
 
 # ----------------------------------------------------------------------
-# Inline suppressions
+# Inline suppressions and ownership annotations
 # ----------------------------------------------------------------------
 _SUPPRESS_RE = re.compile(
     r"#\s*ursalint:\s*disable=([A-Za-z0-9_,\s]+?)(?:--.*)?$"
 )
 
+_TRANSFER_RE = re.compile(
+    r"#\s*ursalint:\s*transfers=([A-Za-z0-9_.,\s]+?)(?:--.*)?$"
+)
 
-def _suppressed_lines(source: str) -> dict[int, frozenset[str]]:
-    """Map line number -> rule ids suppressed on that line.
 
-    A trailing comment suppresses its own line; a comment-only line
-    suppresses the next line (for statements too long to annotate inline).
+@dataclass(frozen=True)
+class TransferAnnotation:
+    """A checked ``# ursalint: transfers=...`` ownership declaration.
+
+    ``line`` is the code line the annotation targets (same-line for a
+    trailing comment, next line for a comment-only line); ``receivers``
+    are the dotted resource expressions whose held slot is deliberately
+    handed to another process instead of released in a ``finally``.
     """
-    suppressed: dict[int, set[str]] = {}
+
+    line: int
+    receivers: tuple[str, ...]
+
+
+def _annotation_comments(
+    source: str, pattern: re.Pattern[str]
+) -> Iterator[tuple[int, str]]:
+    """Yield ``(target_line, payload)`` for each matching comment.
+
+    Line targeting mirrors suppressions: a trailing comment targets its
+    own line, a comment-only line targets the next line.
+    """
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
-        return {}
+        return
     lines = source.splitlines()
     for tok in tokens:
         if tok.type != tokenize.COMMENT:
             continue
-        match = _SUPPRESS_RE.search(tok.string)
+        match = pattern.search(tok.string)
         if not match:
-            continue
-        rules = {r.strip().upper() for r in match.group(1).split(",") if r.strip()}
-        if not rules:
             continue
         line = tok.start[0]
         text_before = lines[line - 1][: tok.start[1]] if line <= len(lines) else ""
         target = line + 1 if not text_before.strip() else line
-        suppressed.setdefault(target, set()).update(rules)
+        yield target, match.group(1)
+
+
+def _suppressed_lines(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids suppressed on that line."""
+    suppressed: dict[int, set[str]] = {}
+    for target, payload in _annotation_comments(source, _SUPPRESS_RE):
+        rules = {r.strip().upper() for r in payload.split(",") if r.strip()}
+        if rules:
+            suppressed.setdefault(target, set()).update(rules)
     return {line: frozenset(rules) for line, rules in suppressed.items()}
+
+
+def _transfer_lines(source: str) -> dict[int, TransferAnnotation]:
+    """Map line number -> the transfer annotation targeting that line."""
+    transfers: dict[int, TransferAnnotation] = {}
+    for target, payload in _annotation_comments(source, _TRANSFER_RE):
+        receivers = tuple(r.strip() for r in payload.split(",") if r.strip())
+        if receivers:
+            merged = transfers.get(target)
+            if merged is not None:
+                receivers = merged.receivers + receivers
+            transfers[target] = TransferAnnotation(target, receivers)
+    return transfers
 
 
 class LintContext:
@@ -170,10 +220,17 @@ class LintContext:
         self.tree = tree
         self.findings: list[Finding] = []
         self._suppressed = _suppressed_lines(source)
+        #: line -> checked ownership annotation (see TransferAnnotation).
+        self.transfers = _transfer_lines(source)
+        #: annotation lines a rule has matched against an acquire().
+        self.transfers_used: set[int] = set()
 
     def add(self, rule_id: str, node: ast.AST, message: str) -> None:
         line = int(getattr(node, "lineno", 0))
         col = int(getattr(node, "col_offset", 0))
+        self.add_at(rule_id, line, col, message)
+
+    def add_at(self, rule_id: str, line: int, col: int, message: str) -> None:
         active = self._suppressed.get(line, frozenset())
         if rule_id in active or "ALL" in active:
             return

@@ -8,14 +8,26 @@ measure wall-clock time (Table VI control-plane latency, benchmark wall
 seconds), so the wall-clock rule SIM001 is allowlisted there.  The same
 applies to ``benchmarks/perf/``: its probes time the *kernel itself*
 (events/sec, parallel speedup), so wall-clock reads are the entire point
--- see docs/performance.md.  Files outside those trees (tests, fixtures,
-scripts) get the strict profile -- determinism bugs in test helpers are
-still bugs.
+-- see docs/performance.md.
+
+``tests/`` gets its own profile: unit tests legitimately poke the
+internals the strict rules protect -- they assert exact clock equality
+(SIM006 is the property under test), build minimal acquire-only
+processes to probe the resource primitives (SIM005), and record ad-hoc
+metric names outside the registry (TEL001) -- so those three rules are
+allowlisted there and everything else stays on.  The lint fixtures under
+``tests/analysis/fixtures/`` are *deliberate* violations and are
+excluded from linting entirely.
+
+Every profile except ``lint-fixtures`` also enables the whole-program
+PAR rules (:mod:`repro.analysis.program`); they run once over the
+project but findings are filtered per-file through this policy, which
+is how fixture trees stay quiet.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.core import registry
@@ -25,6 +37,7 @@ __all__ = [
     "PERF_BENCH_ALLOWLIST",
     "Profile",
     "SIM_PATH_PACKAGES",
+    "TESTS_ALLOWLIST",
     "profile_for_path",
 ]
 
@@ -57,33 +70,63 @@ EXPERIMENTS_ALLOWLIST = frozenset({"SIM001"})
 #: wall-clock timing is their purpose, not an accident.
 PERF_BENCH_ALLOWLIST = frozenset({"SIM001"})
 
+#: Rules disabled for ``tests/``: exact-clock assertions (SIM006) are
+#: the determinism property under test, minimal acquire-only processes
+#: (SIM005) probe the resource primitives themselves, and ad-hoc metric
+#: names (TEL001) keep unit tests independent of the registry.
+TESTS_ALLOWLIST = frozenset({"SIM005", "SIM006", "TEL001"})
+
 
 @dataclass(frozen=True)
 class Profile:
-    """A named set of enabled rule ids."""
+    """A named set of enabled rule ids.
+
+    ``rules`` are the per-file rules; ``program_rules`` are the
+    whole-program PAR rules whose findings are filtered per-file by
+    this profile.
+    """
 
     name: str
     rules: frozenset[str]
+    program_rules: frozenset[str] = field(default_factory=frozenset)
 
 
 def _all_rules() -> frozenset[str]:
     return frozenset(registry())
 
 
+def _all_program_rules() -> frozenset[str]:
+    from repro.analysis.program import program_registry
+
+    return frozenset(program_registry())
+
+
 def sim_path_profile() -> Profile:
-    return Profile("sim-path", _all_rules())
+    return Profile("sim-path", _all_rules(), _all_program_rules())
 
 
 def experiments_profile() -> Profile:
-    return Profile("experiments", _all_rules() - EXPERIMENTS_ALLOWLIST)
+    return Profile(
+        "experiments", _all_rules() - EXPERIMENTS_ALLOWLIST, _all_program_rules()
+    )
 
 
 def perf_bench_profile() -> Profile:
-    return Profile("perf-bench", _all_rules() - PERF_BENCH_ALLOWLIST)
+    return Profile(
+        "perf-bench", _all_rules() - PERF_BENCH_ALLOWLIST, _all_program_rules()
+    )
+
+
+def tests_profile() -> Profile:
+    return Profile("tests", _all_rules() - TESTS_ALLOWLIST, _all_program_rules())
+
+
+def lint_fixtures_profile() -> Profile:
+    return Profile("lint-fixtures", frozenset(), frozenset())
 
 
 def strict_profile() -> Profile:
-    return Profile("strict", _all_rules())
+    return Profile("strict", _all_rules(), _all_program_rules())
 
 
 def profile_for_path(path: str | Path) -> Profile:
@@ -92,9 +135,16 @@ def profile_for_path(path: str | Path) -> Profile:
     ``benchmarks/perf/`` files (kernel/runner timing probes) get the
     perf-bench profile; ``benchmarks/`` files outside ``perf/`` remain
     strict -- their timing goes through pytest-benchmark, not wall-clock
-    reads of their own.
+    reads of their own.  ``tests/`` gets the tests profile, except the
+    deliberate violation fixtures under ``tests/analysis/fixtures/``,
+    which are not linted at all.
     """
     parts = Path(path).parts
+    if "tests" in parts:
+        rest = parts[len(parts) - 1 - parts[::-1].index("tests"):]
+        if len(rest) > 2 and rest[1] == "analysis" and rest[2] == "fixtures":
+            return lint_fixtures_profile()
+        return tests_profile()
     if "benchmarks" in parts:
         rest = parts[len(parts) - 1 - parts[::-1].index("benchmarks"):]
         if len(rest) > 1 and rest[1] == "perf":

@@ -1,0 +1,948 @@
+"""Whole-program analysis: cross-process shared-state detection.
+
+The per-file rules in :mod:`repro.analysis.rules` cannot see the one
+hazard that process-pool fan-out introduces: a module-level mutable
+global touched from inside a worker.  Each
+:class:`~repro.experiments.parallel.RunPlan` executes in its own
+process, so a mutation there never reaches the parent -- ``--jobs 1``
+(mutations accumulate in one process) and ``--jobs N`` (each worker
+mutates its own copy) silently diverge, breaking the byte-identical
+output contract.
+
+This module runs a two-pass project analysis:
+
+* **Pass 1** parses every file under the given roots into a
+  :class:`ModuleInfo`: its import table, module-level mutable globals,
+  and per-function summaries (calls made, globals read, globals
+  mutated, ``RunPlan`` construction sites).
+* **Pass 2** links the summaries into a :class:`ProjectGraph` -- a
+  cross-module symbol table plus a conservative call graph -- finds the
+  worker entry points (callables handed to ``RunPlan``), computes the
+  set of functions reachable from any worker, and emits the PAR rules:
+
+  - **PAR001** -- a worker-reachable function *reads* a module-level
+    mutable global that some function mutates.  The value observed
+    depends on which process mutated it last.
+  - **PAR002** -- a worker-reachable function *mutates* a module-level
+    mutable global: the true cross-process hazard.  The mutation is
+    confined to one pool worker, so job counts diverge.
+  - **PAR003** -- a ``RunPlan`` captures something that does not cross
+    a process boundary faithfully: a lambda / nested function (not
+    picklable by reference) or a live RNG object that bypasses
+    :func:`~repro.experiments.parallel.partition_seeds`.
+
+Globals that are *effectively constant* -- assigned once at module
+level and never mutated or rebound inside any function -- are exempt:
+fork/spawn replicates them identically, so they cannot diverge.  Real
+findings are fixed or carry a regular inline suppression
+(``# ursalint: disable=PAR002 -- reason``), which this pass honours
+through the same :class:`~repro.analysis.core.LintContext` machinery as
+the per-file rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.core import (
+    Finding,
+    LintContext,
+    LintError,
+    dotted_name,
+    iter_python_files,
+)
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProgramRule",
+    "ProjectGraph",
+    "analyze_program",
+    "program_registry",
+]
+
+
+# ----------------------------------------------------------------------
+# Program-rule registry (separate from the per-file rule registry)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProgramRule:
+    """Metadata for one whole-program rule (no visitor -- see Pass 2)."""
+
+    id: str
+    title: str
+    rationale: str
+
+
+_PROGRAM_RULES = (
+    ProgramRule(
+        "PAR001",
+        "worker-reachable read of a mutated module global",
+        "A function reachable from a RunPlan worker reads a module-level "
+        "mutable global that some function mutates; the value observed "
+        "depends on which process mutated it last, so --jobs 1 and "
+        "--jobs N diverge.",
+    ),
+    ProgramRule(
+        "PAR002",
+        "worker-reachable mutation of a module global",
+        "A function reachable from a RunPlan worker mutates a module-level "
+        "mutable global; the mutation stays in that pool worker and never "
+        "reaches the parent, so sequential and parallel runs diverge.",
+    ),
+    ProgramRule(
+        "PAR003",
+        "RunPlan captures a closure or live RNG",
+        "Lambdas and nested functions cannot be pickled by reference, and "
+        "a live RNG object carried in plan kwargs bypasses partition_seeds; "
+        "pass module-level callables and integer seeds instead.",
+    ),
+)
+
+
+def program_registry() -> dict[str, ProgramRule]:
+    """All whole-program rules, keyed by id."""
+    return {rule.id: rule for rule in _PROGRAM_RULES}
+
+
+# ----------------------------------------------------------------------
+# Pass 1: per-module summaries
+# ----------------------------------------------------------------------
+_MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "rotate",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+_RNG_CONSTRUCTORS = frozenset({"RandomStreams", "default_rng", "Generator", "Random"})
+
+
+@dataclass(frozen=True)
+class GlobalVar:
+    """One module-level mutable binding."""
+
+    module: str
+    name: str
+    line: int
+
+    @property
+    def ref(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclass(frozen=True)
+class GlobalAccess:
+    """One read or mutation of a module-level global from a function."""
+
+    var: GlobalVar
+    line: int
+    col: int
+    how: str  # "read", "rebound", "item/attribute write", ...
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call made from a function, recorded for Pass-2 resolution."""
+
+    kind: str  # "name" (f(...)), "dotted" (a.b.f(...)), "attr" (obj.m(...))
+    target: str
+
+
+@dataclass(frozen=True)
+class PlanSite:
+    """One ``RunPlan(...)`` construction site."""
+
+    line: int
+    col: int
+    fn_kind: str  # "name", "dotted", "lambda", "other"
+    fn_target: str
+    kwarg_hazards: tuple[tuple[int, int, str], ...]  # (line, col, description)
+
+
+@dataclass
+class FunctionInfo:
+    """Summary of one module-level function or method.
+
+    Nested functions and lambdas are folded into their enclosing
+    function: their calls and global accesses count as the parent's,
+    which is conservative for reachability.
+    """
+
+    module: str
+    qualname: str
+    line: int
+    locals: set[str] = field(default_factory=set)
+    nested_defs: set[str] = field(default_factory=set)
+    global_decls: set[str] = field(default_factory=set)
+    calls: list[CallSite] = field(default_factory=list)
+    reads: list[GlobalAccess] = field(default_factory=list)
+    mutations: list[GlobalAccess] = field(default_factory=list)
+    plan_sites: list[PlanSite] = field(default_factory=list)
+    rng_locals: set[str] = field(default_factory=set)
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}:{self.qualname}"
+
+
+@dataclass
+class ModuleInfo:
+    """Summary of one parsed module."""
+
+    name: str
+    path: Path
+    tree: ast.Module
+    source: str
+    # local alias -> dotted module name ("import a.b as ab").
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    # local alias -> (module, symbol) for "from module import symbol".
+    symbol_aliases: dict[str, tuple[str, str]] = field(default_factory=dict)
+    globals: dict[str, GlobalVar] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: set[str] = field(default_factory=set)
+
+
+def _module_name(path: Path, root: Path) -> str:
+    """Dotted module name for ``path`` relative to ``root``.
+
+    ``root`` is a *source root* (e.g. ``src/``): packages below it name
+    themselves.  When ``root`` is itself inside a package chain (has an
+    ``__init__.py``), the chain is prefixed so intra-package imports
+    resolve.
+    """
+    parts = list(path.relative_to(root).with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    prefix: list[str] = []
+    probe = root
+    while (probe / "__init__.py").is_file():
+        prefix.insert(0, probe.name)
+        probe = probe.parent
+    return ".".join(prefix + parts)
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    """True for module-level values that carry mutable state."""
+    if isinstance(
+        node,
+        (
+            ast.List,
+            ast.Dict,
+            ast.Set,
+            ast.ListComp,
+            ast.SetComp,
+            ast.DictComp,
+        ),
+    ):
+        return True
+    # Any constructor call is treated as opaque mutable state; it only
+    # surfaces in findings if something actually mutates it, so constant
+    # objects (sentinels, frozen dataclasses) stay quiet.
+    return isinstance(node, ast.Call)
+
+
+def _collect_module(name: str, path: Path, source: str) -> ModuleInfo:
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise LintError(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+    info = ModuleInfo(name=name, path=path, tree=tree, source=source)
+    package = name.rsplit(".", 1)[0] if "." in name else ""
+    for node in tree.body:
+        _collect_toplevel(info, node, package)
+    return info
+
+
+def _collect_toplevel(info: ModuleInfo, node: ast.stmt, package: str) -> None:
+    if isinstance(node, (ast.Import, ast.ImportFrom)):
+        _collect_import(info, node, package)
+    elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        value = node.value
+        if value is not None and _is_mutable_value(value):
+            for target in targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("__"):
+                    info.globals.setdefault(
+                        target.id, GlobalVar(info.name, target.id, node.lineno)
+                    )
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        fn = _collect_function(info, node, node.name)
+        info.functions[fn.qualname] = fn
+    elif isinstance(node, ast.ClassDef):
+        info.classes.add(node.name)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = _collect_function(info, item, f"{node.name}.{item.name}")
+                info.functions[fn.qualname] = fn
+        _collect_class_defaults(info, node)
+    elif isinstance(node, (ast.If, ast.Try)):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                _collect_toplevel(info, child, package)
+
+
+def _collect_import(
+    info: ModuleInfo, node: ast.Import | ast.ImportFrom, package: str
+) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.asname is not None:
+                info.module_aliases[alias.asname] = alias.name
+            else:
+                # "import a.b.c" binds "a"; dotted attribute access is
+                # resolved against full module names in Pass 2.
+                info.module_aliases[alias.name.split(".")[0]] = alias.name.split(
+                    "."
+                )[0]
+        return
+    base = node.module or ""
+    if node.level:
+        parts = info.name.split(".")
+        # Relative import: strip the module itself plus level-1 parents.
+        anchor = parts[: len(parts) - node.level]
+        base = ".".join(anchor + ([base] if base else []))
+    for alias in node.names:
+        bound = alias.asname or alias.name
+        info.symbol_aliases[bound] = (base, alias.name)
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Single walk of a function body filling a :class:`FunctionInfo`."""
+
+    def __init__(self, info: ModuleInfo, fn: FunctionInfo) -> None:
+        self.info = info
+        self.fn = fn
+
+    # -- scope bookkeeping ------------------------------------------------
+    def _add_args(self, args: ast.arguments) -> None:
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            self.fn.locals.add(arg.arg)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._nested_def(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._nested_def(node)
+
+    def _nested_def(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.fn.locals.add(node.name)
+        self.fn.nested_defs.add(node.name)
+        self._add_args(node.args)
+        for child in node.body:
+            self.visit(child)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._add_args(node.args)
+        self.visit(node.body)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.fn.global_decls.update(node.names)
+
+    # -- resolution helpers ----------------------------------------------
+    def _resolve_base(self, node: ast.expr) -> GlobalVar | None:
+        """The module global that ``node`` denotes, if any."""
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in self.fn.locals and name not in self.fn.global_decls:
+                return None
+            if name in self.info.symbol_aliases:
+                module, symbol = self.info.symbol_aliases[name]
+                return GlobalVar(module, symbol, 0)
+            var = self.info.globals.get(name)
+            return var
+        if isinstance(node, ast.Attribute):
+            base = dotted_name(node.value)
+            if base is None:
+                return None
+            first, _, rest = base.partition(".")
+            if first in self.fn.locals:
+                return None
+            expanded = self.info.module_aliases.get(first)
+            if expanded is not None:
+                module = expanded + ("." + rest if rest else "")
+                return GlobalVar(module, node.attr, 0)
+            if base in self.info.symbol_aliases:
+                module_name, symbol = self.info.symbol_aliases[base]
+                return GlobalVar(f"{module_name}.{symbol}", node.attr, 0)
+        return None
+
+    def _record(self, kind: str, var: GlobalVar, node: ast.AST, how: str) -> None:
+        access = GlobalAccess(
+            var,
+            int(getattr(node, "lineno", 0)),
+            int(getattr(node, "col_offset", 0)),
+            how,
+        )
+        if kind == "read":
+            self.fn.reads.append(access)
+        else:
+            self.fn.mutations.append(access)
+
+    # -- mutations --------------------------------------------------------
+    def _mutation_target(self, target: ast.expr, node: ast.AST, how: str) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.fn.global_decls:
+                var = self.info.globals.get(target.id) or GlobalVar(
+                    self.info.name, target.id, 0
+                )
+                self._record("mutation", var, node, how)
+            else:
+                self.fn.locals.add(target.id)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            var = self._resolve_base(_innermost_base(target))
+            if var is not None:
+                self._record("mutation", var, node, how)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._mutation_target(element, node, how)
+        elif isinstance(target, ast.Starred):
+            self._mutation_target(target.value, node, how)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._mutation_target(target, node, "rebound" if isinstance(
+                target, ast.Name) else "written via item/attribute")
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._mutation_target(node.target, node, "rebound")
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._mutation_target(node.target, node, "augmented in place")
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                self._mutation_target(target, node, "deleted item/attribute")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._bind_loop_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._bind_loop_target(node.target)
+        self.generic_visit(node)
+
+    def _bind_loop_target(self, target: ast.expr) -> None:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                self.fn.locals.add(sub.id)
+
+    def visit_withitem(self, node: ast.withitem) -> None:
+        if node.optional_vars is not None:
+            self._bind_loop_target(node.optional_vars)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._bind_loop_target(node.target)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self.fn.locals.add(node.name)
+        self.generic_visit(node)
+
+    # -- calls, reads, plan sites ----------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = node.func
+        if isinstance(callee, ast.Name):
+            if callee.id == "RunPlan":
+                self._plan_site(node)
+            elif callee.id == "next" and node.args:
+                var = self._resolve_base(node.args[0])
+                if var is not None:
+                    self._record("mutation", var, node, "advanced via next()")
+            self.fn.calls.append(CallSite("name", callee.id))
+        elif isinstance(callee, ast.Attribute):
+            dotted = dotted_name(callee)
+            if callee.attr == "RunPlan":
+                self._plan_site(node)
+            elif callee.attr in _MUTATOR_METHODS:
+                var = self._resolve_base(callee.value)
+                if var is not None:
+                    self._record(
+                        "mutation", var, node, f"mutated via .{callee.attr}()"
+                    )
+            if dotted is not None and dotted.split(".")[0] not in self.fn.locals:
+                self.fn.calls.append(CallSite("dotted", dotted))
+            else:
+                # self.m(...) / obj.m(...): the receiver is dynamic, so
+                # conservatively link to every method named m.
+                self.fn.calls.append(CallSite("attr", callee.attr))
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            var = self._resolve_base(node)
+            if var is not None:
+                self._record("read", var, node, "read")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            var = self._resolve_base(node)
+            if var is not None:
+                self._record("read", var, node, "read")
+                return
+        self.generic_visit(node)
+
+    def _is_rng_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr
+                if isinstance(callee, ast.Attribute)
+                else ""
+            )
+            return name in _RNG_CONSTRUCTORS or name == "stream"
+        if isinstance(node, ast.Name):
+            return node.id in self.fn.rng_locals
+        return False
+
+    def _plan_site(self, node: ast.Call) -> None:
+        fn_arg: ast.expr | None = None
+        kwargs_arg: ast.expr | None = None
+        if node.args:
+            fn_arg = node.args[0]
+        if len(node.args) > 1:
+            kwargs_arg = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "fn":
+                fn_arg = keyword.value
+            elif keyword.arg == "kwargs":
+                kwargs_arg = keyword.value
+        fn_kind, fn_target = "other", ""
+        if isinstance(fn_arg, ast.Lambda):
+            fn_kind = "lambda"
+        elif isinstance(fn_arg, ast.Name):
+            fn_kind, fn_target = "name", fn_arg.id
+        elif isinstance(fn_arg, ast.Attribute):
+            dotted = dotted_name(fn_arg)
+            if dotted is not None:
+                fn_kind, fn_target = "dotted", dotted
+        hazards: list[tuple[int, int, str]] = []
+        if isinstance(kwargs_arg, ast.Dict):
+            for key, value in zip(kwargs_arg.keys, kwargs_arg.values):
+                label = (
+                    repr(key.value)
+                    if isinstance(key, ast.Constant)
+                    else "**"
+                )
+                if isinstance(value, ast.Lambda) or (
+                    isinstance(value, ast.Name)
+                    and value.id in self.fn.nested_defs
+                ):
+                    hazards.append(
+                        (
+                            value.lineno,
+                            value.col_offset,
+                            f"kwargs[{label}] is a closure; closures cannot "
+                            "be pickled into a worker",
+                        )
+                    )
+                elif self._is_rng_expr(value):
+                    hazards.append(
+                        (
+                            value.lineno,
+                            value.col_offset,
+                            f"kwargs[{label}] carries a live RNG object; "
+                            "pass an integer seed from partition_seeds and "
+                            "re-derive streams in the worker",
+                        )
+                    )
+        self.fn.plan_sites.append(
+            PlanSite(node.lineno, node.col_offset, fn_kind, fn_target, tuple(hazards))
+        )
+
+
+def _collect_class_defaults(info: ModuleInfo, node: ast.ClassDef) -> None:
+    """Scan class-level attribute defaults into a synthetic ``__init__``.
+
+    Dataclass ``field(default_factory=lambda: ...)`` expressions execute
+    at *instance construction* time, so their calls, reads and mutations
+    belong to ``ClassName.__init__`` for reachability purposes (the
+    ``_request_ids`` counter consumed by ``Request``'s default factory is
+    exactly this shape).  When the class defines an explicit ``__init__``
+    the defaults are folded into a separate synthetic summary so neither
+    shadows the other.
+    """
+    qualname = f"{node.name}.__init__"
+    if qualname in info.functions:
+        qualname = f"{node.name}.__class_defaults__"
+    synthetic = FunctionInfo(module=info.name, qualname=qualname, line=node.lineno)
+    collector = _FunctionCollector(info, synthetic)
+    for item in node.body:
+        value: ast.expr | None = None
+        if isinstance(item, ast.Assign):
+            value = item.value
+        elif isinstance(item, ast.AnnAssign):
+            value = item.value
+        if value is not None:
+            collector.visit(value)
+    if synthetic.calls or synthetic.reads or synthetic.mutations:
+        info.functions.setdefault(qualname, synthetic)
+
+
+def _bound_names(target: ast.expr) -> Iterable[str]:
+    """Names a bare assignment target *binds* (not mutation targets)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _bound_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+def _innermost_base(node: ast.expr) -> ast.expr:
+    """Peel Subscript/Attribute wrappers: base of ``a.b[0].c`` is ``a``."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node
+
+
+def _collect_function(
+    info: ModuleInfo,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualname: str,
+) -> FunctionInfo:
+    fn = FunctionInfo(module=info.name, qualname=qualname, line=node.lineno)
+    collector = _FunctionCollector(info, fn)
+    collector._add_args(node.args)
+    if qualname != node.name:
+        fn.locals.add("self")
+        fn.locals.add("cls")
+    # Pre-scan assignments so locals shadow globals regardless of
+    # statement order (Python scoping is function-wide, not lexical).
+    # Only *binding* names count: "CACHE[k] = v" binds nothing, it
+    # mutates CACHE.
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                fn.locals.update(_bound_names(target))
+        elif isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+            fn.locals.add(sub.target.id)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) and sub is not node:
+            fn.locals.add(sub.name)
+            fn.nested_defs.add(sub.name)
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call):
+            callee = sub.value.func
+            name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr
+                if isinstance(callee, ast.Attribute)
+                else ""
+            )
+            if name in _RNG_CONSTRUCTORS or name == "stream":
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        fn.rng_locals.add(target.id)
+    # global-declared names are not locals even though they are assigned.
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Global):
+            fn.global_decls.update(sub.names)
+    fn.locals -= fn.global_decls
+    for child in node.body:
+        collector.visit(child)
+    return fn
+
+
+# ----------------------------------------------------------------------
+# Pass 2: linking and the PAR rules
+# ----------------------------------------------------------------------
+class ProjectGraph:
+    """Cross-module symbol table plus a conservative call graph."""
+
+    def __init__(self, modules: Mapping[str, ModuleInfo]) -> None:
+        self.modules = dict(modules)
+        self.functions: dict[str, FunctionInfo] = {}
+        self.methods_by_name: dict[str, list[str]] = {}
+        for module in self.modules.values():
+            for fn in module.functions.values():
+                self.functions[fn.key] = fn
+                # Only methods go into the by-name index: an attr call on an
+                # unresolved receiver (``x.register()``) can only dispatch to
+                # a method, never to a module-level function.
+                if "." in fn.qualname:
+                    short = fn.qualname.split(".")[-1]
+                    self.methods_by_name.setdefault(short, []).append(fn.key)
+
+    # -- symbol resolution ------------------------------------------------
+    def resolve_module(self, info: ModuleInfo, dotted: str) -> str | None:
+        """Resolve a dotted expression prefix to a module in the tree."""
+        first, _, rest = dotted.partition(".")
+        expanded = info.module_aliases.get(first)
+        if expanded is not None:
+            dotted = expanded + ("." + rest if rest else "")
+        elif first in info.symbol_aliases:
+            module, symbol = info.symbol_aliases[first]
+            dotted = f"{module}.{symbol}" + ("." + rest if rest else "")
+        probe = dotted
+        while probe:
+            if probe in self.modules:
+                return probe
+            probe = probe.rpartition(".")[0]
+        return None
+
+    def resolve_callable(self, info: ModuleInfo, site: CallSite) -> list[str]:
+        """Function keys a call site may reach (possibly empty)."""
+        if site.kind == "attr":
+            return self.methods_by_name.get(site.target, [])
+        dotted = site.target
+        if site.kind == "name":
+            alias = info.symbol_aliases.get(dotted)
+            if alias is not None:
+                dotted = f"{alias[0]}.{alias[1]}"
+            elif dotted in info.functions:
+                return [info.functions[dotted].key]
+            elif dotted in info.classes:
+                return self._class_entry_keys(info.name, dotted)
+            elif dotted in info.module_aliases:
+                return []
+        module_name = self.resolve_module(info, dotted)
+        if module_name is None:
+            return []
+        module = self.modules[module_name]
+        remainder = dotted
+        first, _, rest = remainder.partition(".")
+        expanded = info.module_aliases.get(first)
+        if expanded is not None:
+            remainder = expanded + ("." + rest if rest else "")
+        elif first in info.symbol_aliases:
+            symbol_module, symbol = info.symbol_aliases[first]
+            remainder = f"{symbol_module}.{symbol}" + ("." + rest if rest else "")
+        suffix = remainder[len(module_name):].lstrip(".")
+        if not suffix:
+            return []
+        if suffix in module.functions:
+            return [module.functions[suffix].key]
+        if suffix in module.classes:
+            return self._class_entry_keys(module_name, suffix)
+        short = suffix.split(".")[-1]
+        candidates = [
+            key
+            for key in self.methods_by_name.get(short, [])
+            if key.startswith(f"{module_name}:")
+        ]
+        return candidates
+
+    def _class_entry_keys(self, module_name: str, class_name: str) -> list[str]:
+        module = self.modules.get(module_name)
+        if module is None:
+            return []
+        keys = []
+        for method in ("__init__", "__post_init__", "__class_defaults__"):
+            qualname = f"{class_name}.{method}"
+            if qualname in module.functions:
+                keys.append(module.functions[qualname].key)
+        return keys
+
+    # -- worker entry points and reachability ----------------------------
+    def worker_entries(self) -> dict[str, str]:
+        """Function key -> "module.qualname" label of its RunPlan site."""
+        entries: dict[str, str] = {}
+        for module in self.modules.values():
+            for fn in module.functions.values():
+                for site in fn.plan_sites:
+                    if site.fn_kind not in ("name", "dotted"):
+                        continue
+                    call = CallSite(
+                        "name" if site.fn_kind == "name" else "dotted",
+                        site.fn_target,
+                    )
+                    for key in self.resolve_callable(module, call):
+                        entries.setdefault(key, _label(key))
+        return entries
+
+    def reachable_from_workers(self) -> dict[str, str]:
+        """Function key -> entry label, for every worker-reachable function."""
+        entries = self.worker_entries()
+        reached = dict(entries)
+        queue = list(entries)
+        while queue:
+            key = queue.pop()
+            fn = self.functions.get(key)
+            if fn is None:
+                continue
+            module = self.modules[fn.module]
+            for site in fn.calls:
+                for target in self.resolve_callable(module, site):
+                    if target not in reached:
+                        reached[target] = reached[key]
+                        queue.append(target)
+        return reached
+
+
+def _label(key: str) -> str:
+    return key.replace(":", ".")
+
+
+def _mutated_global_refs(graph: ProjectGraph) -> set[str]:
+    """Refs (module.name) of globals some function mutates or rebinds."""
+    return {
+        access.var.ref
+        for fn in graph.functions.values()
+        for access in fn.mutations
+    }
+
+
+def _build_graph(roots: Sequence[str | Path]) -> tuple[ProjectGraph, int]:
+    modules: dict[str, ModuleInfo] = {}
+    count = 0
+    for root in roots:
+        root = Path(root)
+        if not root.is_dir():
+            continue
+        for path in iter_python_files([root]):
+            name = _module_name(path, root)
+            if not name or name in modules:
+                continue
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise LintError(f"{path}: cannot read: {exc}")
+            modules[name] = _collect_module(name, path, source)
+            count += 1
+    return ProjectGraph(modules), count
+
+
+def analyze_program(
+    roots: Sequence[str | Path],
+    rule_ids: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the whole-program PAR rules over the directories in ``roots``.
+
+    All roots are linked into one project graph, so ``RunPlan`` sites in
+    one tree (e.g. ``tests/``) resolve entry points defined in another
+    (``src/``).  ``rule_ids=None`` applies the per-file policy
+    (:func:`~repro.analysis.policy.profile_for_path`); otherwise only
+    the listed PAR rules run.  Findings honour the same inline
+    ``# ursalint: disable=...`` suppressions as the per-file rules.
+    """
+    graph, _ = _build_graph(roots)
+    selected = None if rule_ids is None else frozenset(rule_ids)
+    contexts: dict[str, LintContext] = {}
+    profiles: dict[str, frozenset[str]] = {}
+
+    def ctx_for(module: ModuleInfo) -> LintContext:
+        key = str(module.path)
+        if key not in contexts:
+            contexts[key] = LintContext(key, module.source, module.tree)
+            if selected is None:
+                from repro.analysis.policy import profile_for_path
+
+                profiles[key] = profile_for_path(key).program_rules
+            else:
+                profiles[key] = frozenset(selected)
+        return contexts[key]
+
+    def emit(
+        module: ModuleInfo, rule_id: str, line: int, col: int, message: str
+    ) -> None:
+        ctx = ctx_for(module)
+        if rule_id in profiles[str(module.path)]:
+            ctx.add_at(rule_id, line, col, message)
+
+    mutated_refs = _mutated_global_refs(graph)
+    reached = graph.reachable_from_workers()
+
+    for key, entry in sorted(reached.items()):
+        fn = graph.functions.get(key)
+        if fn is None:
+            continue
+        module = graph.modules[fn.module]
+        mutation_lines = {(m.var.ref, m.line) for m in fn.mutations}
+        for access in fn.mutations:
+            if access.var.module not in graph.modules:
+                continue  # state owned by an external module; out of scope
+            emit(
+                module,
+                "PAR002",
+                access.line,
+                access.col,
+                f"module global '{access.var.ref}' is {access.how} on a "
+                f"worker-reachable path (entry: {entry}); the mutation is "
+                "confined to one pool worker, so --jobs 1 and --jobs N "
+                "diverge",
+            )
+        for access in fn.reads:
+            if access.var.module not in graph.modules:
+                continue
+            if access.var.ref not in mutated_refs:
+                continue
+            if (access.var.ref, access.line) in mutation_lines:
+                continue  # the PAR002 finding already covers this line
+            emit(
+                module,
+                "PAR001",
+                access.line,
+                access.col,
+                f"read of mutable module global '{access.var.ref}' on a "
+                f"worker-reachable path (entry: {entry}); its value depends "
+                "on which process mutated it last",
+            )
+
+    for module in graph.modules.values():
+        for fn in module.functions.values():
+            for site in fn.plan_sites:
+                if site.fn_kind == "lambda":
+                    emit(
+                        module,
+                        "PAR003",
+                        site.line,
+                        site.col,
+                        "RunPlan callable is a lambda; lambdas cannot be "
+                        "pickled into a worker -- use a module-level "
+                        "function",
+                    )
+                elif (
+                    site.fn_kind == "name"
+                    and site.fn_target in fn.nested_defs
+                ):
+                    emit(
+                        module,
+                        "PAR003",
+                        site.line,
+                        site.col,
+                        f"RunPlan callable '{site.fn_target}' is a nested "
+                        "function; closures cannot be pickled into a worker "
+                        "-- move it to module level",
+                    )
+                for line, col, message in site.kwarg_hazards:
+                    emit(module, "PAR003", line, col, f"RunPlan {message}")
+
+    findings: list[Finding] = []
+    for ctx in contexts.values():
+        findings.extend(ctx.findings)
+    return sorted(findings)

@@ -107,8 +107,16 @@ class AcquireReleaseRule(Rule):
         finally:
             resource.release()
 
-    Protocols that intentionally hand a held slot to another process must
-    carry a documented ``# ursalint: disable=SIM005`` suppression.
+    Protocols that intentionally hand a held slot to another process
+    declare it with a *checked* ownership annotation::
+
+        # ursalint: transfers=resource -- released by the consumer
+        yield resource.acquire()
+
+    The annotation is verified, not trusted: the declared receiver must
+    match the acquire on the annotated line, and the module must contain
+    a matching ``release()`` somewhere (the other end of the handoff).
+    Annotations that match no acquire are themselves reported.
     """
 
     id = "SIM005"
@@ -116,8 +124,53 @@ class AcquireReleaseRule(Rule):
     rationale = (
         "A process failing between acquire and release leaks the slot for "
         "the rest of the run, skewing capacity, queue depths and latency. "
-        "Release in a finally, or document the ownership handoff."
+        "Release in a finally, or declare the ownership handoff with a "
+        "checked '# ursalint: transfers=<receiver>' annotation."
     )
+
+    _module_releases: frozenset[str] = frozenset()
+
+    def run(self, tree: ast.Module) -> None:
+        self._module_releases = _release_receivers(tree)
+        self.visit(tree)
+        for line in sorted(set(self.ctx.transfers) - self.ctx.transfers_used):
+            annotation = self.ctx.transfers[line]
+            declared = ", ".join(annotation.receivers)
+            self.ctx.add_at(
+                self.id,
+                line,
+                0,
+                f"'transfers={declared}' annotation matches no acquire() on "
+                "this line; fix the declared receiver or remove the "
+                "annotation",
+            )
+
+    def _check_transfer(self, receiver: str, call: ast.Call) -> bool:
+        """Validate the annotation covering ``call``; True when handled."""
+        annotation = self.ctx.transfers.get(call.lineno)
+        if annotation is None:
+            return False
+        self.ctx.transfers_used.add(annotation.line)
+        if receiver not in annotation.receivers:
+            declared = ", ".join(annotation.receivers)
+            self.report(
+                call,
+                f"ownership annotation declares 'transfers={declared}' but "
+                f"this line acquires {receiver}; the annotation must name "
+                "the acquired resource",
+            )
+            return True
+        if not any(
+            released == receiver or released.split(".")[-1] == receiver.split(".")[-1]
+            for released in self._module_releases
+        ):
+            self.report(
+                call,
+                f"declared transfer of {receiver} but no matching "
+                f"release() exists anywhere in this module; the handed-off "
+                "slot has no owner to release it",
+            )
+        return True
 
     def _visit_function(self, node) -> None:
         if is_generator_function(node):
@@ -145,14 +198,31 @@ class AcquireReleaseRule(Rule):
                                 ) or ast.unparse(sub.func.value)
                                 released_in_finally.add(receiver)
             for receiver, call in acquires:
-                if receiver not in released_in_finally:
-                    self.report(
-                        call,
-                        f"{receiver}.acquire() has no {receiver}.release() "
-                        "in a finally block of this process; a failure or "
-                        "interrupt between them leaks the slot",
-                    )
+                if receiver in released_in_finally:
+                    continue
+                if self._check_transfer(receiver, call):
+                    continue
+                self.report(
+                    call,
+                    f"{receiver}.acquire() has no {receiver}.release() "
+                    "in a finally block of this process; a failure or "
+                    "interrupt between them leaks the slot",
+                )
         self.generic_visit(node)
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
+
+
+def _release_receivers(tree: ast.Module) -> frozenset[str]:
+    """Dotted receivers of every ``<receiver>.release()`` call in a module."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "release"
+        ):
+            receiver = dotted_name(node.func.value) or ast.unparse(node.func.value)
+            out.add(receiver)
+    return frozenset(out)

@@ -1,0 +1,193 @@
+"""Runtime worker sanitizer: detect module-global drift around plan runs.
+
+The whole-program PAR002 rule (:mod:`repro.analysis.program`) proves
+*statically* that no worker-reachable code mutates a module-level
+global.  This module is the *dynamic* half of that argument: with
+``REPRO_SANITIZE=1``, :func:`run_guarded` snapshots a digest of every
+data-valued global in the watched modules before and after each
+:class:`~repro.experiments.parallel.RunPlan` executes -- in the pool
+workers and on the sequential ``jobs=1`` path alike -- and raises
+:class:`SanitizerError` naming the drifted globals.
+
+Environment flags (inherited by pool workers under fork and spawn):
+
+``REPRO_SANITIZE``
+    ``1`` (or any value other than ``0``/empty) enables the guard.
+``REPRO_SANITIZE_PREFIXES``
+    Comma-separated module-name prefixes to watch (default ``repro``).
+    Tests point this at a planted helper module to prove the guard
+    fires; CI and ``make sanitize`` run the whole suite with it on.
+
+The snapshot intentionally skips functions, classes and modules
+(rebinding those is already impossible to do accidentally) and
+fingerprints everything else by structural ``repr``-style digest, so an
+``itertools.count`` advancing, a dict gaining a key, or an int global
+being rebound all show up as drift.  Overhead is one ``sys.modules``
+scan per plan -- microseconds against multi-second deployment runs; see
+docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sys
+import types
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "ENV_FLAG",
+    "ENV_PREFIXES",
+    "SanitizerError",
+    "enabled",
+    "run_guarded",
+    "snapshot",
+]
+
+ENV_FLAG = "REPRO_SANITIZE"
+ENV_PREFIXES = "REPRO_SANITIZE_PREFIXES"
+_DEFAULT_PREFIXES = ("repro",)
+
+#: Globals allowed to drift across a plan run, as ``module.attribute``.
+#: Keep this list empty unless a drift is provably benign *and*
+#: documented here -- every entry weakens the jobs-invariance argument.
+ALLOWED_DRIFT: frozenset[str] = frozenset()
+
+_MAX_DEPTH = 6
+_MAX_ITEMS = 128
+
+_SKIPPED_TYPES = (
+    types.ModuleType,
+    types.FunctionType,
+    types.BuiltinFunctionType,
+    types.MethodType,
+    type,
+)
+
+
+class SanitizerError(RuntimeError):
+    """A plan run mutated module-level global state."""
+
+
+def enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` is set to a truthy value."""
+    return os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+def _prefixes() -> tuple[str, ...]:
+    raw = os.environ.get(ENV_PREFIXES, "")
+    parts = tuple(p.strip() for p in raw.split(",") if p.strip())
+    return parts or _DEFAULT_PREFIXES
+
+
+def _watched(prefix: str, module_name: str) -> bool:
+    return module_name == prefix or module_name.startswith(prefix + ".")
+
+
+def _fingerprint(value: Any, depth: int = 0) -> str:
+    """Deterministic structural digest of a runtime value.
+
+    Bounded by ``_MAX_DEPTH``/``_MAX_ITEMS`` so pathological globals
+    cannot make the guard quadratic; beyond the caps the summary still
+    includes length and type, so growth is detected even when contents
+    are elided.
+    """
+    if value is None or isinstance(value, (bool, int, float, complex, str, bytes)):
+        return repr(value)
+    if depth >= _MAX_DEPTH:
+        return f"<depth-capped {type(value).__qualname__} len={_safe_len(value)}>"
+    if isinstance(value, dict):
+        items = [
+            f"{_fingerprint(k, depth + 1)}:{_fingerprint(v, depth + 1)}"
+            for k, v in list(value.items())[:_MAX_ITEMS]
+        ]
+        return "{" + ",".join(sorted(items)) + f"|len={len(value)}" + "}"
+    if isinstance(value, (list, tuple)):
+        open_, close = ("[", "]") if isinstance(value, list) else ("(", ")")
+        items = [_fingerprint(v, depth + 1) for v in value[:_MAX_ITEMS]]
+        return open_ + ",".join(items) + f"|len={len(value)}" + close
+    if isinstance(value, (set, frozenset)):
+        items = sorted(_fingerprint(v, depth + 1) for v in list(value)[:_MAX_ITEMS])
+        return "{" + ",".join(items) + f"|len={len(value)}" + "}"
+    # Stateful objects (itertools.count, RNGs, deques, user classes):
+    # repr captures observable state for the common cases; a __dict__
+    # adds structural depth for plain objects.
+    state = getattr(value, "__dict__", None)
+    if isinstance(state, dict) and state:
+        return (
+            f"<{type(value).__qualname__} "
+            + _fingerprint(state, depth + 1)
+            + ">"
+        )
+    try:
+        return repr(value)
+    except Exception:  # pragma: no cover - hostile __repr__
+        return f"<unreprable {type(value).__qualname__}>"
+
+
+def _safe_len(value: Any) -> int:
+    try:
+        return len(value)
+    except TypeError:
+        return -1
+
+
+def snapshot() -> dict[str, str]:
+    """Digest of every data-valued global in the watched modules."""
+    prefixes = _prefixes()
+    digests: dict[str, str] = {}
+    for module_name in sorted(sys.modules):
+        if not any(_watched(p, module_name) for p in prefixes):
+            continue
+        module = sys.modules[module_name]
+        if module is None:  # pragma: no cover - import-machinery artifact
+            continue
+        for attr, value in sorted(vars(module).items()):
+            if attr.startswith("__") or isinstance(value, _SKIPPED_TYPES):
+                continue
+            key = f"{module_name}.{attr}"
+            if key in ALLOWED_DRIFT:
+                continue
+            raw = _fingerprint(value)
+            digests[key] = hashlib.blake2b(
+                raw.encode("utf-8", "backslashreplace"), digest_size=8
+            ).hexdigest()
+    return digests
+
+
+def diff(before: Mapping[str, str], after: Mapping[str, str]) -> list[str]:
+    """Human-readable drift entries between two snapshots."""
+    out = []
+    for key in sorted(set(before) | set(after)):
+        if key not in after:
+            out.append(f"{key} (deleted)")
+        elif key not in before:
+            out.append(f"{key} (created)")
+        elif before[key] != after[key]:
+            out.append(f"{key} (mutated)")
+    return out
+
+
+def run_guarded(
+    fn: Callable[..., Any], kwargs: Mapping[str, Any], label: str = ""
+) -> Any:
+    """Run ``fn(**kwargs)``, raising :class:`SanitizerError` on drift.
+
+    With ``REPRO_SANITIZE`` unset this is a plain call -- zero overhead
+    beyond one environment read.
+    """
+    if not enabled():
+        return fn(**kwargs)
+    before = snapshot()
+    result = fn(**kwargs)
+    drifted = diff(before, snapshot())
+    if drifted:
+        what = f" {label!r}" if label else ""
+        raise SanitizerError(
+            f"plan{what} mutated module-level global state: "
+            + ", ".join(drifted)
+            + " -- module globals must stay constant during a run, or "
+            "--jobs 1 and --jobs N diverge (see docs/static_analysis.md, "
+            "PAR002)"
+        )
+    return result

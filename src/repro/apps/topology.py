@@ -206,6 +206,10 @@ class Application:
             rc.name: rc for rc in spec.request_classes
         }
         self._class_label_sets: dict[str, tuple] = {}
+        #: Per-application request counter: ids are deterministic within
+        #: a run and identical at any --jobs count (no process-global
+        #: state; see PAR002 in docs/static_analysis.md).
+        self._submitted = 0
         self.tracer = tracer
         if utilization_sample_interval_s > 0:
             self.env.process(
@@ -230,7 +234,9 @@ class Application:
             request_class=class_name,
             arrival_time=self.env.now,
             priority=rc.priority,
+            request_id=self._submitted,
         )
+        self._submitted += 1
         root = self.services[rc.tree.service]
         span = (
             self.tracer.begin(

@@ -30,7 +30,7 @@ from repro.errors import InfeasibleModelError
 from repro.experiments import artifacts
 from repro.experiments.parallel import RunPlan, run_many
 from repro.experiments.report import render_table
-from repro.experiments.runner import make_app, scale_profile
+from repro.experiments.runner import RunOptions, make_app, scale_profile
 from repro.experiments.store import RunMeta
 from repro.sim.random import RandomStreams
 from repro.sim.trace import RunDigest
@@ -69,15 +69,20 @@ BP_SERVICE = "timeline-service"
 # -- t-test scaling (Welch vs naive) --------------------------------------
 
 
-def ttest_variant(alpha: float, seed: int = TTEST_SEED) -> dict:
+def ttest_variant(alpha: float, options: RunOptions | None = None) -> dict:
     """One Ursa deployment with the controller's t-test alpha overridden."""
-    profile = scale_profile()
-    duration = profile.deployment_s
+    options = (
+        options if options is not None
+        else RunOptions(seed=TTEST_SEED, digest=True)
+    )
+    seed = options.seed
+    duration = options.resolved_duration_s()
+    measure_from = options.resolved_measure_from_s()
     spec = artifacts.app_spec(ABLATION_APP)
     mix = default_mix_for(ABLATION_APP)
     rps = artifacts.app_rps(ABLATION_APP)
     exploration = artifacts.exploration_result(ABLATION_APP)
-    run_digest = RunDigest()
+    run_digest = RunDigest() if options.digest else None
     app = make_app(spec, seed=seed, trace=run_digest)
     app.env.run(until=10)
     manager = UrsaManager(app, exploration)
@@ -90,11 +95,11 @@ def ttest_variant(alpha: float, seed: int = TTEST_SEED) -> dict:
     app.env.run(until=duration)
     return {
         "decisions": len(manager.controller.decisions),
-        "violations": app.windowed_violation_rate(
-            profile.measure_from_s, duration
+        "violations": app.windowed_violation_rate(measure_from, duration),
+        "cpus": app.mean_cpu_allocation(measure_from, duration),
+        "run_digest": (
+            run_digest.hexdigest() if run_digest is not None else None
         ),
-        "cpus": app.mean_cpu_allocation(profile.measure_from_s, duration),
-        "run_digest": run_digest.hexdigest(),
     }
 
 

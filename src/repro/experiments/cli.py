@@ -56,17 +56,24 @@ class _ProgressReporter:
         )
 
 
+#: Experiments whose runs can sample span trees (``--dump-traces``).
+_TRACEABLE = frozenset({"fig09", "fig10", "fig11-12"})
+
+
 def _run(
     name: str,
     apps: list[str] | None,
     jobs: int | None,
     on_complete=None,
+    trace_runs: bool = False,
 ):
-    """Run one experiment; returns ``(text, meta_or_None)``.
+    """Run one experiment; returns ``(text, meta_or_None, jsonl_by_source)``.
 
     ``meta`` is the provenance :class:`~repro.experiments.store.RunMeta`
     persisted alongside the text when ``--save`` is given; ``summary``
     aggregates other results and carries no provenance of its own.
+    ``jsonl_by_source`` holds each traced run's serialized span trees
+    (non-empty only with ``trace_runs``, for ``--dump-traces``).
     """
     if name == "fig02":
         from repro.experiments.fig02_backpressure import (
@@ -76,7 +83,7 @@ def _run(
         )
 
         heatmaps = run_all_chains()
-        return render_report(heatmaps), experiment_meta(heatmaps)
+        return render_report(heatmaps), experiment_meta(heatmaps), {}
     if name == "fig04":
         from repro.experiments.fig04_thresholds import (
             experiment_meta,
@@ -84,7 +91,7 @@ def _run(
         )
 
         curves = run_threshold_profiling()
-        return curves.render(), experiment_meta(curves)
+        return curves.render(), experiment_meta(curves), {}
     if name == "table05":
         from repro.experiments.table05_exploration import (
             experiment_meta,
@@ -92,7 +99,7 @@ def _run(
         )
 
         table = run_table05(jobs=jobs, on_complete=on_complete)
-        return table.render(), experiment_meta(table)
+        return table.render(), experiment_meta(table), {}
     if name in ("fig09", "fig10"):
         from repro.experiments.fig09_10_model_accuracy import (
             FIG9_10_SEED,
@@ -100,7 +107,7 @@ def _run(
             experiment_meta,
             run_model_accuracy,
         )
-        from repro.experiments.runner import RunOptions
+        from repro.experiments.runner import RunOptions, TracingOptions
 
         app_name, classes = (
             ("social-network", FIG9_CLASSES)
@@ -110,14 +117,27 @@ def _run(
         result = run_model_accuracy(
             app_name,
             classes,
-            options=RunOptions(seed=FIG9_10_SEED, digest=True),
+            options=RunOptions(
+                seed=FIG9_10_SEED,
+                digest=True,
+                tracing=TracingOptions() if trace_runs else None,
+            ),
         )
-        return result.render(), experiment_meta(result, _RESULT_NAMES[name])
+        sources = (
+            {app_name: result.traces.jsonl} if result.traces is not None else {}
+        )
+        return (
+            result.render(),
+            experiment_meta(result, _RESULT_NAMES[name]),
+            sources,
+        )
     if name == "fig11-12":
         from repro.experiments.fig11_12_performance import (
             experiment_meta,
             run_performance_grid,
         )
+
+        from repro.experiments.runner import TracingOptions
 
         grid = run_performance_grid(
             tuple(apps)
@@ -128,11 +148,17 @@ def _run(
                 "media-service",
                 "video-pipeline",
             ),
+            tracing=TracingOptions() if trace_runs else None,
             jobs=jobs,
             on_complete=on_complete,
         )
         text = grid.violation_table() + "\n\n" + grid.cpu_table()
-        return text, experiment_meta(grid)
+        sources = {
+            f"{app}.{load}.{manager}": result.traces.jsonl
+            for (app, load, manager), result in sorted(grid.results.items())
+            if result is not None and result.traces is not None
+        }
+        return text, experiment_meta(grid), sources
     if name == "fig13":
         from repro.experiments.fig13_diurnal import (
             experiment_meta,
@@ -140,7 +166,7 @@ def _run(
         )
 
         trace = run_diurnal_trace(jobs=jobs, on_complete=on_complete)
-        return trace.render(), experiment_meta(trace)
+        return trace.render(), experiment_meta(trace), {}
     if name == "table06":
         from repro.experiments.table06_control_plane import (
             experiment_meta,
@@ -148,7 +174,7 @@ def _run(
         )
 
         table = run_table06()
-        return table.render(), experiment_meta(table)
+        return table.render(), experiment_meta(table), {}
     if name == "fig14":
         from repro.experiments.fig14_service_change import (
             experiment_meta,
@@ -156,11 +182,11 @@ def _run(
         )
 
         result = run_service_change(jobs=jobs, on_complete=on_complete)
-        return result.render(), experiment_meta(result)
+        return result.render(), experiment_meta(result), {}
     if name == "summary":
         from repro.experiments.summary import summarize
 
-        return summarize(), None
+        return summarize(), None, {}
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -210,6 +236,18 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--dump-traces",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "sample span trees during the run and persist the N slowest "
+            "sampled requests per request class as Chrome trace_event "
+            "files under results/traces/ (fig09, fig10, fig11-12); "
+            "tracing is a pure observer and never changes results"
+        ),
+    )
+    parser.add_argument(
         "--save",
         action="store_true",
         help=(
@@ -224,15 +262,43 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.save and args.experiment not in _RESULT_NAMES:
         parser.error(f"--save is not supported for {args.experiment!r}")
+    if args.dump_traces is not None:
+        if args.experiment not in _TRACEABLE:
+            parser.error(
+                f"--dump-traces is not supported for {args.experiment!r} "
+                f"(traceable: {', '.join(sorted(_TRACEABLE))})"
+            )
+        if args.dump_traces < 1:
+            parser.error(f"--dump-traces must be >= 1, got {args.dump_traces}")
     apps = args.apps.split(",") if args.apps else None
     on_complete = _ProgressReporter() if args.progress else None
-    text, meta = _run(args.experiment, apps, args.jobs, on_complete=on_complete)
+    text, meta, trace_sources = _run(
+        args.experiment,
+        apps,
+        args.jobs,
+        on_complete=on_complete,
+        trace_runs=args.dump_traces is not None,
+    )
     print(text)
     if args.save and meta is not None:
         from repro.experiments import store
 
         path = store.save_result(_RESULT_NAMES[args.experiment], text, meta)
         print(f"[saved to {path}]", file=sys.stderr)
+    if args.dump_traces is not None and trace_sources:
+        from repro.experiments.traces import dump_slowest_traces
+
+        paths = dump_slowest_traces(
+            trace_sources,
+            args.dump_traces,
+            "results/traces",
+            _RESULT_NAMES[args.experiment],
+        )
+        print(
+            f"[wrote {len(paths)} trace files under "
+            f"results/traces/{_RESULT_NAMES[args.experiment]}/]",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -22,15 +22,15 @@ from repro.experiments import artifacts
 from repro.experiments.report import render_attribution, render_series
 from repro.experiments.runner import (
     RunOptions,
+    TraceArtifacts,
     TracingOptions,
-    _UNSET,
     make_app,
-    merge_legacy_options,
     scale_profile,
 )
 from repro.experiments.store import RunMeta
 from repro.sim.random import RandomStreams
 from repro.sim.trace import RunDigest
+from repro.telemetry.tracing import traces_to_jsonl
 from repro.workload.defaults import default_mix_for
 from repro.workload.generator import LoadGenerator
 from repro.workload.patterns import ConstantLoad
@@ -89,6 +89,9 @@ class ModelAccuracyResult:
     #: Per-class critical-path attribution (set when tracing was on).
     critical_path: str | None = None
     traced_requests: int = 0
+    #: Serialized span trees (set when tracing was on) -- the raw input
+    #: to the ``--dump-traces`` flag's Chrome-trace export.
+    traces: TraceArtifacts | None = field(repr=False, default=None)
     #: Event-trace checksum (set when ``options.digest``).  Persisted in
     #: the ``results/`` sidecar by :func:`experiment_meta`, not rendered
     #: -- provenance lives next to the text, not inside it.
@@ -113,35 +116,18 @@ def run_model_accuracy(
     classes: tuple[str, ...] | None = None,
     window_s: float = 60.0,
     options: RunOptions | None = None,
-    *,
-    seed: int = _UNSET,
-    duration_s: float | None = _UNSET,
-    tracing: TracingOptions | None = _UNSET,
-    digest: bool = _UNSET,
 ) -> ModelAccuracyResult:
     """Deploy under Ursa and collect measured-vs-estimated series.
 
-    Per-run knobs travel in ``options`` (the trailing keywords are
-    deprecated shims).  With ``options.tracing`` the run also samples
-    span trees and reports where each class's latency accrues -- the
-    request-level cross-check of the model's per-service latency
-    targets.  ``options.digest`` additionally checksums the full event
-    trace (reproducibility fingerprint).
+    Per-run knobs travel in ``options``.  With ``options.tracing`` the
+    run also samples span trees and reports where each class's latency
+    accrues -- the request-level cross-check of the model's per-service
+    latency targets.  ``options.digest`` additionally checksums the full
+    event trace (reproducibility fingerprint).
     """
-    had_options = options is not None
-    options = merge_legacy_options(
-        options,
-        "run_model_accuracy",
-        seed=seed,
-        duration_s=duration_s,
-        tracing=tracing,
-        digest=digest,
-    )
-    if not had_options and seed is _UNSET:
-        # This experiment's historical default seed differs from
-        # RunOptions' 0; keep rendered outputs stable for callers that
-        # pass no options at all.
-        options = options.replace(seed=FIG9_10_SEED)
+    # This experiment's historical default seed differs from RunOptions'
+    # 0; keep rendered outputs stable for callers that pass no options.
+    options = options if options is not None else RunOptions(seed=FIG9_10_SEED)
     profile = options.profile()
     duration = options.resolved_duration_s()
     spec = artifacts.app_spec(app_name)
@@ -197,16 +183,23 @@ def run_model_accuracy(
         t += window_s
     critical_path = None
     traced = 0
+    trace_artifacts = None
     if tracer is not None:
         traced = len(tracer.finished)
         critical_path = render_attribution(
             tracer.summary(window_s=window_s), title=None
+        )
+        trace_artifacts = TraceArtifacts(
+            traced_requests=traced,
+            jsonl=traces_to_jsonl(tracer.finished),
+            summary=tracer.summary().render(),
         )
     return ModelAccuracyResult(
         app_name=app_name,
         series=series,
         critical_path=critical_path,
         traced_requests=traced,
+        traces=trace_artifacts,
         run_digest=run_digest.hexdigest() if run_digest is not None else None,
     )
 

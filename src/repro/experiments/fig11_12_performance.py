@@ -33,8 +33,7 @@ from repro.experiments.report import render_table
 from repro.experiments.runner import (
     DeploymentResult,
     RunOptions,
-    _UNSET,
-    merge_legacy_options,
+    TracingOptions,
     run_deployment,
     scale_profile,
 )
@@ -112,17 +111,9 @@ def run_cell(
     load_kind: str,
     manager: str,
     options: RunOptions | None = None,
-    *,
-    seed: int = _UNSET,
-    duration_s: float | None = _UNSET,
 ) -> DeploymentResult:
     """One (app, load, manager) deployment run."""
-    had_options = options is not None
-    options = merge_legacy_options(
-        options, "run_cell", seed=seed, duration_s=duration_s
-    )
-    if not had_options and seed is _UNSET:
-        options = options.replace(seed=FIG11_12_SEED)
+    options = options if options is not None else RunOptions(seed=FIG11_12_SEED)
     spec = artifacts.app_spec(app_name)
     rps = artifacts.app_rps(app_name)
     duration = options.resolved_duration_s()
@@ -176,6 +167,7 @@ def run_performance_grid(
     loads: tuple[str, ...] = LOAD_KINDS,
     managers: tuple[str, ...] = ("ursa", "sinan", "firm", "auto-a", "auto-b"),
     seed: int = 23,
+    tracing: TracingOptions | None = None,
     jobs: int | None = None,
     on_complete=None,
 ) -> PerformanceGrid:
@@ -185,7 +177,10 @@ def run_performance_grid(
     own seed from :func:`partition_seeds`, shared by all managers of that
     cell so the five systems face identical request sequences.  The
     partition depends only on the master seed and the grid shape, so the
-    merged results are identical for any ``jobs`` value.
+    merged results are identical for any ``jobs`` value.  ``tracing``
+    samples span trees in every cell (a pure observer; the simulated
+    timeline is unchanged) and returns them on each cell's
+    ``result.traces`` -- the input to the CLI's ``--dump-traces``.
     """
     workloads = [(a, lo) for a in apps for lo in loads]
     seeds = dict(
@@ -200,7 +195,9 @@ def run_performance_grid(
                 "app_name": a,
                 "load_kind": lo,
                 "manager": m,
-                "options": RunOptions(seed=seeds[(a, lo)], digest=True),
+                "options": RunOptions(
+                    seed=seeds[(a, lo)], digest=True, tracing=tracing
+                ),
             },
             label=f"fig11-12:{a}:{lo}:{m}",
         )

@@ -14,7 +14,7 @@ from repro.core.manager import UrsaManager
 from repro.experiments import artifacts
 from repro.experiments.parallel import RunPlan, run_many
 from repro.experiments.report import render_series
-from repro.experiments.runner import make_app, scale_profile
+from repro.experiments.runner import RunOptions, make_app, scale_profile
 from repro.experiments.store import RunMeta
 from repro.sim.random import RandomStreams
 from repro.sim.trace import RunDigest
@@ -84,27 +84,29 @@ def run_diurnal_trace(
     app_name: str = "social-network",
     services: tuple[str, ...] = FIG13_SERVICES,
     window_s: float = 60.0,
-    seed: int = FIG13_SEED,
-    duration_s: float | None = None,
-    digest: bool = True,
+    options: RunOptions | None = None,
     jobs: int | None = None,
     on_complete=None,
 ) -> DiurnalTrace:
     """Fig. 13 trace; a single deployment dispatched via ``run_many``.
 
-    There is only one run, so ``jobs`` cannot speed it up -- routing it
-    through the parallel layer keeps the CLI uniform (every experiment
-    accepts ``--jobs``) and exercises the picklability of the trace.
+    Per-run knobs travel in ``options``; the default keeps the
+    historical seed and event-trace digest.  There is only one run, so
+    ``jobs`` cannot speed it up -- routing it through the parallel layer
+    keeps the CLI uniform (every experiment accepts ``--jobs``) and
+    exercises the picklability of the trace.
     """
+    options = (
+        options if options is not None
+        else RunOptions(seed=FIG13_SEED, digest=True)
+    )
     plan = RunPlan(
         _diurnal_cell,
         {
             "app_name": app_name,
             "services": services,
             "window_s": window_s,
-            "seed": seed,
-            "duration_s": duration_s,
-            "digest": digest,
+            "options": options,
         },
         label=f"fig13:{app_name}",
     )
@@ -115,17 +117,21 @@ def _diurnal_cell(
     app_name: str,
     services: tuple[str, ...],
     window_s: float,
-    seed: int,
-    duration_s: float | None,
-    digest: bool = True,
+    options: RunOptions,
 ) -> DiurnalTrace:
-    profile = scale_profile()
-    duration = duration_s if duration_s is not None else profile.deployment_s * 1.5
+    seed = options.seed
+    # The diurnal run is deliberately longer than a plain deployment so
+    # a full load period fits; an explicit duration_s still wins.
+    duration = (
+        options.duration_s
+        if options.duration_s is not None
+        else options.profile().deployment_s * 1.5
+    )
     spec = artifacts.app_spec(app_name)
     mix = default_mix_for(app_name)
     rps = artifacts.app_rps(app_name)
     exploration = artifacts.exploration_result(app_name)
-    run_digest = RunDigest() if digest else None
+    run_digest = RunDigest() if options.digest else None
     app = make_app(spec, seed=seed, trace=run_digest)
     app.env.run(until=10)
     manager = UrsaManager(app, exploration)

@@ -21,7 +21,7 @@ from repro.core.manager import UrsaManager
 from repro.experiments import artifacts
 from repro.experiments.parallel import RunPlan, run_many
 from repro.experiments.report import render_series
-from repro.experiments.runner import make_app, scale_profile
+from repro.experiments.runner import RunOptions, make_app, scale_profile
 from repro.experiments.store import RunMeta
 from repro.sim.random import RandomStreams
 from repro.sim.trace import RunDigest
@@ -73,13 +73,13 @@ class ServiceChangeResult:
 
 
 def _deploy_and_measure(
-    spec, exploration: ExplorationResult, label: str, seed: int
+    spec, exploration: ExplorationResult, label: str, options: RunOptions
 ) -> DeploymentSummary:
-    profile = scale_profile()
-    duration = profile.deployment_s
+    seed = options.seed
+    duration = options.resolved_duration_s()
     mix = default_mix_for("social-network")
     rps = artifacts.app_rps("social-network")
-    run_digest = RunDigest()
+    run_digest = RunDigest() if options.digest else None
     app = make_app(spec, seed=seed, trace=run_digest)
     app.env.run(until=10)
     manager = UrsaManager(app, exploration)
@@ -95,7 +95,7 @@ def _deploy_and_measure(
     app.env.run(until=duration)
     dist = app.hub.latency_distribution(
         "request_latency",
-        profile.measure_from_s,
+        options.resolved_measure_from_s(),
         duration,
         {"request": TARGET_CLASS},
     )
@@ -110,7 +110,7 @@ def _deploy_and_measure(
         label=label,
         violation_rate=dist.fraction_above(sla.target_s) if dist else 0.0,
         cdf=cdf,
-        run_digest=run_digest.hexdigest(),
+        run_digest=run_digest.hexdigest() if run_digest is not None else None,
     )
 
 
@@ -144,8 +144,15 @@ def _explore_changed_service(spec, seed: int):
 
 
 def run_service_change(
-    seed: int = FIG14_SEED, jobs: int | None = None, on_complete=None
+    options: RunOptions | None = None,
+    jobs: int | None = None,
+    on_complete=None,
 ) -> ServiceChangeResult:
+    options = (
+        options if options is not None
+        else RunOptions(seed=FIG14_SEED, digest=True)
+    )
+    seed = options.seed
     original_spec = artifacts.app_spec("social-network")
     updated_spec = swap_object_detect_model(original_spec)
 
@@ -167,7 +174,7 @@ def run_service_change(
                     "spec": original_spec,
                     "exploration": full_exploration,
                     "label": "original (DETR)",
-                    "seed": seed,
+                    "options": options,
                 },
                 label="fig14:original",
             ),
@@ -188,7 +195,8 @@ def run_service_change(
         },
     )
     updated = _deploy_and_measure(
-        updated_spec, merged, "updated (MobileNet)", seed + 1
+        updated_spec, merged, "updated (MobileNet)",
+        options.replace(seed=seed + 1),
     )
     # Violation frequency observed during the partial exploration: the
     # terminating step's violations are part of the run; approximate with

@@ -26,6 +26,11 @@ order, and worker processes import the same code the parent would run.
 ``jobs=1`` (or a single plan) short-circuits to plain in-process
 execution -- no pool, no pickling -- which keeps single-core containers
 and debuggers (breakpoints do not survive fork) on the simple path.
+
+With ``REPRO_SANITIZE=1`` every plan -- pooled or sequential -- runs
+under the :mod:`repro.analysis.sanitizer` guard, which raises if the
+plan mutated any watched module-level global (the runtime counterpart
+of the PAR002 lint rule).
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.analysis.sanitizer import run_guarded
 from repro.sim.random import RandomStreams
 
 __all__ = ["RunPlan", "run_many", "partition_seeds", "default_jobs"]
@@ -97,7 +103,7 @@ def partition_seeds(master_seed: int, n: int, namespace: str = "run") -> list[in
 
 
 def _execute(plan: RunPlan) -> Any:
-    return plan.fn(**plan.kwargs)
+    return run_guarded(plan.fn, plan.kwargs, label=plan.label)
 
 
 def run_many(
@@ -128,7 +134,7 @@ def run_many(
     if jobs == 1 or len(plans) <= 1:
         results = []
         for plan in plans:
-            result = plan()
+            result = _execute(plan)
             if on_complete is not None:
                 on_complete(plan, result)
             results.append(result)

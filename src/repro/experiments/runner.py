@@ -15,7 +15,6 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -183,8 +182,6 @@ class RunOptions:
     Frozen plain data, so :class:`~repro.experiments.parallel.RunPlan`\\ s
     carry it across the process boundary unchanged and the results store
     (:mod:`repro.experiments.store`) can fold it into a run's identity.
-
-    The old keywords still work but emit :class:`DeprecationWarning`.
     """
 
     #: Master seed for the run's random streams.
@@ -227,39 +224,6 @@ class RunOptions:
 
     def replace(self, **changes: Any) -> "RunOptions":
         return dataclasses.replace(self, **changes)
-
-
-#: Sentinel distinguishing "legacy keyword not passed" from explicit None.
-_UNSET: Any = object()
-
-
-def merge_legacy_options(
-    options: RunOptions | None,
-    caller: str,
-    **legacy: Any,
-) -> RunOptions:
-    """Fold deprecated per-run keywords into a :class:`RunOptions`.
-
-    Entry points that predate :class:`RunOptions` route their old
-    keywords here: passing any of them warns, and combining them with an
-    explicit ``options=`` is an error (the override order would be
-    ambiguous).
-    """
-    supplied = {k: v for k, v in legacy.items() if v is not _UNSET}
-    if not supplied:
-        return options if options is not None else RunOptions()
-    if options is not None:
-        raise TypeError(
-            f"{caller}() got both options= and legacy keyword(s) "
-            f"{sorted(supplied)}; move them into RunOptions"
-        )
-    warnings.warn(
-        f"{caller}({', '.join(f'{k}=' for k in sorted(supplied))}) is "
-        "deprecated; pass options=RunOptions(...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return RunOptions(**supplied)
 
 
 @dataclass(frozen=True)
@@ -330,32 +294,16 @@ def run_deployment(
     manager_name: str,
     load_name: str,
     options: RunOptions | None = None,
-    *,
-    seed: int = _UNSET,
-    duration_s: float | None = _UNSET,
-    measure_from_s: float | None = _UNSET,
-    tracing: TracingOptions | None = _UNSET,
-    digest: bool = _UNSET,
 ) -> DeploymentResult:
     """One managed deployment run under ``pattern`` with ``mix``.
 
-    Per-run knobs travel in ``options`` (a :class:`RunOptions`); the
-    trailing keywords are deprecated shims for the pre-``RunOptions``
-    signature.  ``options.tracing`` samples span trees and returns them
-    (serialized) in ``result.traces``; ``options.digest`` checksums the
-    full event trace into ``result.run_digest``.  Both are pure
-    observers -- the simulated timeline is identical with or without
-    them.
+    Per-run knobs travel in ``options`` (a :class:`RunOptions`).
+    ``options.tracing`` samples span trees and returns them (serialized)
+    in ``result.traces``; ``options.digest`` checksums the full event
+    trace into ``result.run_digest``.  Both are pure observers -- the
+    simulated timeline is identical with or without them.
     """
-    options = merge_legacy_options(
-        options,
-        "run_deployment",
-        seed=seed,
-        duration_s=duration_s,
-        measure_from_s=measure_from_s,
-        tracing=tracing,
-        digest=digest,
-    )
+    options = options if options is not None else RunOptions()
     duration = options.resolved_duration_s()
     measure_from = options.resolved_measure_from_s()
     run_digest = RunDigest() if options.digest else None

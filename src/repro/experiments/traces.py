@@ -1,0 +1,70 @@
+"""Persisting sampled span trees as Chrome-trace files.
+
+The ``--dump-traces N`` CLI flag routes here: each experiment result
+that carries serialized traces (``TraceArtifacts.jsonl``) contributes a
+*source* (e.g. a Fig. 11/12 grid cell), and for every request class the
+N slowest sampled requests are written out as individual Chrome
+``trace_event`` files under ``results/traces/<experiment>/``, one file
+per request, loadable in ``chrome://tracing`` / Perfetto.
+
+Selection and file naming are deterministic: traces are ranked by
+(latency descending, request id ascending), and the request id -- unique
+within a run -- is part of the file name, so re-running the same seeds
+overwrites the same files byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Mapping
+
+from repro.telemetry.tracing import Trace, traces_from_jsonl, write_chrome_trace
+
+__all__ = ["dump_slowest_traces"]
+
+
+def _slug(text: str) -> str:
+    """File-name-safe form of a source/class label."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-")
+
+
+def _slowest_per_class(traces: list[Trace], n: int) -> list[Trace]:
+    by_class: dict[str, list[Trace]] = {}
+    for trace in traces:
+        if trace.completion is None:
+            continue
+        by_class.setdefault(trace.request_class, []).append(trace)
+    picked: list[Trace] = []
+    for _name, group in sorted(by_class.items()):
+        group.sort(key=lambda t: (-t.latency, t.request_id))
+        picked.extend(group[:n])
+    return picked
+
+
+def dump_slowest_traces(
+    jsonl_by_source: Mapping[str, str],
+    n: int,
+    out_dir: str | Path,
+    experiment: str,
+) -> list[Path]:
+    """Write the N slowest traces per request class of each source.
+
+    ``jsonl_by_source`` maps a source label (grid cell, app name, ...)
+    to the :func:`~repro.telemetry.tracing.traces_to_jsonl` dump of that
+    run.  Returns the written paths, sorted.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    base = Path(out_dir) / _slug(experiment)
+    written: list[Path] = []
+    for source, jsonl in sorted(jsonl_by_source.items()):
+        for trace in _slowest_per_class(traces_from_jsonl(jsonl), n):
+            name = (
+                f"{_slug(source)}.{_slug(trace.request_class)}"
+                f".r{trace.request_id:06d}.trace.json"
+            )
+            path = base / name
+            write_chrome_trace([trace], path)
+            written.append(path)
+    return sorted(written)

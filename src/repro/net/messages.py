@@ -22,8 +22,7 @@ SLAs for e.g. ``object-detect`` refer to).
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import TopologyError
 
@@ -78,17 +77,24 @@ class Call:
         return 1 + max(child.depth() for child in self.children)
 
 
-_request_ids = itertools.count()
-
-
 @dataclass
 class Request:
-    """One in-flight user request."""
+    """One in-flight user request.
+
+    ``request_id`` is assigned by :meth:`repro.apps.topology.Application.submit`
+    from a per-application counter, so ids are deterministic *within a
+    run* and identical across ``--jobs 1`` / ``--jobs N`` executions.  A
+    process-global counter here would diverge between sequential and
+    pooled runs (each pool worker counts from its own fork point); the
+    whole-program lint rule PAR002 guards against reintroducing one.
+    ``-1`` marks a request constructed outside an application
+    (ad-hoc unit-test requests that never cross a run boundary).
+    """
 
     request_class: str
     arrival_time: float
     priority: int = 0
-    request_id: int = field(default_factory=lambda: next(_request_ids))
+    request_id: int = -1
     #: Filled by the runtime when the whole call tree has completed.
     completion_time: float | None = None
 

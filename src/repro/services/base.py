@@ -329,7 +329,7 @@ class Microservice:
             # The thread slot is released mid-protocol (after the RPC legs,
             # before the daemon leg) rather than in a finally: holding it
             # through the daemon handoff would model the wrong concurrency.
-            # ursalint: disable=SIM005 -- deliberate mid-protocol release below
+            # ursalint: transfers=replica.threads -- deliberate mid-protocol release below
             yield replica.threads.acquire(priority=request.priority)
         if span is not None:
             span.replica = replica.pod.name
@@ -398,7 +398,7 @@ class Microservice:
             # Hand off to a daemon thread; dispatch blocks (holding the
             # worker thread) when the daemon pool is exhausted -- the
             # event-driven backpressure path.
-            # ursalint: disable=SIM005 -- released after the event-driven leg
+            # ursalint: transfers=replica.daemons -- released after the event-driven leg
             yield replica.daemons.acquire(priority=request.priority)
             daemon_held = True
             if span is not None:
@@ -472,7 +472,7 @@ class Microservice:
             replica.inflight += 1
             # Slot ownership transfers to the _execute process spawned below,
             # which releases it; a finally here would double-release.
-            # ursalint: disable=SIM005 -- ownership handed to _execute
+            # ursalint: transfers=replica.threads -- ownership handed to _execute
             yield replica.threads.acquire(priority=request.priority)
             response = env.event()
             env.process(

@@ -83,6 +83,8 @@ __all__ = [
     "Tracer",
     "attribute_latency",
     "critical_path",
+    "trace_from_dict",
+    "traces_from_jsonl",
     "traces_to_chrome",
     "traces_to_jsonl",
     "write_chrome_trace",
@@ -510,9 +512,9 @@ class Tracer:
         if self.max_traces is not None and len(self.finished) >= self.max_traces:
             self.dropped += 1
             return None
-        # Run-local id, not ``request.request_id``: the global request
-        # counter is per-process, so reusing it would make same-seed
-        # dumps differ between a fresh worker and an in-process rerun.
+        # Tracer-local id, not ``request.request_id``: the tracer may
+        # sample only a subset of classes, and dense ids keep dumps
+        # stable when the sampling configuration changes.
         trace = Trace(self._next_trace_id, cls, request.arrival_time)
         self._next_trace_id += 1
         if self.hub is not None:
@@ -555,6 +557,61 @@ def traces_to_jsonl(traces: Iterable[Trace]) -> str:
         for trace in traces
     ]
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _span_from_dict(trace: Trace, payload: dict, by_id: dict[int, "Span"]) -> Span:
+    span = Span(
+        trace,
+        payload["span_id"],
+        payload["parent_id"],
+        payload["service"],
+        payload["mode"],
+        payload["start"],
+    )
+    span.replica = payload["replica"]
+    span.response_end = payload["response_end"]
+    span.end = payload["end"]
+    by_id[span.span_id] = span
+    span.children = [
+        _span_from_dict(trace, child, by_id) for child in payload["children"]
+    ]
+    # Child refs in segments are span ids until the whole tree exists;
+    # trace_from_dict resolves them in a second pass.
+    span.segments = [tuple(seg) for seg in payload["segments"]]
+    return span
+
+
+def trace_from_dict(payload: dict) -> Trace:
+    """Rebuild one :class:`Trace` from its :meth:`Trace.to_dict` form."""
+    trace = Trace(
+        payload["request_id"], payload["request_class"], payload["arrival"]
+    )
+    trace.completion = payload["completion"]
+    if payload["root"] is not None:
+        by_id: dict[int, Span] = {}
+        trace.root = _span_from_dict(trace, payload["root"], by_id)
+        for span in trace.root.walk():
+            span.segments = [
+                (phase, t0, t1, by_id[child] if child is not None else None)
+                for phase, t0, t1, child in span.segments
+            ]
+        trace._next_id = max(by_id)
+    return trace
+
+
+def traces_from_jsonl(text: str) -> list[Trace]:
+    """Parse :func:`traces_to_jsonl` output back into live traces.
+
+    The exact inverse of the exporter: ``traces_to_jsonl(
+    traces_from_jsonl(text)) == text`` for any of its outputs, so dumps
+    can round-trip through the results store and still feed the
+    critical-path and Chrome-trace tooling.
+    """
+    return [
+        trace_from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
 
 
 def write_jsonl(traces: Iterable[Trace], path: str | Path) -> int:

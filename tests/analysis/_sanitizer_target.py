@@ -1,0 +1,23 @@
+"""Planted module for the runtime-sanitizer tests.
+
+``mutate_global`` deliberately drifts a module-level global so the
+fork-based test can prove the ``REPRO_SANITIZE=1`` guard catches it in
+a pool worker.  The static PAR002 finding this creates is suppressed
+below -- it is the fixture's entire point -- which also demonstrates
+the documented-suppression workflow on a live tree.
+"""
+
+STATE = {"runs": 0}
+
+
+def mutate_global(seed: int) -> int:
+    """A worker cell that breaks the jobs-invariance contract."""
+    # ursalint: disable=PAR002 -- deliberately planted for the sanitizer test
+    STATE["runs"] = STATE["runs"] + 1
+    # ursalint: disable=PAR001 -- reads the same planted drift back
+    return seed + STATE["runs"]
+
+
+def well_behaved(seed: int) -> int:
+    """A worker cell that keeps module state untouched."""
+    return seed * 2

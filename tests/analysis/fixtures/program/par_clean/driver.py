@@ -1,0 +1,14 @@
+"""Clean fan-out: module-level callable, integer seeds."""
+
+from repro.experiments.parallel import RunPlan, partition_seeds, run_many
+
+from work import cell
+
+
+def launch(master_seed):
+    seeds = partition_seeds(master_seed, 4, "fixture")
+    plans = [
+        RunPlan(cell, {"seed": s, "jobs_hint": 0}, label=f"cell:{s}")
+        for s in seeds
+    ]
+    return run_many(plans, jobs=2)

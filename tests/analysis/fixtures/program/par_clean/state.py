@@ -1,0 +1,8 @@
+"""Effectively-constant globals: assigned once, never mutated."""
+
+DEFAULTS = {"runs": 3, "scale": 1.0}
+GRID = [1, 2, 4, 8]
+
+
+def lookup(key):
+    return DEFAULTS[key]  # fine: nothing ever mutates DEFAULTS

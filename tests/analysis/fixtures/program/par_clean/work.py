@@ -1,0 +1,7 @@
+"""Worker cell with no shared-state access."""
+
+from state import lookup
+
+
+def cell(seed, jobs_hint):
+    return lookup("scale") * seed + jobs_hint

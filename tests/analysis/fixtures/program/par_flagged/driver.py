@@ -1,0 +1,21 @@
+"""RunPlan construction sites: entry points plus PAR003 violations."""
+
+from repro.experiments.parallel import RunPlan, run_many
+from repro.sim.random import RandomStreams
+
+from work import cell
+
+
+def launch(master_seed):
+    rng = RandomStreams(master_seed)
+
+    def local_cell(seed):
+        return seed
+
+    plans = [
+        RunPlan(cell, {"seed": 1}, label="ok-shape"),
+        RunPlan(lambda seed: seed, {"seed": 2}),  # PAR003: lambda
+        RunPlan(local_cell, {"seed": 3}),  # PAR003: nested function
+        RunPlan(cell, {"seed": rng.stream("cell")}),  # PAR003: live RNG
+    ]
+    return run_many(plans, jobs=2)

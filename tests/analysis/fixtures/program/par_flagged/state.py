@@ -1,0 +1,18 @@
+"""Deliberate PAR001/PAR002 violations: mutable module globals."""
+
+import itertools
+
+CACHE = {}
+COUNTER = itertools.count()
+
+
+def bump(key):
+    CACHE[key] = CACHE.get(key, 0) + 1  # PAR002: worker-reachable mutation
+
+
+def fresh_id():
+    return next(COUNTER)  # PAR002: worker-reachable counter advance
+
+
+def peek(key):
+    return CACHE.get(key, 0)  # PAR001: worker-reachable read

@@ -1,0 +1,8 @@
+"""Worker cell that reaches the mutable state in state.py."""
+
+from state import bump, fresh_id, peek
+
+
+def cell(seed):
+    bump("runs")
+    return peek("runs") + fresh_id() + seed

@@ -1,0 +1,9 @@
+"""Entry point reaching the suppressed mutation."""
+
+from repro.experiments.parallel import RunPlan, run_many
+
+from state import bump
+
+
+def launch():
+    return run_many([RunPlan(bump), RunPlan(bump)], jobs=2)

@@ -1,0 +1,8 @@
+"""A documented PAR002 suppression is honoured by the program pass."""
+
+TALLY = {}
+
+
+def bump():
+    # ursalint: disable=PAR002 -- fixture: documented, deliberate drift
+    TALLY["n"] = TALLY.get("n", 0) + 1

@@ -1,0 +1,19 @@
+"""Ownership annotations that fail verification (SIM005)."""
+
+
+def wrong_receiver(pool, other):
+    # The annotation names a different resource than the acquire.
+    # ursalint: transfers=other -- typo: should say pool
+    yield pool.acquire()
+    yield other.release()
+
+
+def dangling_transfer(gate):
+    # Declared handoff, but nothing in this module ever releases gate.
+    # ursalint: transfers=gate -- nobody picks this up
+    yield gate.acquire()
+
+
+def unused_annotation(pool):
+    # ursalint: transfers=pool -- no acquire on the next line
+    yield pool.release()

@@ -1,0 +1,24 @@
+"""Checked ownership annotations that verify cleanly (SIM005)."""
+
+
+def producer(pool, queue):
+    while True:
+        item = yield queue.consume()
+        # ursalint: transfers=pool -- released by consumer below
+        yield pool.acquire(priority=0)
+        yield spawn(consumer(pool, item))
+
+
+def consumer(pool, item):
+    try:
+        yield work(item)
+    finally:
+        pool.release()
+
+
+def spawn(process):
+    return process
+
+
+def work(item):
+    return item

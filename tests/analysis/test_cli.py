@@ -1,6 +1,7 @@
 """CLI behaviour: exit codes, reporters, rule selection."""
 
 import json
+import re
 from pathlib import Path
 
 from repro.analysis.cli import main
@@ -8,8 +9,13 @@ from repro.analysis.cli import main
 FIXTURES = Path(__file__).parent / "fixtures"
 
 
+# The fixtures are deliberate violations, so the policy excludes them
+# from default linting (profile "lint-fixtures"); the CLI tests select
+# each fixture's rule explicitly.
+
+
 def test_flagged_fixture_exits_nonzero(capsys):
-    code = main([str(FIXTURES / "sim001_flagged.py")])
+    code = main([str(FIXTURES / "sim001_flagged.py"), "--select", "SIM001"])
     out = capsys.readouterr().out
     assert code == 1
     assert "SIM001" in out
@@ -20,7 +26,18 @@ def test_every_flagged_fixture_exits_nonzero(capsys):
     flagged = sorted(FIXTURES.glob("*_flagged.py"))
     assert len(flagged) >= 7
     for fixture in flagged:
-        assert main([str(fixture)]) == 1, fixture.name
+        if re.match(r"^[a-z]{3}\d{3}_", fixture.name):
+            rule_id = fixture.name[:6].upper()
+        else:
+            rule_id = "SIM005"  # transfers_flagged.py: bad annotations
+        assert main([str(fixture), "--select", rule_id]) == 1, fixture.name
+    capsys.readouterr()
+
+
+def test_fixtures_are_policy_excluded(capsys):
+    # Without an explicit --select, the lint-fixtures profile applies and
+    # the deliberate violations stay quiet.
+    assert main([str(FIXTURES / "sim001_flagged.py")]) == 0
     capsys.readouterr()
 
 
@@ -30,7 +47,10 @@ def test_clean_fixture_exits_zero(capsys):
 
 
 def test_json_reporter(capsys):
-    code = main([str(FIXTURES / "sim006_flagged.py"), "--format", "json"])
+    code = main(
+        [str(FIXTURES / "sim006_flagged.py"), "--format", "json",
+         "--select", "SIM006"]
+    )
     assert code == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["files_checked"] == 1

@@ -79,8 +79,33 @@ def test_experiments_profile_allowlists_wall_clock():
 
 
 def test_paths_outside_repro_get_strict_profile():
-    profile = profile_for_path("tests/analysis/fixtures/sim001_flagged.py")
+    profile = profile_for_path("scripts/some_tool.py")
     assert profile.rules == frozenset(registry())
+
+
+def test_tests_profile_allowlists_test_idioms():
+    from repro.analysis.policy import TESTS_ALLOWLIST
+
+    profile = profile_for_path("tests/sim/test_engine.py")
+    assert profile.name == "tests"
+    assert profile.rules == frozenset(registry()) - TESTS_ALLOWLIST
+    assert {"SIM005", "SIM006", "TEL001"} == TESTS_ALLOWLIST
+
+
+def test_lint_fixtures_are_excluded_from_policy():
+    profile = profile_for_path("tests/analysis/fixtures/sim001_flagged.py")
+    assert profile.name == "lint-fixtures"
+    assert profile.rules == frozenset()
+    assert profile.program_rules == frozenset()
+
+
+def test_program_rules_enabled_outside_fixtures():
+    from repro.analysis.program import program_registry
+
+    for path in ("src/repro/net/messages.py", "tests/sim/test_engine.py",
+                 "benchmarks/test_probe.py", "scripts/tool.py"):
+        profile = profile_for_path(path)
+        assert profile.program_rules == frozenset(program_registry()), path
 
 
 def test_perf_bench_profile_allowlists_wall_clock_only():

@@ -1,0 +1,76 @@
+"""Whole-program pass: import graph, worker reachability, PAR rules."""
+
+from pathlib import Path
+
+from repro.analysis.program import analyze_program, program_registry
+
+FIXTURES = Path(__file__).parent / "fixtures" / "program"
+PAR_RULES = frozenset(program_registry())
+
+
+def _findings(tree: str):
+    return analyze_program([FIXTURES / tree], PAR_RULES)
+
+
+def test_program_registry_metadata():
+    rules = program_registry()
+    assert set(rules) == {"PAR001", "PAR002", "PAR003"}
+    for rule_id, rule in rules.items():
+        assert rule.id == rule_id
+        assert rule.title
+        assert rule.rationale
+
+
+def test_flagged_tree_trips_all_three_rules():
+    findings = _findings("par_flagged")
+    by_rule = {}
+    for finding in findings:
+        by_rule.setdefault(finding.rule, []).append(finding)
+    # state.py: CACHE write + counter advance (PAR002), CACHE read (PAR001).
+    assert len(by_rule["PAR002"]) == 2
+    assert len(by_rule["PAR001"]) == 1
+    assert all("state.py" in f.path for f in by_rule["PAR001"] + by_rule["PAR002"])
+    # driver.py: lambda, nested function, live RNG kwarg.
+    assert len(by_rule["PAR003"]) == 3
+    assert all("driver.py" in f.path for f in by_rule["PAR003"])
+
+
+def test_finding_messages_name_global_and_entry():
+    findings = _findings("par_flagged")
+    par002 = [f for f in findings if f.rule == "PAR002"]
+    assert any("state.CACHE" in f.message for f in par002)
+    assert all("entry:" in f.message for f in par002)
+
+
+def test_clean_tree_is_clean():
+    assert _findings("par_clean") == []
+
+
+def test_inline_suppression_is_honoured():
+    findings = _findings("par_suppressed")
+    assert [f.rule for f in findings] == []
+
+
+def test_rule_selection_filters():
+    only_par003 = analyze_program([FIXTURES / "par_flagged"], {"PAR003"})
+    assert {f.rule for f in only_par003} == {"PAR003"}
+    assert len(only_par003) == 3
+
+
+def test_reads_of_unmutated_globals_stay_quiet():
+    # par_clean's DEFAULTS dict is read from a worker path but never
+    # mutated anywhere: effectively constant, so PAR001 stays quiet.
+    findings = analyze_program([FIXTURES / "par_clean"], {"PAR001"})
+    assert findings == []
+
+
+def test_repo_trees_are_program_clean():
+    # The acceptance gate: the real source tree (plus benchmarks and
+    # tests, linked as one program so cross-tree entry points resolve)
+    # carries no unsuppressed PAR finding.
+    root = Path(__file__).resolve().parents[2]
+    findings = analyze_program(
+        [root / "src", root / "benchmarks", root / "tests"]
+    )
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"program pass found violations:\n{rendered}"

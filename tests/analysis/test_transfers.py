@@ -1,0 +1,73 @@
+"""Checked ``transfers=`` ownership annotations (SIM005)."""
+
+from pathlib import Path
+
+from repro.analysis import lint_file, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_verified_transfers_are_clean():
+    assert lint_file(FIXTURES / "transfers_ok.py", rule_ids=["SIM005"]) == []
+
+
+def test_bad_annotations_are_reported():
+    findings = lint_file(FIXTURES / "transfers_flagged.py", rule_ids=["SIM005"])
+    messages = [f.message for f in findings]
+    assert len(findings) == 3
+    assert any("must name the acquired resource" in m for m in messages)
+    assert any("no matching" in m and "release()" in m for m in messages)
+    assert any("matches no acquire()" in m for m in messages)
+
+
+def test_trailing_annotation_targets_its_own_line():
+    source = (
+        "def p(pool):\n"
+        "    yield pool.acquire()  # ursalint: transfers=pool -- handoff\n"
+        "\n"
+        "def q(pool):\n"
+        "    try:\n"
+        "        yield 1\n"
+        "    finally:\n"
+        "        pool.release()\n"
+    )
+    assert lint_source(source, "x.py", rule_ids=["SIM005"]) == []
+
+
+def test_annotation_does_not_silence_other_acquires():
+    source = (
+        "def p(pool, other):\n"
+        "    # ursalint: transfers=pool -- handoff\n"
+        "    yield pool.acquire()\n"
+        "    yield other.acquire()\n"
+        "\n"
+        "def q(pool):\n"
+        "    try:\n"
+        "        yield 1\n"
+        "    finally:\n"
+        "        pool.release()\n"
+    )
+    findings = lint_source(source, "x.py", rule_ids=["SIM005"])
+    assert [f.line for f in findings] == [4]
+    assert "other.acquire()" in findings[0].message
+
+
+def test_multi_receiver_annotation():
+    source = (
+        "def p(a, b):\n"
+        "    # ursalint: transfers=a,b -- both handed off\n"
+        "    yield a.acquire()\n"
+        "\n"
+        "def q(a, b):\n"
+        "    a.release()\n"
+        "    b.release()\n"
+    )
+    assert lint_source(source, "x.py", rule_ids=["SIM005"]) == []
+
+
+def test_plain_disable_still_works():
+    source = (
+        "def p(pool):\n"
+        "    yield pool.acquire()  # ursalint: disable=SIM005 -- legacy\n"
+    )
+    assert lint_source(source, "x.py", rule_ids=["SIM005"]) == []

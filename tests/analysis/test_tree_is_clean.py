@@ -12,6 +12,7 @@ from repro.analysis import lint_paths
 ROOT = Path(__file__).resolve().parents[2]
 SRC = ROOT / "src"
 BENCHMARKS = ROOT / "benchmarks"
+TESTS = ROOT / "tests"
 
 
 def test_source_tree_is_clean():
@@ -29,3 +30,13 @@ def test_benchmarks_tree_is_clean():
     rendered = "\n".join(f.render() for f in findings)
     assert findings == [], f"ursalint found violations:\n{rendered}"
     assert files_checked > 10
+
+
+def test_tests_tree_is_clean():
+    # tests/ gets the tests profile (SIM005/SIM006/TEL001 allowlisted)
+    # and tests/analysis/fixtures/ the empty lint-fixtures profile --
+    # everything else in here is held to the determinism rules too.
+    findings, files_checked = lint_paths([TESTS])
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"ursalint found violations:\n{rendered}"
+    assert files_checked > 50

@@ -92,6 +92,40 @@ def test_windowed_violation_rate_handles_p50_sla():
     assert app.windowed_violation_rate(0, 120) == 0.0
 
 
+def test_request_ids_are_run_local_and_sequential():
+    """Ids come from the Application's own counter (0, 1, 2, ...).
+
+    Run-local assignment keeps ids deterministic for any process/pool
+    layout -- the old module-level ``itertools.count`` made them depend
+    on how many requests *other* runs in the same process had created.
+    """
+    spec = AppSpec(
+        "app",
+        services=(
+            ServiceSpec("a", cpus_per_replica=1, handlers={"r": Constant(0.01)}),
+        ),
+        request_classes=(RequestClass("r", Call("a"), SlaSpec(99, 1.0)),),
+    )
+
+    def fresh_app():
+        env = Environment()
+        app = Application(
+            spec,
+            env=env,
+            cluster=Cluster(env, nodes=[Node("n", 16, 32)]),
+            streams=RandomStreams(0),
+            initial_replicas=1,
+        )
+        env.run(until=1)
+        return app
+
+    first = fresh_app()
+    ids = [first.submit("r")[0].request_id for _ in range(5)]
+    assert ids == [0, 1, 2, 3, 4]
+    # A second application starts from 0 again: no cross-run bleed.
+    assert fresh_app().submit("r")[0].request_id == 0
+
+
 def test_mean_cpu_allocation_sums_services():
     spec = AppSpec(
         "app",

@@ -79,6 +79,7 @@ def test_concurrent_misses_build_once(monkeypatch, tmp_path):
 
     def worker():
         def build():
+            # ursalint: disable=SIM001 -- real wall-clock uniquifier for a real race
             marker = builds_dir / f"pid-{os.getpid()}-{time.monotonic_ns()}"
             marker.touch()
             time.sleep(0.2)  # widen the race window

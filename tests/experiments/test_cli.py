@@ -41,3 +41,13 @@ def test_save_rejected_for_summary():
     # own to persist.
     with pytest.raises(SystemExit):
         main(["summary", "--save"])
+
+
+def test_dump_traces_flag_validated():
+    # Only tracing-capable experiments accept --dump-traces, and N >= 1.
+    with pytest.raises(SystemExit):
+        main(["fig13", "--dump-traces", "3"])
+    with pytest.raises(SystemExit):
+        main(["fig09", "--dump-traces", "0"])
+    with pytest.raises(SystemExit):
+        main(["fig09", "--dump-traces", "not-a-number"])

@@ -1,0 +1,70 @@
+"""``dump_slowest_traces``: per-class selection and deterministic files."""
+
+import json
+
+import pytest
+
+from repro.experiments.traces import dump_slowest_traces
+from repro.telemetry.tracing import (
+    PHASE_SERVICE,
+    Trace,
+    traces_to_jsonl,
+)
+
+
+def _trace(request_id: int, request_class: str, latency: float) -> Trace:
+    trace = Trace(request_id, request_class, arrival=0.0)
+    root = trace.begin_root("frontend", "rpc")
+    root.record(PHASE_SERVICE, 0.0, latency)
+    root.response_end = latency
+    root.end = latency
+    trace.completion = latency
+    return trace
+
+
+@pytest.fixture
+def jsonl():
+    return traces_to_jsonl(
+        [
+            _trace(1, "read", 0.5),
+            _trace(2, "read", 2.0),
+            _trace(3, "read", 1.0),
+            _trace(4, "write", 3.0),
+        ]
+    )
+
+
+def test_picks_n_slowest_per_class(jsonl, tmp_path):
+    paths = dump_slowest_traces({"cell": jsonl}, 2, tmp_path, "exp")
+    names = [p.name for p in paths]
+    # read: ids 2 (2.0s) and 3 (1.0s); write: id 4.  Id 1 is dropped.
+    assert names == [
+        "cell.read.r000002.trace.json",
+        "cell.read.r000003.trace.json",
+        "cell.write.r000004.trace.json",
+    ]
+    assert all(p.parent == tmp_path / "exp" for p in paths)
+
+
+def test_files_are_chrome_traces(jsonl, tmp_path):
+    (path, *_rest) = dump_slowest_traces({"cell": jsonl}, 1, tmp_path, "exp")
+    payload = json.loads(path.read_text())
+    assert payload["displayTimeUnit"] == "ms"
+    assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+
+def test_equal_latency_ties_break_by_request_id(tmp_path):
+    text = traces_to_jsonl([_trace(9, "read", 1.0), _trace(5, "read", 1.0)])
+    (path,) = dump_slowest_traces({"c": text}, 1, tmp_path, "exp")
+    assert path.name == "c.read.r000005.trace.json"
+
+
+def test_source_labels_are_sanitized(jsonl, tmp_path):
+    paths = dump_slowest_traces({"app/load:mgr": jsonl}, 1, tmp_path, "e x")
+    assert all(p.name.startswith("app-load-mgr.") for p in paths)
+    assert all(p.parent.name == "e-x" for p in paths)
+
+
+def test_rejects_nonpositive_n(jsonl, tmp_path):
+    with pytest.raises(ValueError, match="n must be >= 1"):
+        dump_slowest_traces({"cell": jsonl}, 0, tmp_path, "exp")

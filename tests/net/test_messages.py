@@ -35,10 +35,13 @@ def test_request_latency_requires_completion():
     assert request.latency == 2.5
 
 
-def test_request_ids_unique():
+def test_request_ids_are_run_local():
+    # Ids come from the owning Application, never from process-global
+    # state (PAR002): ad-hoc requests stay unassigned.
     a = Request(request_class="r", arrival_time=0)
-    b = Request(request_class="r", arrival_time=0)
-    assert a.request_id != b.request_id
+    b = Request(request_class="r", arrival_time=0, request_id=7)
+    assert a.request_id == -1
+    assert b.request_id == 7
 
 
 def test_mq_priority_ordering():

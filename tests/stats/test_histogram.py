@@ -14,7 +14,7 @@ from repro.stats.histogram import FixedHistogram
 
 def _skewed_latencies(n: int, seed: int) -> list[float]:
     """Lognormal body plus a heavy tail -- the shape of request latency."""
-    rng = random.Random(seed)
+    rng = random.Random(seed)  # ursalint: disable=SIM002 -- seeded local test-data generator
     samples = [math.exp(rng.gauss(math.log(0.08), 0.6)) for _ in range(n)]
     # ~2% of requests hit queueing spikes an order of magnitude slower.
     for i in range(0, n, 50):

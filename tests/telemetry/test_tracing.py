@@ -15,6 +15,7 @@ from repro.telemetry.tracing import (
     Tracer,
     attribute_latency,
     critical_path,
+    traces_from_jsonl,
     traces_to_chrome,
     traces_to_jsonl,
     write_chrome_trace,
@@ -296,3 +297,49 @@ def test_write_chrome_trace(tmp_path):
     path = tmp_path / "trace.json"
     count = write_chrome_trace([_leaf_trace()], path)
     assert count == len(json.loads(path.read_text())["traceEvents"])
+
+
+# -- jsonl round-trip -------------------------------------------------------
+
+
+def _branching_trace() -> Trace:
+    trace = Trace(7, "compose", arrival=0.0)
+    root = trace.begin_root("frontend", "rpc")
+    root.record(PHASE_QUEUE, 0.0, 1.0)
+    child = root.new_child("storage", "rpc", 1.0)
+    child.record(PHASE_QUEUE, 1.0, 1.5)
+    child.record(PHASE_SERVICE, 1.5, 2.0)
+    child.response_end = 2.0
+    child.end = 2.0
+    root.record(PHASE_DOWNSTREAM, 1.0, 2.0, child)
+    root.record(PHASE_SERVICE, 2.0, 3.0)
+    root.response_end = 3.0
+    root.end = 3.0
+    trace.completion = 3.0
+    return trace
+
+
+def test_jsonl_round_trip_is_exact():
+    text = traces_to_jsonl([_leaf_trace(), _branching_trace()])
+    parsed = traces_from_jsonl(text)
+    assert traces_to_jsonl(parsed) == text
+
+
+def test_round_trip_rebuilds_live_structure():
+    (trace,) = traces_from_jsonl(traces_to_jsonl([_branching_trace()]))
+    assert trace.request_id == 7
+    assert trace.latency == 3.0
+    spans = trace.spans()
+    assert [s.service for s in spans] == ["frontend", "storage"]
+    # Segment child refs resolve back to span objects, so the
+    # critical-path machinery works on parsed traces too.
+    downstream = [
+        seg for seg in trace.root.segments if seg[0] == PHASE_DOWNSTREAM
+    ]
+    assert downstream[0][3] is trace.root.children[0]
+    assert attribute_latency(trace) == attribute_latency(_branching_trace())
+
+
+def test_round_trip_empty_input():
+    assert traces_from_jsonl("") == []
+    assert traces_from_jsonl("\n") == []
