@@ -12,6 +12,11 @@ scheduling hot paths without any application logic:
 * ``resource_contention`` -- processes cycling acquire/hold/release on a
   shared :class:`Resource`; stresses the waiter heap and request events.
 
+A separate ``wide_timer_churn`` probe (not in the composite) compares the
+default heap queue against ``Environment(queue="calendar")`` at a 20k
+pending-timer population -- the regime where the calendar queue's O(1)
+buckets overtake heapq's C-implemented O(log n) sift.
+
 The composite score (total events across all workloads / total seconds) is
 written to ``BENCH_engine.json`` at the repository root together with the
 recorded pre-optimization baseline, so the speedup trajectory is tracked
@@ -137,6 +142,47 @@ WORKLOADS = {
 }
 
 
+def wide_timer_churn(queue: str, n_procs: int = 20_000, iterations: int = 5):
+    """Timer churn with a *large* pending-event population.
+
+    The four composite workloads keep at most a few hundred events
+    pending, where heapq's C implementation wins outright; the calendar
+    queue's O(1) bucket operations only pay off once the pending
+    population is large enough that O(log n) sift costs dominate --
+    the fleet-scale regime.  This workload measures that crossover.
+    """
+    env = Environment(queue=queue)
+
+    def looper(env: Environment, delay: float) -> object:
+        for _ in range(iterations):
+            yield env.timeout(delay)
+
+    for i in range(n_procs):
+        env.process(looper(env, 0.1 + 0.0001 * i))
+    env.run()
+    return env
+
+
+def bench_calendar_queue(repeats: int = 3) -> dict:
+    """Best-of-``repeats`` heap-vs-calendar comparison at 20k pending timers."""
+    rates = {}
+    for queue in ("heap", "calendar"):
+        best = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            env = wide_timer_churn(queue)
+            elapsed = time.perf_counter() - start
+            best = max(best, env._seq / elapsed)
+        rates[queue] = round(best, 1)
+    return {
+        "workload": "wide_timer_churn",
+        "pending_timers": 20_000,
+        "heap_events_per_sec": rates["heap"],
+        "calendar_events_per_sec": rates["calendar"],
+        "calendar_speedup": round(rates["calendar"] / rates["heap"], 3),
+    }
+
+
 def run_benchmark(repeats: int = 3) -> dict:
     """Best-of-``repeats`` events/sec per workload plus a composite."""
     results: dict[str, dict[str, float]] = {}
@@ -179,6 +225,10 @@ def main() -> int:
         "benchmark": "engine-events-per-sec",
         "baseline_events_per_sec": RECORDED_BASELINE,
         "current": current,
+        # Not part of the composite: the queue comparison is a separate
+        # experiment (same logical workload on both queues), so the
+        # composite trend stays comparable across PRs.
+        "calendar_queue": bench_calendar_queue(repeats=repeats),
         "speedup_vs_baseline": {
             name: round(
                 current[name]["events_per_sec"] / RECORDED_BASELINE[name], 3

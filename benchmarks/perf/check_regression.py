@@ -46,6 +46,22 @@ METRICS = [
         "higher",
     ),
     ("BENCH_runner.json", ("grid", "sequential_seconds"), "lower"),
+    ("BENCH_runner.json", ("grid", "speedup"), "higher"),
+    ("BENCH_runner.json", ("grid", "pool_amortized_speedup"), "higher"),
+]
+
+#: Absolute floors checked against the *fresh* numbers only (no
+#: snapshot needed): (file, metric path, floor, precondition).  The
+#: precondition is ``None`` or ``(path, minimum)`` -- e.g. the 2x
+#: parallel-grid floor only applies when the benchmark machine actually
+#: has >= 4 CPUs; on a 1-CPU container parallelism is structurally pure
+#: overhead (measured 0.83x cold / 0.92x warm under load), so the
+#: unconditional floors only assert that the overhead stays bounded.
+FLOORS = [
+    ("BENCH_runner.json", ("grid", "speedup"), 0.70, None),
+    ("BENCH_runner.json", ("grid", "speedup"), 2.0, (("cpus",), 4)),
+    ("BENCH_runner.json", ("grid", "pool_amortized_speedup"), 0.75, None),
+    ("BENCH_runner.json", ("grid", "pool_amortized_speedup"), 2.0, (("cpus",), 4)),
 ]
 
 
@@ -100,6 +116,33 @@ def check(
             f"({change:+.1%}, {direction} is better)"
         )
         if regressed:
+            failures.append(lines[-1])
+    for filename, path, floor, precondition in FLOORS:
+        cur_payload = cache.setdefault(
+            current_dir / filename, _load(current_dir / filename)
+        )
+        name = f"{filename}:{'.'.join(path)}"
+        if cur_payload is None:
+            lines.append(f"SKIP  {name} floor {floor}  (missing file)")
+            continue
+        cur = _lookup(cur_payload, path)
+        if cur is None:
+            lines.append(f"SKIP  {name} floor {floor}  (missing metric)")
+            continue
+        if precondition is not None:
+            gate_path, minimum = precondition
+            gate_value = _lookup(cur_payload, gate_path)
+            if gate_value is None or gate_value < minimum:
+                gate_name = ".".join(gate_path)
+                lines.append(
+                    f"SKIP  {name} floor {floor}  "
+                    f"({gate_name}={gate_value} < {minimum})"
+                )
+                continue
+        failed = cur < floor
+        status = "FAIL" if failed else "ok"
+        lines.append(f"{status:4s}  {name}  current={cur:.3f}  floor={floor}")
+        if failed:
             failures.append(lines[-1])
     return lines, failures
 

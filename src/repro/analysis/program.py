@@ -28,8 +28,11 @@ This module runs a two-pass project analysis:
     confined to one pool worker, so job counts diverge.
   - **PAR003** -- a ``RunPlan`` captures something that does not cross
     a process boundary faithfully: a lambda / nested function (not
-    picklable by reference) or a live RNG object that bypasses
-    :func:`~repro.experiments.parallel.partition_seeds`.
+    picklable by reference), a live RNG object that bypasses
+    :func:`~repro.experiments.parallel.partition_seeds`, or an instance
+    of a project class whose *attributes* hold a live RNG (the RNG state
+    is pickled into the worker just the same, one constructor call
+    removed).
 
 Globals that are *effectively constant* -- assigned once at module
 level and never mutated or rebound inside any function -- are exempt:
@@ -43,6 +46,7 @@ the per-file rules.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
@@ -97,8 +101,10 @@ _PROGRAM_RULES = (
         "PAR003",
         "RunPlan captures a closure or live RNG",
         "Lambdas and nested functions cannot be pickled by reference, and "
-        "a live RNG object carried in plan kwargs bypasses partition_seeds; "
-        "pass module-level callables and integer seeds instead.",
+        "a live RNG object carried in plan kwargs -- directly, or inside "
+        "an instance of a class whose attributes hold one -- bypasses "
+        "partition_seeds; pass module-level callables and integer seeds "
+        "instead.",
     ),
 )
 
@@ -134,6 +140,58 @@ _MUTATOR_METHODS = frozenset(
 )
 
 _RNG_CONSTRUCTORS = frozenset({"RandomStreams", "default_rng", "Generator", "Random"})
+
+#: Dotted identifier chains inside string annotations ("a.b.C | None").
+_IDENTIFIER_CHAIN = re.compile(r"[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*")
+
+#: Type-annotation spellings that mark a parameter as a live RNG carrier.
+#: Bare ``Generator`` is deliberately absent (it would collide with
+#: ``typing.Generator``); the numpy type must be written dotted.
+_RNG_ANNOTATIONS = frozenset(
+    {
+        "RandomStreams",
+        "np.random.Generator",
+        "numpy.random.Generator",
+        "random.Random",
+    }
+)
+
+
+def _annotation_spellings(node: ast.expr | None) -> set[str]:
+    """Dotted/bare type names mentioned in an annotation expression.
+
+    Handles plain names, dotted names, subscripts (``Optional[X]``), and
+    string annotations (``"RandomStreams | None"``).
+    """
+    if node is None:
+        return set()
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return set(_IDENTIFIER_CHAIN.findall(node.value))
+    names: set[str] = set()
+    for sub in ast.walk(node):
+        dotted = dotted_name(sub) if isinstance(sub, (ast.Name, ast.Attribute)) else None
+        if dotted is not None:
+            names.add(dotted)
+    return names
+
+
+def _is_rng_value(node: ast.expr, rng_locals: set[str]) -> bool:
+    """True when ``node`` evaluates to a live RNG: a constructor call
+    (``RandomStreams(...)``, ``default_rng(...)``, ``streams.stream(...)``)
+    or a local already known to hold one."""
+    if isinstance(node, ast.Call):
+        callee = node.func
+        name = (
+            callee.id
+            if isinstance(callee, ast.Name)
+            else callee.attr
+            if isinstance(callee, ast.Attribute)
+            else ""
+        )
+        return name in _RNG_CONSTRUCTORS or name == "stream"
+    if isinstance(node, ast.Name):
+        return node.id in rng_locals
+    return False
 
 
 @dataclass(frozen=True)
@@ -176,6 +234,11 @@ class PlanSite:
     fn_kind: str  # "name", "dotted", "lambda", "other"
     fn_target: str
     kwarg_hazards: tuple[tuple[int, int, str], ...]  # (line, col, description)
+    #: kwargs values that are constructed objects: (line, col, kwarg
+    #: label, constructor dotted name).  Pass 2 resolves the constructor
+    #: to a project class and flags it if the class holds live-RNG
+    #: attributes.
+    kwarg_ctors: tuple[tuple[int, int, str, str], ...] = ()
 
 
 @dataclass
@@ -198,6 +261,11 @@ class FunctionInfo:
     mutations: list[GlobalAccess] = field(default_factory=list)
     plan_sites: list[PlanSite] = field(default_factory=list)
     rng_locals: set[str] = field(default_factory=set)
+    #: ``self.<attr>`` names assigned a live RNG value in this method.
+    rng_self_attrs: set[str] = field(default_factory=set)
+    #: local name -> constructor dotted name, for kwargs that pass a
+    #: previously constructed object into a RunPlan.
+    ctor_locals: dict[str, str] = field(default_factory=dict)
 
     @property
     def key(self) -> str:
@@ -219,6 +287,10 @@ class ModuleInfo:
     globals: dict[str, GlobalVar] = field(default_factory=dict)
     functions: dict[str, FunctionInfo] = field(default_factory=dict)
     classes: set[str] = field(default_factory=set)
+    #: class name -> attribute names that hold a live RNG (assigned in a
+    #: method from an RNG constructor or RNG-annotated parameter, or
+    #: declared as a class-level RNG default/annotation).
+    rng_classes: dict[str, set[str]] = field(default_factory=dict)
 
 
 def _module_name(path: Path, root: Path) -> str:
@@ -289,10 +361,28 @@ def _collect_toplevel(info: ModuleInfo, node: ast.stmt, package: str) -> None:
         info.functions[fn.qualname] = fn
     elif isinstance(node, ast.ClassDef):
         info.classes.add(node.name)
+        rng_attrs: set[str] = set()
         for item in node.body:
             if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 fn = _collect_function(info, item, f"{node.name}.{item.name}")
                 info.functions[fn.qualname] = fn
+                rng_attrs |= fn.rng_self_attrs
+            elif isinstance(item, ast.Assign):
+                # Class-level default: ``rng = default_rng()``.
+                if _is_rng_value(item.value, set()):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name):
+                            rng_attrs.add(target.id)
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                # Dataclass-style field: ``streams: RandomStreams``.
+                if _annotation_spellings(item.annotation) & _RNG_ANNOTATIONS or (
+                    item.value is not None and _is_rng_value(item.value, set())
+                ):
+                    rng_attrs.add(item.target.id)
+        if rng_attrs:
+            info.rng_classes[node.name] = rng_attrs
         _collect_class_defaults(info, node)
     elif isinstance(node, (ast.If, ast.Try)):
         for child in ast.iter_child_nodes(node):
@@ -514,19 +604,7 @@ class _FunctionCollector(ast.NodeVisitor):
         self.generic_visit(node)
 
     def _is_rng_expr(self, node: ast.expr) -> bool:
-        if isinstance(node, ast.Call):
-            callee = node.func
-            name = (
-                callee.id
-                if isinstance(callee, ast.Name)
-                else callee.attr
-                if isinstance(callee, ast.Attribute)
-                else ""
-            )
-            return name in _RNG_CONSTRUCTORS or name == "stream"
-        if isinstance(node, ast.Name):
-            return node.id in self.fn.rng_locals
-        return False
+        return _is_rng_value(node, self.fn.rng_locals)
 
     def _plan_site(self, node: ast.Call) -> None:
         fn_arg: ast.expr | None = None
@@ -550,6 +628,7 @@ class _FunctionCollector(ast.NodeVisitor):
             if dotted is not None:
                 fn_kind, fn_target = "dotted", dotted
         hazards: list[tuple[int, int, str]] = []
+        ctors: list[tuple[int, int, str, str]] = []
         if isinstance(kwargs_arg, ast.Dict):
             for key, value in zip(kwargs_arg.keys, kwargs_arg.values):
                 label = (
@@ -579,8 +658,27 @@ class _FunctionCollector(ast.NodeVisitor):
                             "re-derive streams in the worker",
                         )
                     )
+                else:
+                    # A constructed object (or a local holding one): Pass
+                    # 2 checks whether its class carries RNG attributes.
+                    ctor: str | None = None
+                    if isinstance(value, ast.Call):
+                        ctor = dotted_name(value.func)
+                    elif isinstance(value, ast.Name):
+                        ctor = self.fn.ctor_locals.get(value.id)
+                    if ctor is not None:
+                        ctors.append(
+                            (value.lineno, value.col_offset, label, ctor)
+                        )
         self.fn.plan_sites.append(
-            PlanSite(node.lineno, node.col_offset, fn_kind, fn_target, tuple(hazards))
+            PlanSite(
+                node.lineno,
+                node.col_offset,
+                fn_kind,
+                fn_target,
+                tuple(hazards),
+                tuple(ctors),
+            )
         )
 
 
@@ -654,6 +752,16 @@ def _collect_function(
         elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) and sub is not node:
             fn.locals.add(sub.name)
             fn.nested_defs.add(sub.name)
+    # Parameters annotated as RNG carriers count as RNG locals, so
+    # ``self.streams = streams`` marks the attribute (and passing the
+    # parameter straight into plan kwargs is flagged like a fresh RNG).
+    for arg in (
+        list(node.args.posonlyargs)
+        + list(node.args.args)
+        + list(node.args.kwonlyargs)
+    ):
+        if _annotation_spellings(arg.annotation) & _RNG_ANNOTATIONS:
+            fn.rng_locals.add(arg.arg)
     for sub in ast.walk(node):
         if isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call):
             callee = sub.value.func
@@ -668,6 +776,29 @@ def _collect_function(
                 for target in sub.targets:
                     if isinstance(target, ast.Name):
                         fn.rng_locals.add(target.id)
+            ctor = dotted_name(callee)
+            if ctor is not None:
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        fn.ctor_locals[target.id] = ctor
+    # Second pass, once rng_locals is complete: ``self.<attr> = <rng>``
+    # marks the enclosing class as an RNG carrier.
+    for sub in ast.walk(node):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(sub, ast.Assign):
+            targets, value = list(sub.targets), sub.value
+        elif isinstance(sub, ast.AnnAssign):
+            targets, value = [sub.target], sub.value
+        if value is None or not _is_rng_value(value, fn.rng_locals):
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                fn.rng_self_attrs.add(target.attr)
     # global-declared names are not locals even though they are assigned.
     for sub in ast.walk(node):
         if isinstance(sub, ast.Global):
@@ -756,6 +887,41 @@ class ProjectGraph:
             if key.startswith(f"{module_name}:")
         ]
         return candidates
+
+    def resolve_class(self, info: ModuleInfo, dotted: str) -> tuple[str, str] | None:
+        """Resolve a constructor expression to ``(module, class)``.
+
+        Mirrors :meth:`resolve_callable`'s alias handling but targets
+        classes: bare names resolve through the local class table and
+        ``from x import Y`` aliases; dotted names through the module
+        table.  Returns ``None`` for anything outside the project tree.
+        """
+        first, _, rest = dotted.partition(".")
+        if not rest:
+            if dotted in info.classes:
+                return (info.name, dotted)
+            alias = info.symbol_aliases.get(dotted)
+            if alias is not None:
+                module_name, symbol = alias
+                module = self.modules.get(module_name)
+                if module is not None and symbol in module.classes:
+                    return (module_name, symbol)
+            return None
+        module_name = self.resolve_module(info, dotted)
+        if module_name is None:
+            return None
+        module = self.modules[module_name]
+        remainder = dotted
+        expanded = info.module_aliases.get(first)
+        if expanded is not None:
+            remainder = expanded + ("." + rest if rest else "")
+        elif first in info.symbol_aliases:
+            symbol_module, symbol = info.symbol_aliases[first]
+            remainder = f"{symbol_module}.{symbol}" + ("." + rest if rest else "")
+        suffix = remainder[len(module_name):].lstrip(".")
+        if suffix in module.classes:
+            return (module_name, suffix)
+        return None
 
     def _class_entry_keys(self, module_name: str, class_name: str) -> list[str]:
         module = self.modules.get(module_name)
@@ -941,6 +1107,26 @@ def analyze_program(
                     )
                 for line, col, message in site.kwarg_hazards:
                     emit(module, "PAR003", line, col, f"RunPlan {message}")
+                for line, col, label, ctor in site.kwarg_ctors:
+                    resolved = graph.resolve_class(module, ctor)
+                    if resolved is None:
+                        continue
+                    ctor_module, class_name = resolved
+                    attrs = graph.modules[ctor_module].rng_classes.get(class_name)
+                    if not attrs:
+                        continue
+                    listed = ", ".join(sorted(attrs))
+                    emit(
+                        module,
+                        "PAR003",
+                        line,
+                        col,
+                        f"RunPlan kwargs[{label}] is a {class_name} instance "
+                        f"and class {ctor_module}.{class_name} holds live-RNG "
+                        f"attribute(s) ({listed}); the RNG state is pickled "
+                        "into the worker, bypassing partition_seeds -- pass "
+                        "integer seeds and construct inside the worker",
+                    )
 
     findings: list[Finding] = []
     for ctx in contexts.values():

@@ -19,13 +19,14 @@ from __future__ import annotations
 import zlib
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.apps.profiling_harness import PROFILE_CLASS, build_profiling_harness
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 from repro.errors import ExplorationError
 from repro.services.spec import ServiceSpec
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, Event
 from repro.sim.random import Distribution, Mixture, RandomStreams
 from repro.stats.ttest import means_differ
 from repro.telemetry.metrics import MetricsHub
@@ -104,12 +105,14 @@ class BackpressureProfiler:
         spec: ServiceSpec,
         mix: RequestMix | None = None,
         max_cpu_limit: int | None = None,
+        trace: Callable[[float, int, int, Event], None] | None = None,
     ) -> BackpressureProfile:
         """Profile a service spec, synthesising its aggregate workload.
 
         ``mix`` weights the service's handler distributions into the
         aggregate request stream (fan-in of multiple upstreams); without a
-        mix the handlers are weighted equally.
+        mix the handlers are weighted equally.  ``trace`` is installed on
+        every measurement environment (see :meth:`profile`).
         """
         if not spec.handlers:
             raise ExplorationError(f"service {spec.name!r} has no handlers")
@@ -126,13 +129,18 @@ class BackpressureProfiler:
         top = max_cpu_limit if max_cpu_limit is not None else max(
             6, spec.cpus_per_replica * 2
         )
-        return self.profile(spec.name, work, max_cpu_limit=top)
+        return self.profile(spec.name, work, max_cpu_limit=top, trace=trace)
 
     def _measure_at_limit(
-        self, service_name: str, work: Distribution, cpu_limit: int, rps: float
+        self,
+        service_name: str,
+        work: Distribution,
+        cpu_limit: int,
+        rps: float,
+        trace: Callable[[float, int, int, Event], None] | None = None,
     ) -> ProfilePoint:
         """One CPU-limit step on a fresh harness (no backlog carry-over)."""
-        env = Environment()
+        env = Environment(trace=trace)
         cluster = Cluster(
             env, nodes=[Node("prof-0", 64, 256), Node("prof-1", 64, 256)]
         )
@@ -196,6 +204,7 @@ class BackpressureProfiler:
         service_name: str,
         work: Distribution,
         max_cpu_limit: int = 8,
+        trace: Callable[[float, int, int, Event], None] | None = None,
     ) -> BackpressureProfile:
         """Ramp the CPU limit 1..max and find the convergence threshold.
 
@@ -204,6 +213,12 @@ class BackpressureProfiler:
         service no longer running saturated -- two fully-saturated steps
         have statistically similar (exploding) latencies but say nothing
         about backpressure-free operation.
+
+        ``trace`` is an engine event-trace hook (see
+        :mod:`repro.sim.trace`) installed on every per-limit measurement
+        environment, so one hook accumulates the whole profiling ramp --
+        e.g. a single :class:`~repro.sim.trace.RunDigest` fingerprints the
+        full Fig. 4 curve for a service.
         """
         if max_cpu_limit < 2:
             raise ExplorationError("need >= 2 CPU limits to detect convergence")
@@ -214,7 +229,9 @@ class BackpressureProfiler:
         converged_at: int | None = None
         for cpu_limit in range(1, max_cpu_limit + 1):
             points.append(
-                self._measure_at_limit(service_name, work, cpu_limit, rps)
+                self._measure_at_limit(
+                    service_name, work, cpu_limit, rps, trace=trace
+                )
             )
             if len(points) >= 2:
                 previous, current = points[-2], points[-1]

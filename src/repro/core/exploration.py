@@ -31,7 +31,7 @@ from repro.apps.topology import Application, AppSpec
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 from repro.errors import ExplorationError
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, Event
 from repro.sim.random import RandomStreams
 from repro.telemetry.metrics import MetricsHub
 from repro.stats.distributions import DEFAULT_PERCENTILE_GRID
@@ -93,6 +93,11 @@ class ExplorationResult:
 
     app_name: str
     profiles: dict[str, ServiceProfile]
+    #: Hex checksum of the engine event trace covering every exploration
+    #: environment (set by callers that pass ``trace=`` a
+    #: :class:`~repro.sim.trace.RunDigest`); ``None`` for untraced runs
+    #: and results saved before tracing existed.
+    trace_digest: str | None = None
     #: Sum of samples over all services (Table V "Samples").
     total_samples: int = field(init=False)
     #: Max profiling time over services -- they are explored independently
@@ -202,8 +207,16 @@ class ExplorationController:
         backpressure_thresholds: Mapping[str, float],
         services: Sequence[str] | None = None,
         seed_salt: int = 0,
+        trace: Callable[[float, int, int, Event], None] | None = None,
     ) -> ExplorationResult:
-        """Explore every service (or the given subset) of ``spec``."""
+        """Explore every service (or the given subset) of ``spec``.
+
+        ``trace`` is an engine event-trace hook installed on every
+        per-service exploration environment; one
+        :class:`~repro.sim.trace.RunDigest` therefore fingerprints the
+        whole Algorithm-1 run (its hex digest lands on
+        :attr:`ExplorationResult.trace_digest`).
+        """
         names = list(services) if services is not None else [
             s.name for s in spec.services
         ]
@@ -216,8 +229,12 @@ class ExplorationController:
                 rps,
                 backpressure_thresholds.get(name, 1.0),
                 seed_salt=seed_salt * 1000 + k,
+                trace=trace,
             )
-        return ExplorationResult(app_name=spec.name, profiles=profiles)
+        digest = trace.hexdigest() if hasattr(trace, "hexdigest") else None
+        return ExplorationResult(
+            app_name=spec.name, profiles=profiles, trace_digest=digest
+        )
 
     def explore_service(
         self,
@@ -227,13 +244,14 @@ class ExplorationController:
         rps: float,
         backpressure_threshold: float = 1.0,
         seed_salt: int = 0,
+        trace: Callable[[float, int, int, Event], None] | None = None,
     ) -> ServiceProfile:
         """Algorithm 1 for one service on a fresh deployment."""
         service_spec = spec.service(service_name)
         provisioning = provisioning_for(spec, mix, rps)
         initial = provisioning[service_name]
 
-        env = Environment()
+        env = Environment(trace=trace)
         cluster = self.cluster_factory(env)
         # The telemetry hub's aggregation window matches the sampling
         # window so per-sample latency distributions and rates are exact.
@@ -246,11 +264,16 @@ class ExplorationController:
             streams=self.streams.fork(seed_salt),
             initial_replicas=provisioning,
         )
+        # batch_candidates=1: exploration replays the trace "hotter" by
+        # raising the rate multiplier mid-run, which requires the exact
+        # per-candidate thinning loop (the batched scan samples the
+        # multiplier only at wake time).
         generator = LoadGenerator(
             app,
             pattern=ConstantLoad(rps),
             mix=mix,
             streams=self.streams.fork(seed_salt + 1),
+            batch_candidates=1,
         )
         generator.start()
         env.run(until=self.warmup_s)
@@ -408,6 +431,7 @@ def save_exploration(result: ExplorationResult, path) -> None:
 
     payload = {
         "app_name": result.app_name,
+        "trace_digest": result.trace_digest,
         "profiles": {
             name: {
                 "service": p.service,
@@ -464,4 +488,8 @@ def load_exploration(path) -> ExplorationResult:
             profiling_time_s=float(p["profiling_time_s"]),
             terminated_by=str(p["terminated_by"]),
         )
-    return ExplorationResult(app_name=payload["app_name"], profiles=profiles)
+    return ExplorationResult(
+        app_name=payload["app_name"],
+        profiles=profiles,
+        trace_digest=payload.get("trace_digest"),
+    )

@@ -30,6 +30,7 @@ from repro.core.backpressure import BackpressureProfiler
 from repro.core.exploration import ExplorationController, ExplorationResult
 from repro.experiments.runner import DEFAULT_RPS, scale_profile
 from repro.sim.random import RandomStreams
+from repro.sim.trace import RunDigest
 from repro.workload.defaults import default_mix_for
 from repro.workload.mixes import RequestMix
 
@@ -167,11 +168,15 @@ def exploration_result(
             warmup_s=profile.exploration_warmup_s,
             settle_s=profile.exploration_settle_s,
         )
+        # The digest rides inside the cached artefact, so warm-cache
+        # consumers (Table V's sidecar) report the fingerprint of the run
+        # that actually built the profiles.
         return controller.explore_app(
             spec,
             mix if mix is not None else default_mix_for(app_name),
             app_rps(app_name),
             backpressure_thresholds(app_name),
+            trace=RunDigest(),
         )
 
     return _cached(f"exploration-{app_name}-{tag}", build)

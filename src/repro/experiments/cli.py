@@ -272,6 +272,14 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--dump-traces must be >= 1, got {args.dump_traces}")
     apps = args.apps.split(",") if args.apps else None
     on_complete = _ProgressReporter() if args.progress else None
+    if args.experiment in ("table05", "fig11-12", "fig13", "fig14", "summary"):
+        from repro.experiments.parallel import default_jobs, warm_pool
+
+        # One worker pool per CLI invocation: warmed here, reused by
+        # every grid the experiment fans out (see repro.experiments
+        # .parallel; workers fork after imports are done).
+        if (args.jobs or default_jobs()) > 1:
+            warm_pool(args.jobs)
     text, meta, trace_sources = _run(
         args.experiment,
         apps,

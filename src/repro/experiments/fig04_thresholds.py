@@ -11,13 +11,14 @@ with the proxy latency having risen >5x under significant backpressure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.backpressure import BackpressureProfile, BackpressureProfiler
 from repro.experiments.report import render_table
 from repro.experiments.runner import scale_profile
 from repro.experiments.store import RunMeta
 from repro.sim.random import LogNormal, RandomStreams
+from repro.sim.trace import RunDigest
 
 __all__ = [
     "ThresholdCurves",
@@ -39,6 +40,9 @@ PROFILED_SERVICES = {
 @dataclass
 class ThresholdCurves:
     profiles: dict[str, BackpressureProfile]
+    #: service -> hex event-trace digest of its full profiling ramp
+    #: (empty when profiling ran with ``digest=False``).
+    digests: dict[str, str] = field(default_factory=dict)
 
     def render(self) -> str:
         blocks = []
@@ -68,7 +72,7 @@ class ThresholdCurves:
 
 
 def run_threshold_profiling(
-    max_cpu_limit: int = 8, seed: int = FIG4_SEED
+    max_cpu_limit: int = 8, seed: int = FIG4_SEED, digest: bool = True
 ) -> ThresholdCurves:
     profile = scale_profile()
     profiler = BackpressureProfiler(
@@ -76,24 +80,32 @@ def run_threshold_profiling(
         window_s=profile.bp_window_s,
         samples_per_limit=profile.bp_samples_per_limit,
     )
-    results = {
-        name: profiler.profile(name, work, max_cpu_limit=max_cpu_limit)
-        for name, work in PROFILED_SERVICES.items()
-    }
-    return ThresholdCurves(profiles=results)
+    results: dict[str, BackpressureProfile] = {}
+    digests: dict[str, str] = {}
+    for name, work in PROFILED_SERVICES.items():
+        # One digest per service spans its whole CPU-limit ramp (every
+        # per-limit environment feeds the same hook).
+        run_digest = RunDigest() if digest else None
+        results[name] = profiler.profile(
+            name, work, max_cpu_limit=max_cpu_limit, trace=run_digest
+        )
+        if run_digest is not None:
+            digests[name] = run_digest.hexdigest()
+    return ThresholdCurves(profiles=results, digests=digests)
 
 
 def experiment_meta(curves: ThresholdCurves, seed: int = FIG4_SEED) -> RunMeta:
     """Provenance sidecar for the Fig. 4 output.
 
-    The profiler owns its environments internally, so there is no
-    engine-level event-trace digest; provenance is content-only (the
-    sidecar's text hash still pins the rendered curves).
+    The profiler installs the caller's event-trace hook on every
+    per-limit measurement environment, so the sidecar pins one
+    engine-level digest per profiled service alongside the content hash.
     """
     return RunMeta(
         experiment="fig04",
         scale=scale_profile().name,
         seeds={name: seed for name in curves.profiles},
+        digests=dict(curves.digests),
         summaries={
             name: {
                 "threshold_utilization": round(p.threshold_utilization, 9),

@@ -10,13 +10,25 @@ This module provides the fan-out primitive:
   callable plus keyword arguments.  Closures cannot cross process
   boundaries, so plans must reference importable functions (e.g.
   :func:`repro.experiments.fig11_12_performance.run_cell`).
-* :func:`run_many` -- execute plans on a :class:`ProcessPoolExecutor`
-  and return their results *in plan order*, so tables rendered from the
-  merged results are byte-identical to a sequential run.
+* :func:`run_many` -- execute plans on a shared worker pool and return
+  their results *in plan order*, so tables rendered from the merged
+  results are byte-identical to a sequential run.
 * :func:`partition_seeds` -- derive one independent seed per plan from a
   master seed via :class:`~repro.sim.random.RandomStreams`, independent
   of the job count, so ``--jobs 4`` and ``--jobs 1`` produce identical
   output for the same master seed.
+* :func:`warm_pool` / :func:`shutdown_pool` -- manage the process-wide
+  worker pool explicitly (the CLI warms it once per invocation).
+
+The pool is *persistent*: the first pooled :func:`run_many` creates it
+and every later grid in the same process reuses the same workers, so
+pool spin-up and worker imports are paid once per CLI invocation, not
+once per grid.  Workers are forked (where the platform supports it)
+*after* any ``prewarm`` callable runs in the parent, so expensive shared
+state -- app topologies, cached exploration artefacts -- is inherited
+copy-on-write instead of being re-imported and re-unpickled per plan.
+Plans are shipped to workers in chunks (several plans per IPC message)
+to cut round-trips on large grids; results still come back per plan.
 
 Determinism contract: parallelism only changes *where* a run executes,
 never *what* it computes.  Each plan's seed is fixed up front by
@@ -35,15 +47,25 @@ of the PAR002 lint rule).
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.analysis.sanitizer import run_guarded
 from repro.sim.random import RandomStreams
 
-__all__ = ["RunPlan", "run_many", "partition_seeds", "default_jobs"]
+__all__ = [
+    "RunPlan",
+    "run_many",
+    "partition_seeds",
+    "default_jobs",
+    "warm_pool",
+    "shutdown_pool",
+    "pool_stats",
+]
 
 #: Environment variable overriding the default worker count (useful for
 #: CI runners whose ``os.cpu_count()`` exceeds their actual quota).
@@ -106,25 +128,123 @@ def _execute(plan: RunPlan) -> Any:
     return run_guarded(plan.fn, plan.kwargs, label=plan.label)
 
 
+def _execute_chunk(chunk: Sequence[RunPlan]) -> list[Any]:
+    """Worker entry: run several plans in one IPC round trip.
+
+    Plans within a chunk run sequentially in the worker; each still gets
+    its own sanitizer guard.  The first plan exception propagates (the
+    chunk's remaining plans are skipped -- the caller is about to raise
+    and discard the grid anyway).
+    """
+    return [_execute(plan) for plan in chunk]
+
+
+#: The process-wide worker pool, created by the first pooled
+#: :func:`run_many` (or explicitly by :func:`warm_pool`) and reused by
+#: every later grid in this process.
+_pool: ProcessPoolExecutor | None = None
+_pool_workers = 0
+_pool_grids = 0
+_atexit_registered = False
+
+#: Chunk-count multiplier per worker: enough chunks for load balancing
+#: across workers, few enough to amortize the per-message IPC cost.
+_CHUNKS_PER_WORKER = 4
+
+
+def warm_pool(
+    jobs: int | None = None, prewarm: Callable[[], Any] | None = None
+) -> None:
+    """Create (or grow) the shared worker pool.
+
+    ``prewarm`` runs in the *parent* first, so anything it builds -- app
+    topologies, cached artefacts -- exists before workers fork and is
+    inherited copy-on-write.  An existing pool big enough for ``jobs``
+    is kept as-is (its workers read prewarmed artefacts through the
+    on-disk artifact cache instead); a smaller one is drained and
+    replaced.  Workers use the ``fork`` start method where available so
+    inheritance is memory-sharing, not pickling.
+    """
+    global _pool, _pool_workers, _atexit_registered
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if prewarm is not None:
+        prewarm()
+    if _pool is not None and getattr(_pool, "_broken", False):
+        # A crashed worker poisons a ProcessPoolExecutor permanently;
+        # replace it so one bad grid cannot break every later grid.
+        _pool.shutdown(wait=False)
+        _pool = None
+    if _pool is not None and _pool_workers >= jobs:
+        return
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+        _pool = None
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    _pool = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+    _pool_workers = jobs
+    if not _atexit_registered:
+        atexit.register(shutdown_pool)
+        _atexit_registered = True
+
+
+def shutdown_pool() -> None:
+    """Drain and discard the shared pool (no-op when none exists).
+
+    Registered via :mod:`atexit` on first creation; tests call it
+    directly to return to a cold-pool state.
+    """
+    global _pool, _pool_workers, _pool_grids
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+        _pool = None
+        _pool_workers = 0
+        _pool_grids = 0
+
+
+def pool_stats() -> dict[str, Any]:
+    """Introspection for tests and benchmarks: is the pool warm, and how
+    many pooled grids has it served since creation?"""
+    return {
+        "alive": _pool is not None,
+        "workers": _pool_workers,
+        "grids_served": _pool_grids,
+    }
+
+
 def run_many(
     plans: Sequence[RunPlan],
     jobs: int | None = None,
     on_complete: Callable[[RunPlan, Any], None] | None = None,
+    prewarm: Callable[[], Any] | None = None,
+    chunk_size: int | None = None,
 ) -> list[Any]:
     """Execute ``plans`` and return their results in plan order.
 
     ``jobs=None`` uses :func:`default_jobs`; ``jobs=1`` runs sequentially
-    in-process.  Worker processes are capped at ``len(plans)`` so short
-    grids do not pay pool-spinup cost for idle workers.  Results come
-    back in the order plans were given regardless of completion order,
-    which is what makes parallel output byte-identical to sequential.
+    in-process.  Pooled runs reuse the process-wide pool created by the
+    first pooled call (see :func:`warm_pool`); at most ``jobs`` chunks
+    are in flight at once even when the shared pool is larger, so a
+    ``jobs=2`` grid never runs 4-wide just because an earlier grid asked
+    for 4 workers.  Results come back in the order plans were given
+    regardless of completion order, which is what makes parallel output
+    byte-identical to sequential.
+
+    ``prewarm`` (optional) is called in the parent before any plan runs
+    -- before workers fork, when this call creates the pool -- so shared
+    artefacts are built once instead of once per worker.  ``chunk_size``
+    overrides how many plans ride in one worker message (default: grid
+    size split ~``_CHUNKS_PER_WORKER`` ways per worker).
 
     ``on_complete(plan, result)`` is invoked in the *parent* process as
     each result lands (progress reporting, incremental persistence).  In
     pooled mode it fires in completion order -- which may differ from
     plan order -- so callbacks must not assume ordering; the returned
-    list is the ordering contract.  A callback exception propagates,
-    cancelling any runs that have not started yet.
+    list is the ordering contract.  A callback or plan exception
+    propagates, cancelling any chunks that have not started yet.
     """
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -132,6 +252,8 @@ def run_many(
     if jobs is None:
         jobs = default_jobs()
     if jobs == 1 or len(plans) <= 1:
+        if prewarm is not None:
+            prewarm()
         results = []
         for plan in plans:
             result = _execute(plan)
@@ -139,17 +261,36 @@ def run_many(
                 on_complete(plan, result)
             results.append(result)
         return results
-    with ProcessPoolExecutor(max_workers=min(jobs, len(plans))) as pool:
-        futures = [pool.submit(_execute, plan) for plan in plans]
-        if on_complete is not None:
-            pending = {future: plan for future, plan in zip(futures, plans)}
-            try:
-                for future in as_completed(pending):
-                    on_complete(pending[future], future.result())
-            except BaseException:
-                for future in futures:
-                    future.cancel()
-                raise
-        # result() in submission order == plan order; completion order
-        # is irrelevant to the merged output.
-        return [future.result() for future in futures]
+
+    global _pool_grids
+    warm_pool(jobs, prewarm=prewarm)
+    _pool_grids += 1
+    if chunk_size is None:
+        chunk_size = max(1, len(plans) // (jobs * _CHUNKS_PER_WORKER))
+    chunks = [plans[i : i + chunk_size] for i in range(0, len(plans), chunk_size)]
+
+    # Sliding-window submission: at most ``jobs`` chunks in flight.
+    chunk_results: list[list[Any] | None] = [None] * len(chunks)
+    in_flight: dict[Any, int] = {}
+    next_chunk = 0
+    try:
+        while next_chunk < len(chunks) or in_flight:
+            while next_chunk < len(chunks) and len(in_flight) < jobs:
+                future = _pool.submit(_execute_chunk, chunks[next_chunk])
+                in_flight[future] = next_chunk
+                next_chunk += 1
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = in_flight.pop(future)
+                results_for_chunk = future.result()
+                chunk_results[index] = results_for_chunk
+                if on_complete is not None:
+                    for plan, result in zip(chunks[index], results_for_chunk):
+                        on_complete(plan, result)
+    except BaseException:
+        for future in in_flight:
+            future.cancel()
+        raise
+    # Flattened in submission order == plan order; completion order is
+    # irrelevant to the merged output.
+    return [result for chunk in chunk_results for result in chunk]

@@ -42,6 +42,9 @@ class ExplorationOverheadRow:
     ursa_time_h: float
     ml_samples: int
     ml_time_h: float
+    #: Engine event-trace digest of the Algorithm-1 run that built the
+    #: app's profiles (empty for artefacts cached before tracing existed).
+    trace_digest: str = ""
 
     @property
     def sample_reduction(self) -> float:
@@ -92,6 +95,9 @@ def _explore_app(app_name: str) -> ExplorationOverheadRow:
         ursa_time_h=exploration.exploration_time_s / 3600.0,
         ml_samples=ML_PRESCRIBED_SAMPLES,
         ml_time_h=ML_PRESCRIBED_SAMPLES * ML_SAMPLE_PERIOD_S / 3600.0,
+        # getattr: pickled artefacts from before the digest field existed
+        # deserialise without it.
+        trace_digest=getattr(exploration, "trace_digest", None) or "",
     )
 
 
@@ -115,14 +121,16 @@ def run_table05(
 def experiment_meta(table: Table05) -> RunMeta:
     """Provenance sidecar for Table V.
 
-    Exploration runs its environments inside the controller (and the
-    result is usually a cache hit), so provenance is content-only: the
-    sidecar pins the per-app sample counts and the rendered-text hash.
+    The exploration controller installs an event-trace hook on every
+    per-service environment and the resulting digest rides inside the
+    cached artefact, so even warm-cache runs pin the engine-level
+    fingerprint of the Algorithm-1 run that built each app's profiles.
     """
     return RunMeta(
         experiment="table05",
         scale=scale_profile().name,
         seeds={},
+        digests={r.app: r.trace_digest for r in table.rows if r.trace_digest},
         summaries={
             r.app: {
                 "ursa_samples": float(r.ursa_samples),

@@ -20,17 +20,35 @@ Performance notes: this kernel is the hot path of every experiment --
 a full-scale deployment run spends nearly all of its wall-clock here --
 so the implementation trades a little prose for speed.  All event classes
 use ``__slots__``; the succeed/schedule path is inlined (one attribute
-chase and one ``heappush`` instead of nested method calls); processes
+chase and one queue append instead of nested method calls); processes
 cache their generator's bound ``send``/``throw`` and their own ``_resume``
-callback instead of recreating bound methods per wait.  None of this
-changes scheduling order: the queue still holds ``(time, priority, seq,
-event)`` tuples and the same-seed byte-identical trace regression in
-``tests/sim/test_determinism.py`` pins the contract.  Benchmarked by
-``benchmarks/perf/bench_engine.py`` (results in ``BENCH_engine.json``).
+callback instead of recreating bound methods per wait.
+
+The schedule itself is a two-level bucket queue.  Events triggered *at
+the current simulation time* with the default priority -- ``succeed``,
+``fail``, process bootstraps, zero-delay timeouts, which together are
+roughly half of all events in RPC-heavy runs -- land in a plain FIFO
+deque (the "now bucket"): because simulation time never goes backwards
+and the tie-breaking sequence number increases monotonically, appending
+to this deque keeps it sorted by ``(time, priority, seq)`` for free, so
+both ends of the round trip are O(1) appends instead of O(log n) heap
+sifts with tuple comparisons.  Future events (positive-delay timeouts)
+and priority-0 interrupts go to a binary heap, or -- selected per run
+via ``Environment(queue="calendar")`` -- to a :class:`CalendarQueue`
+that buckets events by time and sorts one small bucket at a time
+(cheaper than heap sifts for large timeout-dominated schedules).  Every
+pop takes the global minimum across the levels, so scheduling order is
+*identical* for all queue choices: the schedule still logically holds
+``(time, priority, seq, event)`` tuples and the same-seed byte-identical
+trace regression in ``tests/sim/test_determinism.py`` pins the contract.
+Benchmarked by ``benchmarks/perf/bench_engine.py`` (results in
+``BENCH_engine.json``; queue comparison in ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
+from bisect import insort as _insort
+from collections import deque
 from collections.abc import Generator, Iterable
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable
@@ -38,6 +56,7 @@ from typing import Any, Callable
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Environment",
     "Event",
     "Interrupt",
@@ -121,7 +140,9 @@ class Event:
         self._state = _TRIGGERED
         env = self.env
         env._seq = seq = env._seq + 1
-        _heappush(env._queue, (env._now, 1, seq, self))
+        # Triggered at the current time with default priority: the now
+        # bucket stays (time, priority, seq)-sorted by construction.
+        env._fifo.append((env._now, 1, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -135,7 +156,7 @@ class Event:
         self._state = _TRIGGERED
         env = self.env
         env._seq = seq = env._seq + 1
-        _heappush(env._queue, (env._now, 1, seq, self))
+        env._fifo.append((env._now, 1, seq, self))
         return self
 
     def _add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -169,7 +190,15 @@ class Timeout(Event):
         self._defused = False
         self.delay = delay
         env._seq = seq = env._seq + 1
-        _heappush(env._queue, (env._now + delay, 1, seq, self))
+        if delay == 0.0:
+            # A zero-delay timeout fires at the current time: now bucket.
+            env._fifo.append((env._now, 1, seq, self))
+        else:
+            cal = env._cal
+            if cal is None:
+                _heappush(env._queue, (env._now + delay, 1, seq, self))
+            else:
+                cal.push((env._now + delay, 1, seq, self))
 
 
 class _ConditionValue(dict):
@@ -262,7 +291,7 @@ class Process(Event):
         init._ok = True
         init._state = _TRIGGERED
         env._seq = seq = env._seq + 1
-        _heappush(env._queue, (env._now, 1, seq, init))
+        env._fifo.append((env._now, 1, seq, init))
         init.callbacks.append(self._resume_cb)
 
     @property
@@ -347,6 +376,100 @@ class Process(Event):
             return
 
 
+#: Queue entry: (time, priority, seq, event).
+_Entry = "tuple[float, int, int, Event]"
+
+
+class CalendarQueue:
+    """Bucketed future-event queue (a classic calendar queue).
+
+    Events are hashed into buckets of ``width`` simulated seconds by
+    their fire time; the bucket currently being consumed is kept sorted
+    (ascending ``(time, priority, seq)``) and drained from the front,
+    and empty buckets are skipped on the way to the next nonempty one.
+    Compared to a binary heap this replaces the O(log n) tuple-comparing
+    sift per push/pop with an O(1) append plus one amortized small-batch
+    sort, which wins when the schedule is large and dominated by
+    timeouts landing a bounded distance in the future.
+
+    ``front`` is the smallest entry (or ``None`` when empty) and is
+    maintained on every mutation so the environment's pop loop can
+    compare queue levels with plain attribute reads.  Pop order is the
+    exact global ``(time, priority, seq)`` order -- the queue choice is
+    invisible to simulation results.
+    """
+
+    __slots__ = ("_buckets", "_cur", "_cur_list", "_inv_width", "front", "_len")
+
+    def __init__(self, width: float = 0.01) -> None:
+        if width <= 0:
+            raise SimulationError(f"calendar bucket width must be > 0, got {width}")
+        self._inv_width = 1.0 / width
+        #: bucket index -> unsorted list of entries (strictly after _cur).
+        self._buckets: dict[int, list] = {}
+        self._cur = 0
+        #: Entries of the bucket being consumed, sorted ascending.
+        self._cur_list: list = []
+        self.front: tuple[float, int, int, Event] | None = None
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, entry: "tuple[float, int, int, Event]") -> None:
+        self._len += 1
+        cur_list = self._cur_list
+        if not cur_list:
+            # Queue was empty: start consuming at this entry's bucket.
+            self._cur = int(entry[0] * self._inv_width)
+            cur_list.append(entry)
+            self.front = entry
+            return
+        idx = int(entry[0] * self._inv_width)
+        if idx <= self._cur:
+            # Lands in (or before) the bucket being consumed: insert in
+            # order.  Buckets are small by construction, so the insort
+            # memmove is cheap.
+            _insort(cur_list, entry)
+            self.front = cur_list[0]
+        else:
+            bucket = self._buckets.get(idx)
+            if bucket is None:
+                self._buckets[idx] = [entry]
+            else:
+                bucket.append(entry)
+
+    def pop(self) -> "tuple[float, int, int, Event]":
+        cur_list = self._cur_list
+        entry = cur_list.pop(0)
+        self._len -= 1
+        if cur_list:
+            self.front = cur_list[0]
+            return entry
+        # Advance to the next nonempty bucket.  Buckets are keyed by
+        # absolute index, so a long empty stretch is skipped by jumping
+        # straight to the smallest remaining key once linear probing
+        # stops paying off.
+        if self._len:
+            buckets = self._buckets
+            cur = self._cur
+            for _ in range(64):
+                cur += 1
+                nxt = buckets.pop(cur, None)
+                if nxt is not None:
+                    break
+            else:
+                cur = min(buckets)
+                nxt = buckets.pop(cur)
+            nxt.sort()
+            self._cur = cur
+            self._cur_list = nxt
+            self.front = nxt[0]
+        else:
+            self.front = None
+        return entry
+
+
 class Environment:
     """The simulation environment: clock plus event queue.
 
@@ -355,15 +478,38 @@ class Environment:
         env = Environment()
         env.process(my_generator(env))
         env.run(until=100.0)
+
+    ``queue`` selects the future-event structure for this run:
+    ``"heap"`` (default) keeps a binary heap, ``"calendar"`` a
+    :class:`CalendarQueue` with ``bucket_width``-sized time buckets.
+    Scheduling order -- and therefore every simulation result -- is
+    identical for either choice; only the constant factors differ (see
+    docs/performance.md for measurements).
     """
 
     def __init__(
         self,
         initial_time: float = 0.0,
         trace: Callable[[float, int, int, Event], None] | None = None,
+        queue: str = "heap",
+        bucket_width: float = 0.01,
     ) -> None:
         self._now = float(initial_time)
+        #: Future events (positive-delay timeouts) and priority-0
+        #: interrupts.  In calendar mode this heap still exists as the
+        #: spill level for interrupts and externally constructed events,
+        #: so every push site stays correct regardless of queue choice.
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: The "now bucket": events triggered at the current time with
+        #: default priority, kept sorted by construction (time never
+        #: decreases, seq always increases).
+        self._fifo: deque[tuple[float, int, int, Event]] = deque()
+        if queue == "heap":
+            self._cal: CalendarQueue | None = None
+        elif queue == "calendar":
+            self._cal = CalendarQueue(width=bucket_width)
+        else:
+            raise SimulationError(f"unknown queue kind {queue!r}")
         self._seq = 0
         self._active_process: Process | None = None
         #: Optional event-trace hook: called as ``trace(when, priority,
@@ -398,6 +544,37 @@ class Environment:
         """Create an event firing ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """Create an event firing at absolute simulated time ``when``.
+
+        Equivalent to ``timeout(when - now)`` except that the fire time
+        is exactly ``when``: no ``now + (when - now)`` float round trip.
+        Batch-generating processes (the workload layer pre-computes
+        arrival times far ahead of the clock) use this to wake at
+        precomputed times bit-for-bit.
+        """
+        now = self._now
+        if when < now:
+            raise SimulationError(f"timeout_at({when}) is in the past (now={now})")
+        timeout = Timeout.__new__(Timeout)
+        timeout.env = self
+        timeout.callbacks = []
+        timeout._value = value
+        timeout._ok = True
+        timeout._state = _TRIGGERED
+        timeout._defused = False
+        timeout.delay = when - now
+        self._seq = seq = self._seq + 1
+        if when == now:
+            self._fifo.append((now, 1, seq, timeout))
+        else:
+            cal = self._cal
+            if cal is None:
+                _heappush(self._queue, (when, 1, seq, timeout))
+            else:
+                cal.push((when, 1, seq, timeout))
+        return timeout
+
     def process(self, generator: Generator) -> Process:
         """Start a new :class:`Process` running ``generator``."""
         return Process(self, generator)
@@ -413,11 +590,58 @@ class Environment:
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         self._seq += 1
-        _heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        if delay == 0.0 and priority == 1:
+            self._fifo.append((self._now, 1, self._seq, event))
+        else:
+            _heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def _pop_next(self) -> "tuple[float, int, int, Event] | None":
+        """Remove and return the globally smallest entry, or ``None``.
+
+        The schedule is split across up to three levels (now bucket,
+        heap, calendar); each level yields its entries in sorted order,
+        so the global minimum is the smallest of the level fronts.
+        """
+        fifo = self._fifo
+        queue = self._queue
+        cal = self._cal
+        best = fifo[0] if fifo else None
+        src = 0
+        if queue:
+            entry = queue[0]
+            if best is None or entry < best:
+                best = entry
+                src = 1
+        if cal is not None:
+            entry = cal.front
+            if entry is not None and (best is None or entry < best):
+                best = entry
+                src = 2
+        if best is None:
+            return None
+        if src == 0:
+            return fifo.popleft()
+        if src == 1:
+            return _heappop(queue)
+        return cal.pop()
+
+    def _empty(self) -> bool:
+        return not (
+            self._fifo
+            or self._queue
+            or (self._cal is not None and self._cal.front is not None)
+        )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        times = []
+        if self._fifo:
+            times.append(self._fifo[0][0])
+        if self._queue:
+            times.append(self._queue[0][0])
+        if self._cal is not None and self._cal.front is not None:
+            times.append(self._cal.front[0])
+        return min(times) if times else float("inf")
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -426,9 +650,10 @@ class Environment:
         handled (mirroring SimPy's "dead process" detection), so bugs do not
         silently vanish.
         """
-        if not self._queue:
+        entry = self._pop_next()
+        if entry is None:
             raise SimulationError("step() on an empty schedule")
-        when, _priority, _seq, event = _heappop(self._queue)
+        when, _priority, _seq, event = entry
         self._now = when
         if self._trace is not None:
             self._trace(when, _priority, _seq, event)
@@ -453,21 +678,34 @@ class Environment:
         :class:`SimulationError` rather than returning silently.
         """
         queue = self._queue
-        # When step() is not overridden and no trace hook is installed,
-        # inline its body into the drain loops: one Python method call per
-        # event is measurable at the millions-of-events scale of a
-        # deployment run.  The inlined body is identical to step() minus
-        # the empty-schedule guard (the loop conditions establish it) and
-        # the trace call (absent by construction).  Traced runs take the
-        # step() path and see the exact same (when, priority, seq, event)
-        # queue entries.
-        inline = type(self).step is Environment.step and self._trace is None
+        fifo = self._fifo
+        fifo_popleft = fifo.popleft
+        # When step() is not overridden, no trace hook is installed, and
+        # the future queue is the default heap, inline the step body into
+        # the drain loops: one Python method call per event is measurable
+        # at the millions-of-events scale of a deployment run.  The
+        # inlined body is identical to step() minus the empty-schedule
+        # guard (the loop conditions establish it) and the trace call
+        # (absent by construction).  Traced and calendar-queue runs take
+        # the step() path and see the exact same (when, priority, seq,
+        # event) schedule entries.
+        inline = (
+            type(self).step is Environment.step
+            and self._trace is None
+            and self._cal is None
+        )
         step = self.step
         if isinstance(until, Event):
             stop = until
             if inline:
-                while stop._state != _PROCESSED and queue:
-                    when, _priority, _seq, event = _heappop(queue)
+                while stop._state != _PROCESSED and (fifo or queue):
+                    if fifo:
+                        if queue and queue[0] < fifo[0]:
+                            when, _priority, _seq, event = _heappop(queue)
+                        else:
+                            when, _priority, _seq, event = fifo_popleft()
+                    else:
+                        when, _priority, _seq, event = _heappop(queue)
                     self._now = when
                     callbacks = event.callbacks
                     event.callbacks = None
@@ -480,7 +718,7 @@ class Environment:
                             SimulationError(repr(exc))
                         )
             else:
-                while stop._state != _PROCESSED and queue:
+                while stop._state != _PROCESSED and not self._empty():
                     step()
             if stop._state == _PENDING:
                 raise SimulationError(
@@ -496,8 +734,17 @@ class Environment:
                     f"run(until={horizon}) is in the past (now={self._now})"
                 )
             if inline:
-                while queue and queue[0][0] <= horizon:
-                    when, _priority, _seq, event = _heappop(queue)
+                # Now-bucket entries are always at the current time,
+                # which never exceeds an un-reached horizon, so only the
+                # heap front needs the horizon comparison.
+                while fifo or (queue and queue[0][0] <= horizon):
+                    if fifo:
+                        if queue and queue[0] < fifo[0]:
+                            when, _priority, _seq, event = _heappop(queue)
+                        else:
+                            when, _priority, _seq, event = fifo_popleft()
+                    else:
+                        when, _priority, _seq, event = _heappop(queue)
                     self._now = when
                     callbacks = event.callbacks
                     event.callbacks = None
@@ -510,13 +757,19 @@ class Environment:
                             SimulationError(repr(exc))
                         )
             else:
-                while queue and queue[0][0] <= horizon:
+                while not self._empty() and self.peek() <= horizon:
                     step()
             self._now = horizon
             return None
         if inline:
-            while queue:
-                when, _priority, _seq, event = _heappop(queue)
+            while fifo or queue:
+                if fifo:
+                    if queue and queue[0] < fifo[0]:
+                        when, _priority, _seq, event = _heappop(queue)
+                    else:
+                        when, _priority, _seq, event = fifo_popleft()
+                else:
+                    when, _priority, _seq, event = _heappop(queue)
                 self._now = when
                 callbacks = event.callbacks
                 event.callbacks = None
@@ -529,6 +782,6 @@ class Environment:
                         SimulationError(repr(exc))
                     )
         else:
-            while queue:
+            while not self._empty():
                 step()
         return None

@@ -18,8 +18,11 @@ waiting).
 
 Like the engine, these classes are on the per-event hot path of every
 deployment run: the request/get/put event constructors are inlined (no
-``super().__init__`` chain) and everything uses ``__slots__``.  Scheduling
-semantics are unchanged and pinned by the same-seed trace regression.
+``super().__init__`` chain), the grant/put/get trigger path inlines
+``Event.succeed`` (the events are created here, so the already-triggered
+guard is statically impossible), and everything uses ``__slots__``.
+Scheduling semantics are unchanged and pinned by the same-seed trace
+regression.
 """
 
 from __future__ import annotations
@@ -99,7 +102,12 @@ class Resource:
         if self._in_use < self._capacity:
             self._in_use += 1
             request.granted = True
-            request.succeed(self)
+            # Inlined request.succeed(self): grants are the hot path.
+            request._value = self
+            request._state = _TRIGGERED
+            env = self.env
+            env._seq = seq = env._seq + 1
+            env._fifo.append((env._now, 1, seq, request))
         else:
             self._seq += 1
             _heappush(self._waiters, (priority, self._seq, request))
@@ -112,7 +120,11 @@ class Resource:
             if request.withdrawn:
                 continue
             request.granted = True
-            request.succeed(self)
+            request._value = request.resource
+            request._state = _TRIGGERED
+            env = request.env
+            env._seq = seq = env._seq + 1
+            env._fifo.append((env._now, 1, seq, request))
             return True
         return False
 
@@ -231,6 +243,8 @@ class Store:
         getters = self._getters
         putters = self._putters
         capacity = self.capacity
+        env = self.env
+        fifo_append = env._fifo.append
         progressed = True
         while progressed:
             progressed = False
@@ -238,12 +252,19 @@ class Store:
             while putters and (capacity is None or len(items) < capacity):
                 put = putters.pop(0)
                 self._do_put(put.item)
-                put.succeed()
+                # Inlined put.succeed() (events created here are always
+                # still pending; _ok is True from construction).
+                put._state = _TRIGGERED
+                env._seq = seq = env._seq + 1
+                fifo_append((env._now, 1, seq, put))
                 progressed = True
             # Hand buffered items to waiting getters.
             while getters and items:
                 get = getters.pop(0)
-                get.succeed(self._do_get())
+                get._value = self._do_get()
+                get._state = _TRIGGERED
+                env._seq = seq = env._seq + 1
+                fifo_append((env._now, 1, seq, get))
                 progressed = True
 
 

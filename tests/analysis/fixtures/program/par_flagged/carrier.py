@@ -1,0 +1,30 @@
+"""Classes whose instances smuggle a live RNG across the pool boundary."""
+
+from numpy.random import default_rng
+
+from repro.sim.random import RandomStreams
+
+
+class SeededSampler:
+    """Holds a live RNG attribute built in __init__."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = default_rng(seed)
+        self.count = 0
+
+    def draw(self) -> float:
+        return float(self.rng.random())
+
+
+class StreamCarrier:
+    """Holds an RNG via an annotated constructor parameter."""
+
+    def __init__(self, streams: RandomStreams) -> None:
+        self.streams = streams
+
+
+class PlainConfig:
+    """No RNG state: instances of this class are safe plan kwargs."""
+
+    def __init__(self, scale: float) -> None:
+        self.scale = scale

@@ -3,11 +3,13 @@
 from repro.experiments.parallel import RunPlan, run_many
 from repro.sim.random import RandomStreams
 
+from carrier import PlainConfig, SeededSampler, StreamCarrier
 from work import cell
 
 
 def launch(master_seed):
     rng = RandomStreams(master_seed)
+    sampler = SeededSampler(master_seed)
 
     def local_cell(seed):
         return seed
@@ -17,5 +19,14 @@ def launch(master_seed):
         RunPlan(lambda seed: seed, {"seed": 2}),  # PAR003: lambda
         RunPlan(local_cell, {"seed": 3}),  # PAR003: nested function
         RunPlan(cell, {"seed": rng.stream("cell")}),  # PAR003: live RNG
+        # PAR003: instance of a class holding a live-RNG attribute,
+        # constructed inline ...
+        RunPlan(cell, {"seed": 4, "sampler": SeededSampler(4)}),
+        # ... or earlier in the function ...
+        RunPlan(cell, {"seed": 5, "sampler": sampler}),
+        # ... or holding an RNG received through an annotated parameter.
+        RunPlan(cell, {"seed": 6, "carrier": StreamCarrier(rng)}),
+        # Fine: PlainConfig has no RNG attributes.
+        RunPlan(cell, {"seed": 7, "config": PlainConfig(2.0)}, label="ok-obj"),
     ]
     return run_many(plans, jobs=2)

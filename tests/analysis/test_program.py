@@ -30,8 +30,10 @@ def test_flagged_tree_trips_all_three_rules():
     assert len(by_rule["PAR002"]) == 2
     assert len(by_rule["PAR001"]) == 1
     assert all("state.py" in f.path for f in by_rule["PAR001"] + by_rule["PAR002"])
-    # driver.py: lambda, nested function, live RNG kwarg.
-    assert len(by_rule["PAR003"]) == 3
+    # driver.py: lambda, nested function, live RNG kwarg, plus three
+    # RNG-carrying class instances (inline, via local, via annotated
+    # parameter).
+    assert len(by_rule["PAR003"]) == 6
     assert all("driver.py" in f.path for f in by_rule["PAR003"])
 
 
@@ -54,7 +56,30 @@ def test_inline_suppression_is_honoured():
 def test_rule_selection_filters():
     only_par003 = analyze_program([FIXTURES / "par_flagged"], {"PAR003"})
     assert {f.rule for f in only_par003} == {"PAR003"}
-    assert len(only_par003) == 3
+    assert len(only_par003) == 6
+
+
+def test_rng_class_instances_in_plan_kwargs_are_flagged():
+    findings = analyze_program([FIXTURES / "par_flagged"], {"PAR003"})
+    class_findings = [f for f in findings if "holds live-RNG attribute" in f.message]
+    assert len(class_findings) == 3
+    # The inline and via-local SeededSampler sites both name the class,
+    # its module, and the offending attribute.
+    sampler = [f for f in class_findings if "SeededSampler" in f.message]
+    assert len(sampler) == 2
+    assert all("carrier.SeededSampler" in f.message for f in sampler)
+    assert all("(rng)" in f.message for f in sampler)
+    # The annotated-parameter carrier is caught through its type hint.
+    carrier = [f for f in class_findings if "StreamCarrier" in f.message]
+    assert len(carrier) == 1
+    assert "(streams)" in carrier[0].message
+
+
+def test_rng_free_class_instances_stay_quiet():
+    # PlainConfig is passed as a plan kwarg in the same driver but holds
+    # no RNG state: no finding may mention it.
+    findings = analyze_program([FIXTURES / "par_flagged"], {"PAR003"})
+    assert not any("PlainConfig" in f.message for f in findings)
 
 
 def test_reads_of_unmutated_globals_stay_quiet():

@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis import sanitizer
 from repro.analysis.sanitizer import SanitizerError, diff, enabled, snapshot
-from repro.experiments.parallel import RunPlan, run_many
+from repro.experiments.parallel import RunPlan, run_many, shutdown_pool
 
 from tests.analysis import _sanitizer_target as target
 
@@ -18,10 +18,15 @@ TARGET = "tests.analysis._sanitizer_target"
 
 @pytest.fixture()
 def sanitize_target(monkeypatch):
+    # Workers inherit the environment at fork time, so the persistent
+    # pool must be cold when the flags change -- and discarded again
+    # afterwards so no later test runs on flag-carrying workers.
+    shutdown_pool()
     monkeypatch.setenv(sanitizer.ENV_FLAG, "1")
     monkeypatch.setenv(sanitizer.ENV_PREFIXES, TARGET)
     baseline = dict(target.STATE)
     yield
+    shutdown_pool()
     target.STATE.clear()
     target.STATE.update(baseline)
 
@@ -99,3 +104,17 @@ def test_well_behaved_plans_pass(sanitize_target):
     ]
     assert run_many(plans, jobs=2) == [2, 4, 6]
     assert run_many(plans, jobs=1) == [2, 4, 6]
+
+
+def test_guard_survives_pool_reuse(sanitize_target):
+    # The pool persists across grids; the guard is per-plan, so a clean
+    # first grid must not blunt detection on the second grid served by
+    # the very same workers.
+    ok = [RunPlan(target.well_behaved, {"seed": s}) for s in (1, 2)]
+    assert run_many(ok, jobs=2) == [2, 4]
+    plans = [
+        RunPlan(target.mutate_global, {"seed": s}, label=f"planted:{s}")
+        for s in (1, 2)
+    ]
+    with pytest.raises(SanitizerError, match="STATE"):
+        run_many(plans, jobs=2)

@@ -53,6 +53,28 @@ def test_round_trip(tmp_path):
         assert a.utilization == b.utilization
 
 
+def test_trace_digest_round_trips(tmp_path):
+    path = tmp_path / "exploration.json"
+    traced = synthetic()
+    traced.trace_digest = "ab" * 16
+    save_exploration(traced, path)
+    assert load_exploration(path).trace_digest == "ab" * 16
+    # Untraced results stay untraced through the round trip.
+    save_exploration(synthetic(), path)
+    assert load_exploration(path).trace_digest is None
+
+
+def test_legacy_payload_without_digest_loads(tmp_path):
+    import json
+
+    path = tmp_path / "exploration.json"
+    save_exploration(synthetic(), path)
+    payload = json.loads(path.read_text())
+    del payload["trace_digest"]  # files written before tracing existed
+    path.write_text(json.dumps(payload))
+    assert load_exploration(path).trace_digest is None
+
+
 def test_loaded_result_drives_optimizer(tmp_path):
     """A loaded exploration is directly usable by the optimisation engine."""
     from repro.apps.topology import AppSpec, RequestClass, SlaSpec

@@ -7,13 +7,19 @@ any job count; different master seeds diverge -- is checked in
 milliseconds.
 """
 
+import os
+import signal
+
 import pytest
 
 from repro.experiments.parallel import (
     RunPlan,
     default_jobs,
     partition_seeds,
+    pool_stats,
     run_many,
+    shutdown_pool,
+    warm_pool,
 )
 from repro.sim.random import RandomStreams
 
@@ -47,6 +53,19 @@ def cheap_grid(master_seed: int, jobs: int) -> list[tuple[str, str, float]]:
 
 def failing_cell() -> None:
     raise RuntimeError("boom in worker")
+
+
+def suicide_cell() -> None:
+    """Kill the worker process outright (simulates an OOM kill)."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@pytest.fixture()
+def cold_pool():
+    """Start and finish with no shared pool, whatever ran before."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
 
 
 # -- seed partitioning -----------------------------------------------------
@@ -161,6 +180,98 @@ def test_on_complete_not_called_for_failed_plan():
         with pytest.raises(RuntimeError, match="boom in worker"):
             run_many(plans, jobs=jobs, on_complete=lambda plan, _r: seen.append(plan))
     assert all(plan is plans[0] for plan in seen)
+
+
+# -- the persistent pool ---------------------------------------------------
+
+
+def test_pool_persists_across_consecutive_grids(cold_pool):
+    first = cheap_grid(23, jobs=2)
+    second = cheap_grid(31, jobs=2)
+    stats = pool_stats()
+    assert stats["alive"]
+    assert stats["workers"] >= 2
+    assert stats["grids_served"] == 2
+    # Reuse never leaks state between grids: both merged outputs equal
+    # their sequential counterparts.
+    assert first == cheap_grid(23, jobs=1)
+    assert second == cheap_grid(31, jobs=1)
+
+
+def test_jobs_invariance_on_a_wider_warm_pool(cold_pool):
+    # A pool warmed for 4 workers serving a jobs=2 grid must produce the
+    # same merged output as sequential: the sliding window caps in-flight
+    # work, and determinism never depends on where plans run.
+    warm_pool(4)
+    assert cheap_grid(23, jobs=2) == cheap_grid(23, jobs=1)
+    assert pool_stats()["workers"] == 4
+
+
+def test_pool_grows_but_never_shrinks(cold_pool):
+    warm_pool(2)
+    assert pool_stats()["workers"] == 2
+    warm_pool(3)
+    assert pool_stats()["workers"] == 3
+    warm_pool(2)  # smaller request keeps the bigger pool
+    assert pool_stats()["workers"] == 3
+
+
+def test_shutdown_pool_resets_and_is_idempotent(cold_pool):
+    warm_pool(2)
+    cheap_grid(23, jobs=2)
+    shutdown_pool()
+    shutdown_pool()
+    assert pool_stats() == {"alive": False, "workers": 0, "grids_served": 0}
+
+
+def test_prewarm_runs_once_in_parent(cold_pool):
+    calls = []
+    plans = [
+        RunPlan(cheap_cell, {"app": "a", "load": "l", "seed": s}) for s in range(4)
+    ]
+    run_many(plans, jobs=2, prewarm=lambda: calls.append(os.getpid()))
+    assert calls == [os.getpid()]
+    # The sequential short-circuit honours prewarm too.
+    run_many(plans[:1], jobs=1, prewarm=lambda: calls.append(os.getpid()))
+    assert calls == [os.getpid()] * 2
+
+
+def test_chunked_submission_preserves_plan_order(cold_pool):
+    plans = [
+        RunPlan(cheap_cell, {"app": "a", "load": "l", "seed": s}, label=f"s{s}")
+        for s in range(7)
+    ]
+    expected = [cheap_cell("a", "l", s) for s in range(7)]
+    # Chunk sizes that divide unevenly, exceed the grid, or degenerate to
+    # one plan per message all preserve plan order.
+    for chunk_size in (1, 3, 99):
+        assert run_many(plans, jobs=2, chunk_size=chunk_size) == expected
+
+
+def test_broken_pool_recovers_on_next_grid(cold_pool):
+    # SIGKILLed workers poison a ProcessPoolExecutor permanently; the
+    # next warm_pool must detect the carcass and replace it instead of
+    # failing every later grid in the process.
+    from concurrent.futures.process import BrokenProcessPool
+
+    plans = [RunPlan(suicide_cell), RunPlan(suicide_cell)]
+    with pytest.raises(BrokenProcessPool):
+        run_many(plans, jobs=2)
+    assert cheap_grid(23, jobs=2) == cheap_grid(23, jobs=1)
+
+
+def test_on_complete_exception_leaves_pool_usable(cold_pool):
+    plans = [
+        RunPlan(cheap_cell, {"app": "a", "load": "l", "seed": s}) for s in range(6)
+    ]
+
+    def boom(_plan, _result):
+        raise RuntimeError("callback boom")
+
+    with pytest.raises(RuntimeError, match="callback boom"):
+        run_many(plans, jobs=2, chunk_size=1, on_complete=boom)
+    # The cancelled grid left no debris: the same pool serves the next one.
+    assert cheap_grid(23, jobs=2) == cheap_grid(23, jobs=1)
 
 
 # -- default_jobs ----------------------------------------------------------

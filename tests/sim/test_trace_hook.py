@@ -118,7 +118,7 @@ def test_custom_step_subclass_still_supported():
 
     class CountingEnvironment(Environment):
         def step(self) -> None:
-            seen.append(self._queue[0][0])
+            seen.append(self.peek())
             super().step()
 
     env = CountingEnvironment()
