@@ -13,9 +13,16 @@ scheduling hot paths without any application logic:
   shared :class:`Resource`; stresses the waiter heap and request events.
 
 A separate ``wide_timer_churn`` probe (not in the composite) compares the
-default heap queue against ``Environment(queue="calendar")`` at a 20k
-pending-timer population -- the regime where the calendar queue's O(1)
-buckets overtake heapq's C-implemented O(log n) sift.
+default heap queue against ``Environment(queue="calendar")`` and the
+adaptive ``queue="auto"`` default at a 20k pending-timer population --
+the regime where the calendar queue's O(1) buckets overtake heapq's
+C-implemented O(log n) sift.
+
+An allocation probe re-runs each composite workload under ``tracemalloc``
+and reports peak traced bytes per event plus garbage-collector collection
+counts, so allocator regressions in the event core are caught by the same
+trend gate as throughput regressions (``check_regression.py`` enforces a
+ceiling on the timeout-churn bytes/event).
 
 The composite score (total events across all workloads / total seconds) is
 written to ``BENCH_engine.json`` at the repository root together with the
@@ -25,12 +32,20 @@ scheduling sequence number, so two kernels are compared on byte-identical
 workloads.
 
 Run:  PYTHONPATH=src python benchmarks/perf/bench_engine.py
+      PYTHONPATH=src python benchmarks/perf/bench_engine.py --smoke
+The ``--smoke`` mode (used by CI) shrinks every workload to a few
+thousand events and skips the ``BENCH_engine.json`` write: it exists to
+keep the benchmark code importable and runnable between scheduled
+``bench.yml`` runs, not to produce numbers.
 """
 
 from __future__ import annotations
 
+import gc
 import json
+import subprocess
 import sys
+import tracemalloc
 
 # Wall-clock timing is the point of this benchmark: it measures the real
 # execution speed of the simulation kernel, not simulated time.  The
@@ -55,6 +70,32 @@ RECORDED_BASELINE = {
     "resource_contention": 500000.0,
     "store_handoff": 500000.0,
     "composite": 560000.0,
+}
+
+#: Pre-freelist allocator baseline, measured on the same container
+#: immediately before the slotted event core (pooled Timeouts + SoA
+#: now-bucket) landed.  ``bytes_per_event`` is the tracemalloc live-peak
+#: per event; ``timeout_allocs_per_event`` is fresh Timeout
+#: constructions per event, which pre-freelist equals the workload's
+#: timeouts-per-event ratio by construction (every timeout was a fresh
+#: object).  Re-baseline only when the workloads change.
+RECORDED_ALLOC_BASELINE = {
+    "timeout_churn": {"bytes_per_event": 0.54, "timeout_allocs_per_event": 0.999},
+    "event_pingpong": {"bytes_per_event": 0.36, "timeout_allocs_per_event": 0.4998},
+    "resource_contention": {
+        "bytes_per_event": 0.55,
+        "timeout_allocs_per_event": 0.4995,
+    },
+    "store_handoff": {"bytes_per_event": 0.70, "timeout_allocs_per_event": 0.3329},
+}
+
+#: Workload shrink factors for ``--smoke`` (CI): a few thousand events,
+#: just enough to execute every benchmark code path.
+SMOKE_KWARGS: dict[str, dict[str, int]] = {
+    "timeout_churn": {"n_procs": 10, "iterations": 50},
+    "event_pingpong": {"n_pairs": 5, "iterations": 50},
+    "resource_contention": {"n_procs": 8, "capacity": 4, "iterations": 50},
+    "store_handoff": {"n_pairs": 4, "iterations": 50},
 }
 
 
@@ -163,38 +204,136 @@ def wide_timer_churn(queue: str, n_procs: int = 20_000, iterations: int = 5):
     return env
 
 
-def bench_calendar_queue(repeats: int = 3) -> dict:
-    """Best-of-``repeats`` heap-vs-calendar comparison at 20k pending timers."""
+def _queue_probe_rate(queue: str, n_procs: int) -> float:
+    """One timed ``wide_timer_churn`` run, returning events/sec."""
+    start = time.perf_counter()
+    env = wide_timer_churn(queue, n_procs=n_procs)
+    elapsed = time.perf_counter() - start
+    return env._seq / elapsed
+
+
+def _isolated_rate(queue: str, n_procs: int) -> float:
+    """Run one queue probe in a fresh interpreter and return events/sec.
+
+    Sequential in-process comparisons cross-contaminate: the heap of the
+    run before leaves allocator/GC state that skews the run after by more
+    than the effect being measured (observed ~25% at 20k timers).  Each
+    probe therefore gets its own process; ``--queue-probe`` below is the
+    child entry point.
+    """
+    out = subprocess.run(
+        [sys.executable, __file__, "--queue-probe", queue, str(n_procs)],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return float(out.stdout.strip())
+
+
+def bench_calendar_queue(
+    repeats: int = 3, n_procs: int = 20_000, isolate: bool = False
+) -> dict:
+    """Best-of-``repeats`` heap/calendar/auto comparison at ``n_procs`` timers."""
     rates = {}
-    for queue in ("heap", "calendar"):
+    for queue in ("heap", "calendar", "auto"):
         best = 0.0
         for _ in range(repeats):
-            start = time.perf_counter()
-            env = wide_timer_churn(queue)
-            elapsed = time.perf_counter() - start
-            best = max(best, env._seq / elapsed)
+            rate = (
+                _isolated_rate(queue, n_procs)
+                if isolate
+                else _queue_probe_rate(queue, n_procs)
+            )
+            best = max(best, rate)
         rates[queue] = round(best, 1)
     return {
         "workload": "wide_timer_churn",
-        "pending_timers": 20_000,
+        "pending_timers": n_procs,
         "heap_events_per_sec": rates["heap"],
         "calendar_events_per_sec": rates["calendar"],
+        "auto_events_per_sec": rates["auto"],
         "calendar_speedup": round(rates["calendar"] / rates["heap"], 3),
+        "auto_speedup": round(rates["auto"] / rates["heap"], 3),
     }
 
 
-def run_benchmark(repeats: int = 3) -> dict:
+def measure_allocations(
+    kwargs_by_name: dict[str, dict[str, int]] | None = None,
+) -> dict:
+    """Allocator pressure per workload: live peak, GC runs, object churn.
+
+    Runs each composite workload once under ``tracemalloc`` (separately
+    from the timed runs -- tracing costs ~2x wall time) and reports:
+
+    * ``bytes_per_event`` -- tracemalloc peak / events: the *live*
+      allocation high-water mark.  Transient per-event objects are freed
+      before the next event, so this catches footprint regressions
+      (leaked queue entries, an unbounded pool) but by construction
+      cannot see balanced churn.
+    * ``gc_collections`` -- collector runs triggered by the workload.
+    * ``timeout_allocs_per_event`` / ``timeout_alloc_bytes_per_event``
+      -- the churn the freelist removes, from the engine's own counters:
+      fresh ``Timeout`` constructions (and their measured object +
+      callbacks-list bytes) per event.  Before the freelist every
+      timeout was a fresh object, i.e. the pre-change value of
+      ``timeout_allocs_per_event`` is exactly ``timeouts_per_event``
+      (recorded alongside), so the reduction is self-calibrating.
+    * ``timeout_reuse_fraction`` -- freelist hit rate.
+    """
+    overrides = kwargs_by_name or {}
+    # Measured per-Timeout allocation traffic: the object itself plus the
+    # callbacks list every fresh Timeout carries.
+    probe_env = Environment()
+    probe_timeout = probe_env.timeout(1.0)
+    timeout_bytes = sys.getsizeof(probe_timeout) + sys.getsizeof(
+        probe_timeout.callbacks
+    )
+    out: dict[str, dict[str, float | int]] = {}
+    for name, workload in WORKLOADS.items():
+        kwargs = overrides.get(name, {})
+        gc.collect()
+        collections_before = sum(s["collections"] for s in gc.get_stats())
+        tracemalloc.start()
+        env = workload(**kwargs)
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        collections_after = sum(s["collections"] for s in gc.get_stats())
+        events = env._seq
+        pool = env.timeout_pool_stats()
+        timeouts = pool["allocs"] + pool["reuses"]
+        out[name] = {
+            "events": events,
+            "peak_bytes": peak,
+            "bytes_per_event": round(peak / events, 4),
+            "gc_collections": collections_after - collections_before,
+            "timeouts_per_event": round(timeouts / events, 4),
+            "timeout_allocs_per_event": round(pool["allocs"] / events, 4),
+            "timeout_alloc_bytes_per_event": round(
+                pool["allocs"] * timeout_bytes / events, 4
+            ),
+            "timeout_reuse_fraction": (
+                round(pool["reuses"] / timeouts, 4) if timeouts else 0.0
+            ),
+        }
+    return out
+
+
+def run_benchmark(
+    repeats: int = 3,
+    kwargs_by_name: dict[str, dict[str, int]] | None = None,
+) -> dict:
     """Best-of-``repeats`` events/sec per workload plus a composite."""
+    overrides = kwargs_by_name or {}
     results: dict[str, dict[str, float]] = {}
     total_events = 0
     total_seconds = 0.0
     for name, workload in WORKLOADS.items():
+        kwargs = overrides.get(name, {})
         best_rate = 0.0
         best_events = 0
         best_elapsed = float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
-            env = workload()
+            env = workload(**kwargs)
             elapsed = time.perf_counter() - start
             # _seq counts every event ever scheduled -- a deterministic,
             # kernel-version-independent measure of work done.
@@ -219,16 +358,49 @@ def run_benchmark(repeats: int = 3) -> dict:
 
 
 def main() -> int:
-    repeats = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--queue-probe":
+        # Child entry point for _isolated_rate: one run, one number.
+        print(_queue_probe_rate(argv[1], int(argv[2])))
+        return 0
+    args = [a for a in argv if a != "--smoke"]
+    smoke = "--smoke" in argv
+    repeats = int(args[0]) if args else (1 if smoke else 3)
+    if smoke:
+        # CI smoke: execute every benchmark code path on tiny budgets and
+        # never write BENCH_engine.json (the numbers are meaningless).
+        current = run_benchmark(repeats=repeats, kwargs_by_name=SMOKE_KWARGS)
+        queue_probe = bench_calendar_queue(repeats=repeats, n_procs=200)
+        allocations = measure_allocations(SMOKE_KWARGS)
+        print(
+            json.dumps(
+                {
+                    "smoke": True,
+                    "composite_events": current["composite"]["events"],
+                    "queue_probe_events": queue_probe["pending_timers"],
+                    "allocations": allocations,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     current = run_benchmark(repeats=repeats)
     payload = {
         "benchmark": "engine-events-per-sec",
         "baseline_events_per_sec": RECORDED_BASELINE,
+        "baseline_bytes_per_event": RECORDED_ALLOC_BASELINE,
         "current": current,
-        # Not part of the composite: the queue comparison is a separate
-        # experiment (same logical workload on both queues), so the
-        # composite trend stays comparable across PRs.
-        "calendar_queue": bench_calendar_queue(repeats=repeats),
+        # Not part of the composite: the queue comparison and the
+        # allocation probe are separate experiments (same logical
+        # workloads, different instrumentation), so the composite trend
+        # stays comparable across PRs.  Queue probes run in isolated
+        # child processes -- see _isolated_rate.
+        "calendar_queue": bench_calendar_queue(repeats=repeats, isolate=True),
+        "calendar_queue_wide": bench_calendar_queue(
+            repeats=repeats, n_procs=100_000, isolate=True
+        ),
+        "allocations": measure_allocations(),
         "speedup_vs_baseline": {
             name: round(
                 current[name]["events_per_sec"] / RECORDED_BASELINE[name], 3

@@ -62,6 +62,48 @@ FLOORS = [
     ("BENCH_runner.json", ("grid", "speedup"), 2.0, (("cpus",), 4)),
     ("BENCH_runner.json", ("grid", "pool_amortized_speedup"), 0.75, None),
     ("BENCH_runner.json", ("grid", "pool_amortized_speedup"), 2.0, (("cpus",), 4)),
+    # The Timeout freelist must keep absorbing nearly every timeout on
+    # the churn workload; a broken recycle guard shows up here first.
+    (
+        "BENCH_engine.json",
+        ("allocations", "timeout_churn", "timeout_reuse_fraction"),
+        0.95,
+        None,
+    ),
+]
+
+#: Absolute ceilings, same shape as FLOORS but lower-is-better: checked
+#: against the fresh numbers, failing when the metric *exceeds* the
+#: bound.  These gate allocator pressure in the event core
+#: (docs/performance.md): fresh-Timeout churn per event (pre-freelist
+#: value was ~1.0 on timeout_churn), the estimated churn bytes it
+#: implies, the tracemalloc live peak per event (catches leaked queue
+#: entries / an unbounded pool), and GC collections per run.
+CEILINGS = [
+    (
+        "BENCH_engine.json",
+        ("allocations", "timeout_churn", "timeout_allocs_per_event"),
+        0.01,
+        None,
+    ),
+    (
+        "BENCH_engine.json",
+        ("allocations", "timeout_churn", "timeout_alloc_bytes_per_event"),
+        2.0,
+        None,
+    ),
+    (
+        "BENCH_engine.json",
+        ("allocations", "timeout_churn", "bytes_per_event"),
+        2.0,
+        None,
+    ),
+    (
+        "BENCH_engine.json",
+        ("allocations", "timeout_churn", "gc_collections"),
+        8,
+        None,
+    ),
 ]
 
 
@@ -85,10 +127,22 @@ def check(
     baseline_dir: Path,
     current_dir: Path,
     threshold: float,
-) -> tuple[list[str], list[str]]:
-    """Returns (report lines, failure lines)."""
+) -> tuple[list[str], list[str], list[str]]:
+    """Returns (report lines, failure lines, skipped-gate lines).
+
+    Skipped gates are reported separately so a run where e.g. the 2x
+    parallel-grid floor was disarmed (a <4-CPU container) cannot be
+    mistaken for one where it passed -- ``main`` prints them in a
+    dedicated summary block.
+    """
     lines: list[str] = []
     failures: list[str] = []
+    skipped: list[str] = []
+
+    def skip(line: str) -> None:
+        lines.append(line)
+        skipped.append(line)
+
     cache: dict[Path, dict | None] = {}
     for filename, path, direction in METRICS:
         base_payload = cache.setdefault(
@@ -99,12 +153,12 @@ def check(
         )
         name = f"{filename}:{'.'.join(path)}"
         if base_payload is None or cur_payload is None:
-            lines.append(f"SKIP  {name}  (missing file)")
+            skip(f"SKIP  {name}  (missing file)")
             continue
         base = _lookup(base_payload, path)
         cur = _lookup(cur_payload, path)
         if base is None or cur is None or base <= 0:
-            lines.append(f"SKIP  {name}  (missing metric)")
+            skip(f"SKIP  {name}  (missing metric)")
             continue
         change = cur / base - 1.0
         regressed = (
@@ -117,34 +171,35 @@ def check(
         )
         if regressed:
             failures.append(lines[-1])
-    for filename, path, floor, precondition in FLOORS:
-        cur_payload = cache.setdefault(
-            current_dir / filename, _load(current_dir / filename)
-        )
-        name = f"{filename}:{'.'.join(path)}"
-        if cur_payload is None:
-            lines.append(f"SKIP  {name} floor {floor}  (missing file)")
-            continue
-        cur = _lookup(cur_payload, path)
-        if cur is None:
-            lines.append(f"SKIP  {name} floor {floor}  (missing metric)")
-            continue
-        if precondition is not None:
-            gate_path, minimum = precondition
-            gate_value = _lookup(cur_payload, gate_path)
-            if gate_value is None or gate_value < minimum:
-                gate_name = ".".join(gate_path)
-                lines.append(
-                    f"SKIP  {name} floor {floor}  "
-                    f"({gate_name}={gate_value} < {minimum})"
-                )
+    for bounds, kind in ((FLOORS, "floor"), (CEILINGS, "ceiling")):
+        for filename, path, bound, precondition in bounds:
+            cur_payload = cache.setdefault(
+                current_dir / filename, _load(current_dir / filename)
+            )
+            name = f"{filename}:{'.'.join(path)}"
+            if cur_payload is None:
+                skip(f"SKIP  {name} {kind} {bound}  (missing file)")
                 continue
-        failed = cur < floor
-        status = "FAIL" if failed else "ok"
-        lines.append(f"{status:4s}  {name}  current={cur:.3f}  floor={floor}")
-        if failed:
-            failures.append(lines[-1])
-    return lines, failures
+            cur = _lookup(cur_payload, path)
+            if cur is None:
+                skip(f"SKIP  {name} {kind} {bound}  (missing metric)")
+                continue
+            if precondition is not None:
+                gate_path, minimum = precondition
+                gate_value = _lookup(cur_payload, gate_path)
+                if gate_value is None or gate_value < minimum:
+                    gate_name = ".".join(gate_path)
+                    skip(
+                        f"SKIP  {name} {kind} {bound}  "
+                        f"(requires {gate_name} >= {minimum}, have {gate_value})"
+                    )
+                    continue
+            failed = cur < bound if kind == "floor" else cur > bound
+            status = "FAIL" if failed else "ok"
+            lines.append(f"{status:4s}  {name}  current={cur:.3f}  {kind}={bound}")
+            if failed:
+                failures.append(lines[-1])
+    return lines, failures, skipped
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -170,8 +225,16 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if not 0 < args.threshold < 1:
         parser.error(f"--threshold must be in (0, 1), got {args.threshold}")
-    lines, failures = check(args.baseline_dir, args.current_dir, args.threshold)
+    lines, failures, skipped = check(
+        args.baseline_dir, args.current_dir, args.threshold
+    )
     print("\n".join(lines))
+    if skipped:
+        # Disarmed gates are not passes; say so explicitly (a silent skip
+        # of e.g. the 2x multicore floor used to read as "passed").
+        print(f"\n{len(skipped)} gate(s) skipped, NOT checked:")
+        for line in skipped:
+            print(f"  {line.removeprefix('SKIP').strip()}")
     if failures:
         print(
             f"\n{len(failures)} metric(s) regressed more than "
@@ -179,7 +242,11 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"\nall metrics within {args.threshold:.0%} of the recorded baseline")
+    checked = len(lines) - len(skipped)
+    print(
+        f"\nall {checked} checked metric(s) within {args.threshold:.0%} of "
+        "the recorded baseline / inside their absolute bounds"
+    )
     return 0
 
 

@@ -21,11 +21,15 @@ from repro.telemetry.registry import DEFAULT_REGISTRY
 
 __all__ = ["UnregisteredMetricRule"]
 
-#: Hub write method -> the metric kind it records.
+#: Hub write method -> the metric kind it records.  The handle factories
+#: (``latency_handle``/``counter_handle``) intern a series for later
+#: writes; the name they intern is checked exactly like a direct write.
 _METHOD_KIND = {
     "record_latency": "latency",
     "inc_counter": "counter",
     "observe_gauge": "gauge",
+    "latency_handle": "latency",
+    "counter_handle": "counter",
 }
 
 #: Position of the ``labels`` argument in each write method's signature.
@@ -33,6 +37,8 @@ _LABELS_ARG_INDEX = {
     "record_latency": 2,
     "inc_counter": 2,
     "observe_gauge": 2,
+    "latency_handle": 1,
+    "counter_handle": 1,
 }
 
 

@@ -23,6 +23,16 @@ Sidecars are canonical JSON (sorted keys, fixed separators) with no
 timestamps, so regenerating an experiment with the same seed produces a
 byte-identical sidecar -- the file itself is the reproducibility witness.
 See docs/results_provenance.md for the format.
+
+**Scale layout.**  Outputs are qualified by the scale profile that
+produced them: the CI-checked ``quick`` scale stays at the ``results/``
+root (back-compat with every committed sidecar), while any other scale
+gets its own subdirectory -- ``results/full/fig02_backpressure.txt`` from
+a ``REPRO_SCALE=full`` run coexists with the quick output of the same
+experiment instead of clobbering it.  :func:`save_result` routes by
+``meta.scale``; :func:`check_results` validates whichever scale
+directories are present (``results/traces/`` -- the ``--dump-traces``
+output dir -- is never treated as a scale).
 """
 
 from __future__ import annotations
@@ -43,7 +53,9 @@ __all__ = [
     "RunMeta",
     "deployment_summaries",
     "load_sidecar",
+    "present_scales",
     "results_dir",
+    "scale_dir",
     "save_result",
     "check_results",
     "sidecar_path",
@@ -52,6 +64,15 @@ __all__ = [
 
 #: Bump when the sidecar layout changes incompatibly.
 SCHEMA_VERSION = 1
+
+#: The scale whose outputs live at the ``results/`` root.  Everything
+#: committed before scales were directory-qualified was a quick run, so
+#: keeping quick at the root preserves every existing sidecar path.
+_ROOT_SCALE = "quick"
+
+#: ``results/`` subdirectory holding ``--dump-traces`` output; it is a
+#: sibling of the scale directories but never a scale itself.
+_TRACES_DIR = "traces"
 
 #: Summary percentiles recorded per request class.
 _SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
@@ -140,13 +161,47 @@ def results_dir() -> Path:
     return path
 
 
-def sidecar_path(name: str) -> Path:
-    return results_dir() / f"{name}.meta.json"
+def scale_dir(scale: str = _ROOT_SCALE) -> Path:
+    """Directory holding outputs produced at ``scale``.
+
+    ``quick`` (and ``""``, for legacy callers) resolves to the
+    ``results/`` root; any other scale resolves to ``results/<scale>/``,
+    created on demand.  Scale names must be plain path components.
+    """
+    base = results_dir()
+    if scale in ("", _ROOT_SCALE):
+        return base
+    if (
+        "/" in scale
+        or os.sep in scale
+        or scale in (".", "..", _TRACES_DIR)
+    ):
+        raise ValueError(f"invalid scale name: {scale!r}")
+    path = base / scale
+    path.mkdir(parents=True, exist_ok=True)
+    return path
 
 
-def load_sidecar(name: str) -> dict[str, Any] | None:
+def _split_scaled(name: str) -> tuple[str, str]:
+    """``"full/fig02"`` -> ``("full", "fig02")``; bare names are quick."""
+    scale, sep, base = name.partition("/")
+    if sep and base:
+        return scale, base
+    return _ROOT_SCALE, name
+
+
+def _rel(scale: str, name: str) -> str:
+    """Scale-qualified display name (quick stays bare, like its path)."""
+    return name if scale in ("", _ROOT_SCALE) else f"{scale}/{name}"
+
+
+def sidecar_path(name: str, scale: str = _ROOT_SCALE) -> Path:
+    return scale_dir(scale) / f"{name}.meta.json"
+
+
+def load_sidecar(name: str, scale: str = _ROOT_SCALE) -> dict[str, Any] | None:
     """The parsed sidecar for ``name``, or ``None`` if absent/unreadable."""
-    path = sidecar_path(name)
+    path = sidecar_path(name, scale)
     if not path.exists():
         return None
     try:
@@ -171,18 +226,21 @@ def _update_allowed() -> bool:
 def save_result(name: str, text: str, meta: RunMeta) -> Path:
     """Persist a rendered result plus its provenance sidecar.
 
-    Writes ``results/<name>.txt`` (with a trailing newline) and
-    ``results/<name>.meta.json``.  If a sidecar from a previous
-    regeneration exists with the same identity but different digests (or
-    different text, for deterministic outputs), raises
-    :class:`ResultsMismatchError` -- unless ``REPRO_RESULTS_UPDATE=1``.
+    Writes ``<name>.txt`` (with a trailing newline) and
+    ``<name>.meta.json`` into the directory for ``meta.scale`` -- the
+    ``results/`` root for quick runs, ``results/<scale>/`` otherwise --
+    so outputs from different scale profiles never clobber each other.
+    If a sidecar from a previous regeneration at the same scale exists
+    with the same identity but different digests (or different text, for
+    deterministic outputs), raises :class:`ResultsMismatchError` --
+    unless ``REPRO_RESULTS_UPDATE=1``.
     """
     rendered = text if text.endswith("\n") else text + "\n"
     payload = meta.payload()
     payload["result_sha256"] = _text_sha256(rendered)
     payload["meta_digest"] = _meta_digest(payload)
 
-    old = load_sidecar(name)
+    old = load_sidecar(name, meta.scale)
     if old is not None and _same_identity(old, payload) and not _update_allowed():
         problems = []
         if old.get("digests") != payload["digests"]:
@@ -208,10 +266,10 @@ def save_result(name: str, text: str, meta: RunMeta) -> Path:
                 "REPRO_RESULTS_UPDATE=1 to accept the new run."
             )
 
-    directory = results_dir()
+    directory = scale_dir(meta.scale)
     txt_path = directory / f"{name}.txt"
     txt_path.write_text(rendered, encoding="utf-8")
-    side = sidecar_path(name)
+    side = sidecar_path(name, meta.scale)
     tmp = side.with_name(f"{side.name}.tmp{os.getpid()}")
     tmp.write_text(
         json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
@@ -246,60 +304,112 @@ def deployment_summaries(result: Any) -> dict[str, dict[str, float]]:
 # Offline checking (``python -m repro.experiments.store``)
 
 
-def check_results(
-    names: list[str] | None = None, strict: bool = False
-) -> list[str]:
-    """Validate committed results against their sidecars, offline.
+def present_scales() -> list[str]:
+    """Scales with a results directory on disk, quick (the root) first.
 
-    Returns a list of human-readable problems (empty = all good):
-
-    * sidecar fails to parse, or its ``meta_digest`` self-checksum does
-      not match (corrupted / hand-edited provenance);
-    * ``result_sha256`` does not match the committed ``.txt`` (the text
-      drifted from the recorded run) -- enforced only for sidecars
-      marked ``deterministic``;
-    * a sidecar with no matching ``.txt`` (stale provenance);
-    * with ``strict=True``, a ``.txt`` with no sidecar.
+    Any subdirectory of ``results/`` except ``traces/`` is treated as a
+    scale directory -- ``check_results`` validates whichever are present
+    so a tree holding only quick outputs, or quick plus the weekly
+    ``full`` run, both check cleanly without configuration.
     """
-    directory = results_dir()
+    base = results_dir()
+    scales = [_ROOT_SCALE]
+    for entry in sorted(base.iterdir()):
+        if entry.is_dir() and entry.name != _TRACES_DIR:
+            scales.append(entry.name)
+    return scales
+
+
+def _check_scale(scale: str, names: list[str] | None, strict: bool) -> list[str]:
+    """Problems for one scale directory (see :func:`check_results`)."""
+    directory = scale_dir(scale)
+    scan_stale = names is None
     if names is None:
         names = sorted(p.stem for p in directory.glob("*.txt"))
     problems: list[str] = []
     for name in names:
+        label = _rel(scale, name)
         txt_path = directory / f"{name}.txt"
         if not txt_path.exists():
-            problems.append(f"{name}: results/{name}.txt does not exist")
+            problems.append(f"{label}: results/{label}.txt does not exist")
             continue
-        sidecar = load_sidecar(name)
+        sidecar = load_sidecar(name, scale)
         if sidecar is None:
-            if sidecar_path(name).exists():
-                problems.append(f"{name}: sidecar is not valid JSON")
+            if sidecar_path(name, scale).exists():
+                problems.append(f"{label}: sidecar is not valid JSON")
             elif strict:
-                problems.append(f"{name}: missing sidecar (strict mode)")
+                problems.append(f"{label}: missing sidecar (strict mode)")
             continue
         recorded = sidecar.get("meta_digest")
         if recorded != _meta_digest(sidecar):
             problems.append(
-                f"{name}: sidecar self-checksum mismatch "
+                f"{label}: sidecar self-checksum mismatch "
                 f"(recorded {recorded}, computed {_meta_digest(sidecar)}) "
                 "-- provenance was corrupted or hand-edited"
+            )
+            continue
+        recorded_scale = sidecar.get("scale")
+        if isinstance(recorded_scale, str) and recorded_scale != scale:
+            problems.append(
+                f"{label}: sidecar records scale "
+                f"{recorded_scale!r} but sits in the {scale!r} "
+                "directory -- a misplaced or miscopied output"
             )
             continue
         if sidecar.get("deterministic", True):
             actual = _text_sha256(txt_path.read_text(encoding="utf-8"))
             if actual != sidecar.get("result_sha256"):
                 problems.append(
-                    f"{name}: results/{name}.txt does not match the "
+                    f"{label}: results/{label}.txt does not match the "
                     f"recorded run (sha256 {actual} vs recorded "
                     f"{sidecar.get('result_sha256')}) -- regenerate or "
                     "update the sidecar"
                 )
-    for side in sorted(directory.glob("*.meta.json")):
-        stem = side.name[: -len(".meta.json")]
-        if not (directory / f"{stem}.txt").exists():
-            problems.append(
-                f"{stem}: stale sidecar with no results/{stem}.txt"
-            )
+    if scan_stale:
+        for side in sorted(directory.glob("*.meta.json")):
+            stem = side.name[: -len(".meta.json")]
+            if not (directory / f"{stem}.txt").exists():
+                label = _rel(scale, stem)
+                problems.append(
+                    f"{label}: stale sidecar with no results/{label}.txt"
+                )
+    return problems
+
+
+def check_results(
+    names: list[str] | None = None, strict: bool = False
+) -> list[str]:
+    """Validate committed results against their sidecars, offline.
+
+    With no ``names``, every scale directory present is checked (quick
+    at the root plus any ``results/<scale>/`` subdirectories, skipping
+    ``traces/``).  Names may be scale-qualified (``full/fig02``); bare
+    names refer to quick outputs at the root.
+
+    Returns a list of human-readable problems (empty = all good):
+
+    * sidecar fails to parse, or its ``meta_digest`` self-checksum does
+      not match (corrupted / hand-edited provenance);
+    * sidecar records a different scale than the directory it sits in
+      (a misplaced output);
+    * ``result_sha256`` does not match the committed ``.txt`` (the text
+      drifted from the recorded run) -- enforced only for sidecars
+      marked ``deterministic``;
+    * a sidecar with no matching ``.txt`` (stale provenance);
+    * with ``strict=True``, a ``.txt`` with no sidecar.
+    """
+    if names is not None:
+        by_scale: dict[str, list[str]] = {}
+        for raw in names:
+            scale, base = _split_scaled(raw)
+            by_scale.setdefault(scale, []).append(base)
+        problems: list[str] = []
+        for scale in sorted(by_scale):
+            problems.extend(_check_scale(scale, by_scale[scale], strict))
+        return problems
+    problems = []
+    for scale in present_scales():
+        problems.extend(_check_scale(scale, None, strict))
     return problems
 
 
@@ -314,7 +424,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "names",
         nargs="*",
-        help="result names to check (default: every results/*.txt)",
+        help=(
+            "result names to check, optionally scale-qualified like "
+            "full/fig02 (default: every scale directory present)"
+        ),
     )
     parser.add_argument(
         "--strict",
@@ -325,11 +438,19 @@ def main(argv: list[str] | None = None) -> int:
     problems = check_results(args.names or None, strict=args.strict)
     for problem in problems:
         print(f"FAIL {problem}", file=sys.stderr)
-    checked = args.names or sorted(
-        p.stem for p in results_dir().glob("*.txt")
-    )
+    if args.names:
+        checked = list(args.names)
+        scales = sorted({_split_scaled(raw)[0] for raw in args.names})
+    else:
+        scales = present_scales()
+        checked = [
+            _rel(scale, p.stem)
+            for scale in scales
+            for p in sorted(scale_dir(scale).glob("*.txt"))
+        ]
     print(
-        f"results-check: {len(checked)} result(s), "
+        f"results-check: {len(checked)} result(s) across "
+        f"{len(scales)} scale(s) [{', '.join(scales)}], "
         f"{len(problems)} problem(s)"
     )
     return 1 if problems else 0

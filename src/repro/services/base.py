@@ -47,7 +47,7 @@ from repro.net.messages import Call, CallMode, Request
 from repro.net.mq import MessageQueue
 from repro.sim.engine import AnyOf, Environment, Event
 from repro.sim.resources import Resource
-from repro.telemetry.metrics import MetricsHub
+from repro.telemetry.metrics import CounterHandle, LatencyHandle, MetricsHub
 from repro.telemetry.tracing import PHASE_DOWNSTREAM, PHASE_QUEUE, PHASE_SERVICE, Span
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -121,6 +121,10 @@ class Microservice:
         self._cpu_limit_override: int | None = None
         self.queue = MessageQueue(env, spec.name)
         self._label_sets: dict[str, tuple] = {}
+        #: request class -> (requests_total counter, service_latency
+        #: recorder) interned hub handles; see _hot_handles.
+        self._hot_handles: dict[str, tuple[CounterHandle, LatencyHandle]] = {}
+        self._mq_handles: dict[str, CounterHandle] = {}
         self._replicas: dict[str, Replica] = {}
         self._running: list[Replica] = []
         self._rr = 0
@@ -256,9 +260,12 @@ class Microservice:
         self.queue.publish(
             (request, call, done, self.env.now, span), priority=request.priority
         )
-        self.hub.inc_counter(
-            "mq_published_total", labels=self._label_set(request.request_class)
-        )
+        handle = self._mq_handles.get(request.request_class)
+        if handle is None:
+            handle = self._mq_handles[request.request_class] = self.hub.counter_handle(
+                "mq_published_total", labels=self._label_set(request.request_class)
+            )
+        handle.inc()
         return done
 
     # ------------------------------------------------------------------
@@ -271,6 +278,24 @@ class Microservice:
             key = (("request", request_class), ("service", self.name))
             self._label_sets[request_class] = key
         return key
+
+    def _request_handles(
+        self, request_class: str
+    ) -> tuple[CounterHandle, LatencyHandle]:
+        """Interned (requests_total, service_latency) writers per class.
+
+        One registry check and series lookup per (service, class) pair;
+        after that, the per-request hot path below touches only the
+        handles' window dicts.
+        """
+        handles = self._hot_handles.get(request_class)
+        if handles is None:
+            labels = self._label_set(request_class)
+            handles = self._hot_handles[request_class] = (
+                self.hub.counter_handle("requests_total", labels=labels),
+                self.hub.latency_handle("service_latency", labels=labels),
+            )
+        return handles
 
     def _sample_work(self, request_class: str) -> float:
         dist = self._work.get(request_class)
@@ -321,8 +346,10 @@ class Microservice:
         """
         env = self.env
         t_submit = publish_time if publish_time is not None else env.now
-        labels = self._label_set(request.request_class)
-        self.hub.inc_counter("requests_total", labels=labels)
+        requests_total, service_latency_h = self._request_handles(
+            request.request_class
+        )
+        requests_total.inc()
         if replica is None:
             replica = yield from self._pick_replica()
             replica.inflight += 1
@@ -410,7 +437,7 @@ class Microservice:
             # Both network legs (request + response) in one event.
             yield env.timeout(2.0 * self.network_delay_s)
         service_latency = env.now - t_submit - downstream_wait
-        self.hub.record_latency("service_latency", service_latency, labels)
+        service_latency_h.record(service_latency)
         if span is not None:
             span.record(PHASE_SERVICE, mark, env.now)
             mark = env.now
@@ -493,7 +520,8 @@ class Microservice:
     def _monitor(self, interval: float):
         env = self.env
         last_busy = 0.0
-        labels = {"service": self.name}
+        # Pre-canonical label tuple: labels_key passes it through unsorted.
+        labels = (("service", self.name),)
         while True:
             yield env.timeout(interval)
             replicas = [r for r in self._replicas.values() if not r.stopping]

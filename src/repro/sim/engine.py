@@ -27,22 +27,48 @@ callback instead of recreating bound methods per wait.
 The schedule itself is a two-level bucket queue.  Events triggered *at
 the current simulation time* with the default priority -- ``succeed``,
 ``fail``, process bootstraps, zero-delay timeouts, which together are
-roughly half of all events in RPC-heavy runs -- land in a plain FIFO
-deque (the "now bucket"): because simulation time never goes backwards
-and the tie-breaking sequence number increases monotonically, appending
-to this deque keeps it sorted by ``(time, priority, seq)`` for free, so
-both ends of the round trip are O(1) appends instead of O(log n) heap
-sifts with tuple comparisons.  Future events (positive-delay timeouts)
-and priority-0 interrupts go to a binary heap, or -- selected per run
-via ``Environment(queue="calendar")`` -- to a :class:`CalendarQueue`
-that buckets events by time and sorts one small bucket at a time
-(cheaper than heap sifts for large timeout-dominated schedules).  Every
-pop takes the global minimum across the levels, so scheduling order is
+roughly half of all events in RPC-heavy runs -- land in the "now
+bucket".  Because simulation time never goes backwards and the
+tie-breaking sequence number increases monotonically, *every* pending
+now-bucket entry provably has ``time == now`` and ``priority == 1``, so
+the bucket stores only the two columns that vary -- a deque of sequence
+numbers and a parallel deque of events -- instead of a
+``(time, priority, seq, event)`` tuple per entry.  The flat
+structure-of-arrays form cuts a 4-tuple allocation (and its GC
+tracking) from every succeed/grant/bootstrap, which is the single
+largest allocation source in RPC-heavy runs; the logical schedule is
+unchanged and the queue interface (:meth:`Environment.peek`,
+:meth:`Environment.step`, the trace hook) still presents full
+``(time, priority, seq, event)`` entries.
+
+Future events (positive-delay timeouts) and priority-0 interrupts go to
+a binary heap, or to a :class:`CalendarQueue` that buckets events by
+time and sorts one small bucket at a time (cheaper than heap sifts for
+large timeout-dominated schedules).  ``Environment(queue=...)`` selects
+the structure: ``"heap"`` and ``"calendar"`` pin one, and the default
+``"auto"`` starts on the heap and migrates to a calendar when the
+observed pending-set size crosses the crossover regime (and back when
+it drains), with the calendar's bucket width chosen from the observed
+event-time span and resized online on overflow/underflow.  Every pop
+takes the global minimum across the levels, so scheduling order is
 *identical* for all queue choices: the schedule still logically holds
 ``(time, priority, seq, event)`` tuples and the same-seed byte-identical
-trace regression in ``tests/sim/test_determinism.py`` pins the contract.
-Benchmarked by ``benchmarks/perf/bench_engine.py`` (results in
-``BENCH_engine.json``; queue comparison in ``docs/performance.md``).
+trace regression in ``tests/sim/test_determinism.py`` (plus the
+three-way equivalence suite in ``tests/sim/test_queue_equivalence.py``)
+pins the contract.
+
+Timeouts -- by far the most frequently constructed event -- are pooled:
+after a timeout's callbacks run, the drain loop recycles the object
+into a per-environment freelist *iff* nothing else holds a reference to
+it (checked with ``sys.getrefcount``, so a timeout stored in a
+variable, a condition, or a trace hook is never reused under anyone's
+feet).  Recycled handles keep their ``_PROCESSED`` state, so a stale
+``succeed()``/``fail()`` raises immediately, and every reuse bumps the
+object's generation counter and validates the freelist invariants,
+raising :class:`SimulationError` instead of silently corrupting the
+schedule.  Benchmarked by ``benchmarks/perf/bench_engine.py`` (results
+in ``BENCH_engine.json``; queue comparison and the allocation probe in
+``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -50,7 +76,12 @@ from __future__ import annotations
 from bisect import insort as _insort
 from collections import deque
 from collections.abc import Generator, Iterable
-from heapq import heappop as _heappop, heappush as _heappush
+from heapq import (
+    heapify as _heapify,
+    heappop as _heappop,
+    heappush as _heappush,
+)
+from sys import getrefcount as _getrefcount
 from typing import Any, Callable
 
 __all__ = [
@@ -86,6 +117,25 @@ class Interrupt(Exception):
 _PENDING = 0
 _TRIGGERED = 1  # scheduled, callbacks not yet run
 _PROCESSED = 2  # callbacks have run
+
+#: Maximum recycled :class:`Timeout` objects kept per environment.  At
+#: 4096 the pool covers the deepest concurrent-timeout populations of
+#: the composite benchmarks while bounding the footprint of a pool that
+#: a workload stops using.
+_POOL_MAX = 4096
+
+#: ``queue="auto"``: pending future events before the heap is migrated
+#: to a calendar queue (upgrade), and the calendar population below
+#: which it migrates back (downgrade).  The 4x hysteresis band prevents
+#: thrashing around the boundary; the values bracket the measured
+#: heap/calendar crossover on the reference container (heapq's C sift
+#: wins below ~5k pending, the calendar wins from ~10k up -- see
+#: docs/performance.md).
+_AUTO_CAL_UPGRADE = 8192
+_AUTO_CAL_DOWNGRADE = _AUTO_CAL_UPGRADE // 4
+
+#: Sentinel threshold for fixed queue modes: never migrate.
+_NEVER = 1 << 62
 
 
 class Event:
@@ -141,8 +191,11 @@ class Event:
         env = self.env
         env._seq = seq = env._seq + 1
         # Triggered at the current time with default priority: the now
-        # bucket stays (time, priority, seq)-sorted by construction.
-        env._fifo.append((env._now, 1, seq, self))
+        # bucket stays (time, priority, seq)-sorted by construction, and
+        # time/priority are implied (now, 1), so only seq and the event
+        # itself are stored.
+        env._fseq_app(seq)
+        env._fev_app(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -156,7 +209,8 @@ class Event:
         self._state = _TRIGGERED
         env = self.env
         env._seq = seq = env._seq + 1
-        env._fifo.append((env._now, 1, seq, self))
+        env._fseq_app(seq)
+        env._fev_app(self)
         return self
 
     def _add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -173,9 +227,16 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after creation."""
+    """An event that fires ``delay`` time units after creation.
 
-    __slots__ = ("delay",)
+    Timeouts are pooled per environment (see
+    :meth:`Environment.timeout`); ``_gen`` counts how many times this
+    object has been handed out.  Constructing one directly always
+    allocates fresh and is fully supported -- the pool is an
+    optimization of the factory, not a change in semantics.
+    """
+
+    __slots__ = ("delay", "_gen")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
@@ -189,16 +250,24 @@ class Timeout(Event):
         self._state = _TRIGGERED
         self._defused = False
         self.delay = delay
+        self._gen = 0
+        env._timeout_allocs += 1
         env._seq = seq = env._seq + 1
-        if delay == 0.0:
-            # A zero-delay timeout fires at the current time: now bucket.
-            env._fifo.append((env._now, 1, seq, self))
+        now = env._now
+        when = now + delay
+        if when == now:
+            # Fires at the current time (zero delay, or a delay so small
+            # it underflows the float add): now bucket.  Identical global
+            # order either way -- at equal (time, priority) the pop
+            # compares sequence numbers regardless of the structure.
+            env._fseq_app(seq)
+            env._fev_app(self)
         else:
             cal = env._cal
             if cal is None:
-                _heappush(env._queue, (env._now + delay, 1, seq, self))
+                _heappush(env._queue, (when, 1, seq, self))
             else:
-                cal.push((env._now + delay, 1, seq, self))
+                cal.push((when, 1, seq, self))
 
 
 class _ConditionValue(dict):
@@ -291,7 +360,8 @@ class Process(Event):
         init._ok = True
         init._state = _TRIGGERED
         env._seq = seq = env._seq + 1
-        env._fifo.append((env._now, 1, seq, init))
+        env._fseq_app(seq)
+        env._fev_app(init)
         init.callbacks.append(self._resume_cb)
 
     @property
@@ -316,6 +386,9 @@ class Process(Event):
         interrupt_event._defused = True
         interrupt_event._state = _TRIGGERED
         env._seq = seq = env._seq + 1
+        # Priority 0 beats every same-time event: interrupts go to the
+        # heap (the spill level in calendar/auto modes), never the
+        # priority-1 now bucket.
         _heappush(env._queue, (env._now, 0, seq, interrupt_event))
         interrupt_event.callbacks.append(self._resume_cb)
 
@@ -379,6 +452,16 @@ class Process(Event):
 #: Queue entry: (time, priority, seq, event).
 _Entry = "tuple[float, int, int, Event]"
 
+#: Adaptive calendar-queue constants: a freshly sorted bucket larger
+#: than ``_BUCKET_OVERFLOW`` halves the width (too many events share a
+#: bucket); exhausting ``_PROBE_LIMIT`` empty buckets in one advance
+#: doubles it (buckets much finer than the event spacing).  Resizes are
+#: O(n), so at least ``_RESIZE_COOLDOWN`` bucket advances must pass
+#: between them.
+_BUCKET_OVERFLOW = 1024
+_PROBE_LIMIT = 64
+_RESIZE_COOLDOWN = 16
+
 
 class CalendarQueue:
     """Bucketed future-event queue (a classic calendar queue).
@@ -392,6 +475,12 @@ class CalendarQueue:
     sort, which wins when the schedule is large and dominated by
     timeouts landing a bounded distance in the future.
 
+    The width adapts online: a bucket that sorts too large halves it, an
+    advance that skips too many empty buckets doubles it (both rate
+    limited -- see ``_RESIZE_COOLDOWN``), so a misjudged initial width
+    converges to the workload's event spacing instead of degenerating
+    into one giant sorted list or a sea of empty buckets.
+
     ``front`` is the smallest entry (or ``None`` when empty) and is
     maintained on every mutation so the environment's pop loop can
     compare queue levels with plain attribute reads.  Pop order is the
@@ -399,7 +488,15 @@ class CalendarQueue:
     invisible to simulation results.
     """
 
-    __slots__ = ("_buckets", "_cur", "_cur_list", "_inv_width", "front", "_len")
+    __slots__ = (
+        "_buckets",
+        "_cur",
+        "_cur_list",
+        "_inv_width",
+        "front",
+        "_len",
+        "_cooldown",
+    )
 
     def __init__(self, width: float = 0.01) -> None:
         if width <= 0:
@@ -412,9 +509,15 @@ class CalendarQueue:
         self._cur_list: list = []
         self.front: tuple[float, int, int, Event] | None = None
         self._len = 0
+        self._cooldown = _RESIZE_COOLDOWN
 
     def __len__(self) -> int:
         return self._len
+
+    @property
+    def width(self) -> float:
+        """Current bucket width in simulated seconds (adapts online)."""
+        return 1.0 / self._inv_width
 
     def push(self, entry: "tuple[float, int, int, Event]") -> None:
         self._len += 1
@@ -453,7 +556,8 @@ class CalendarQueue:
         if self._len:
             buckets = self._buckets
             cur = self._cur
-            for _ in range(64):
+            exhausted = False
+            for _ in range(_PROBE_LIMIT):
                 cur += 1
                 nxt = buckets.pop(cur, None)
                 if nxt is not None:
@@ -461,13 +565,69 @@ class CalendarQueue:
             else:
                 cur = min(buckets)
                 nxt = buckets.pop(cur)
+                exhausted = True
             nxt.sort()
             self._cur = cur
             self._cur_list = nxt
             self.front = nxt[0]
+            # Online width adaptation, rate limited to one O(n) resize
+            # per _RESIZE_COOLDOWN bucket advances.
+            cooldown = self._cooldown - 1
+            if cooldown > 0:
+                self._cooldown = cooldown
+            elif exhausted:
+                # Probing gave up: buckets are much finer than the event
+                # spacing.  Double the width.
+                self._cooldown = _RESIZE_COOLDOWN
+                self._resize(self._inv_width * 0.5)
+            elif len(nxt) > _BUCKET_OVERFLOW:
+                # One bucket holds a large sorted batch: buckets are too
+                # coarse.  Halve the width.
+                self._cooldown = _RESIZE_COOLDOWN
+                self._resize(self._inv_width * 2.0)
+            else:
+                self._cooldown = 1  # stay armed
         else:
             self.front = None
         return entry
+
+    def _bulk_load(self, entries: "Iterable[tuple[float, int, int, Event]]") -> None:
+        """Load ``entries`` (any order) into an *empty* queue in O(n)."""
+        if self._len:
+            raise SimulationError("_bulk_load() on a nonempty calendar queue")
+        buckets = self._buckets
+        inv_width = self._inv_width
+        count = 0
+        for entry in entries:
+            idx = int(entry[0] * inv_width)
+            bucket = buckets.get(idx)
+            if bucket is None:
+                buckets[idx] = [entry]
+            else:
+                bucket.append(entry)
+            count += 1
+        self._len = count
+        if buckets:
+            cur = min(buckets)
+            cur_list = buckets.pop(cur)
+            cur_list.sort()
+            self._cur = cur
+            self._cur_list = cur_list
+            self.front = cur_list[0]
+
+    def _resize(self, inv_width: float) -> None:
+        """Re-bucket every entry under a new width (front is unchanged)."""
+        entries = self._cur_list
+        for bucket in self._buckets.values():
+            entries.extend(bucket)
+        self._inv_width = inv_width
+        self._buckets = {}
+        self._cur_list = []
+        self._len = 0
+        if not entries:
+            self.front = None
+            return
+        self._bulk_load(entries)
 
 
 class Environment:
@@ -480,18 +640,27 @@ class Environment:
         env.run(until=100.0)
 
     ``queue`` selects the future-event structure for this run:
-    ``"heap"`` (default) keeps a binary heap, ``"calendar"`` a
-    :class:`CalendarQueue` with ``bucket_width``-sized time buckets.
+
+    * ``"auto"`` (default) -- start on a binary heap and migrate to a
+      :class:`CalendarQueue` when the pending future-event population
+      grows past the measured heap/calendar crossover (and back once it
+      drains); the calendar's initial bucket width is derived from the
+      observed event-time span at migration and adapts online.
+    * ``"heap"`` -- always the binary heap.
+    * ``"calendar"`` -- always a :class:`CalendarQueue` with
+      ``bucket_width``-sized time buckets (the width still adapts).
+
     Scheduling order -- and therefore every simulation result -- is
-    identical for either choice; only the constant factors differ (see
-    docs/performance.md for measurements).
+    identical for every choice; only the constant factors differ (see
+    docs/performance.md for measurements, and
+    ``tests/sim/test_queue_equivalence.py`` for the executable proof).
     """
 
     def __init__(
         self,
         initial_time: float = 0.0,
         trace: Callable[[float, int, int, Event], None] | None = None,
-        queue: str = "heap",
+        queue: str = "auto",
         bucket_width: float = 0.01,
     ) -> None:
         self._now = float(initial_time)
@@ -500,16 +669,39 @@ class Environment:
         #: spill level for interrupts and externally constructed events,
         #: so every push site stays correct regardless of queue choice.
         self._queue: list[tuple[float, int, int, Event]] = []
-        #: The "now bucket": events triggered at the current time with
-        #: default priority, kept sorted by construction (time never
-        #: decreases, seq always increases).
-        self._fifo: deque[tuple[float, int, int, Event]] = deque()
-        if queue == "heap":
+        #: The "now bucket" as a flat structure of arrays: every pending
+        #: entry provably has ``time == self._now`` and ``priority == 1``
+        #: (time never decreases; only current-time default-priority
+        #: triggers land here), so of the four logical columns only seq
+        #: and the event are stored.  Appending keeps both deques
+        #: (time, priority, seq)-sorted for free because seq increases
+        #: monotonically.
+        self._fifo_seq: deque[int] = deque()
+        self._fifo_ev: deque[Event] = deque()
+        #: Cached bound appends -- the two hottest calls in the kernel
+        #: (every succeed/fail/grant/bootstrap goes through them).
+        self._fseq_app = self._fifo_seq.append
+        self._fev_app = self._fifo_ev.append
+        if bucket_width <= 0:
+            raise SimulationError(
+                f"calendar bucket width must be > 0, got {bucket_width}"
+            )
+        self._bucket_width = float(bucket_width)
+        if queue == "auto":
             self._cal: CalendarQueue | None = None
+            self._cal_up = _AUTO_CAL_UPGRADE
+            self._cal_down = _AUTO_CAL_DOWNGRADE
+        elif queue == "heap":
+            self._cal = None
+            self._cal_up = _NEVER
+            self._cal_down = 0
         elif queue == "calendar":
             self._cal = CalendarQueue(width=bucket_width)
+            self._cal_up = _NEVER
+            self._cal_down = 0
         else:
             raise SimulationError(f"unknown queue kind {queue!r}")
+        self._queue_kind = queue
         self._seq = 0
         self._active_process: Process | None = None
         #: Optional event-trace hook: called as ``trace(when, priority,
@@ -519,6 +711,12 @@ class Environment:
         #: hot path.  See :mod:`repro.sim.trace` for ready-made hooks
         #: (event recorders, run digests).
         self._trace = trace
+        #: Freelist of recycled Timeout objects (see :meth:`timeout`).
+        self._pool: list[Timeout] = []
+        #: Fresh Timeout constructions vs pool reuses -- the allocation
+        #: probe in benchmarks/perf/bench_engine.py reads both.
+        self._timeout_allocs = 0
+        self._timeout_reuses = 0
 
     @property
     def trace(self) -> Callable[[float, int, int, Event], None] | None:
@@ -535,14 +733,68 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def queue_kind(self) -> str:
+        """The queue mode this environment was constructed with."""
+        return self._queue_kind
+
+    def timeout_pool_stats(self) -> dict[str, int]:
+        """Freelist counters: fresh allocations, reuses, pooled objects."""
+        return {
+            "allocs": self._timeout_allocs,
+            "reuses": self._timeout_reuses,
+            "pooled": len(self._pool),
+        }
+
     # -- factories --------------------------------------------------------
     def event(self) -> Event:
         """Create a new pending :class:`Event`."""
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event firing ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        """Create an event firing ``delay`` time units from now.
+
+        Hands out a recycled :class:`Timeout` from the environment's
+        freelist when one is available (the drain loops return a timeout
+        to the pool once its callbacks have run and nothing else
+        references it).  Reuse validates the freelist invariants --
+        a recycled handle that was resurrected through a stale reference
+        raises :class:`SimulationError` here rather than corrupting the
+        schedule -- and bumps the object's generation counter.
+        """
+        pool = self._pool
+        if not pool:
+            return Timeout(self, delay, value)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        timeout = pool.pop()
+        if (
+            timeout._state != _PROCESSED
+            or timeout.callbacks is None
+            or timeout.callbacks
+        ):
+            raise SimulationError(
+                "timeout freelist corrupted: a recycled Timeout was mutated "
+                "through a stale handle"
+            )
+        timeout._gen += 1
+        timeout._state = _TRIGGERED
+        timeout._value = value
+        timeout.delay = delay
+        self._timeout_reuses += 1
+        self._seq = seq = self._seq + 1
+        now = self._now
+        when = now + delay
+        if when == now:
+            self._fseq_app(seq)
+            self._fev_app(timeout)
+        else:
+            cal = self._cal
+            if cal is None:
+                _heappush(self._queue, (when, 1, seq, timeout))
+            else:
+                cal.push((when, 1, seq, timeout))
+        return timeout
 
     def timeout_at(self, when: float, value: Any = None) -> Timeout:
         """Create an event firing at absolute simulated time ``when``.
@@ -551,22 +803,41 @@ class Environment:
         is exactly ``when``: no ``now + (when - now)`` float round trip.
         Batch-generating processes (the workload layer pre-computes
         arrival times far ahead of the clock) use this to wake at
-        precomputed times bit-for-bit.
+        precomputed times bit-for-bit.  Pool-backed like
+        :meth:`timeout`.
         """
         now = self._now
         if when < now:
             raise SimulationError(f"timeout_at({when}) is in the past (now={now})")
-        timeout = Timeout.__new__(Timeout)
-        timeout.env = self
-        timeout.callbacks = []
+        pool = self._pool
+        if pool:
+            timeout = pool.pop()
+            if (
+                timeout._state != _PROCESSED
+                or timeout.callbacks is None
+                or timeout.callbacks
+            ):
+                raise SimulationError(
+                    "timeout freelist corrupted: a recycled Timeout was "
+                    "mutated through a stale handle"
+                )
+            timeout._gen += 1
+            self._timeout_reuses += 1
+        else:
+            timeout = Timeout.__new__(Timeout)
+            timeout.env = self
+            timeout.callbacks = []
+            timeout._ok = True
+            timeout._defused = False
+            timeout._gen = 0
+            self._timeout_allocs += 1
         timeout._value = value
-        timeout._ok = True
         timeout._state = _TRIGGERED
-        timeout._defused = False
         timeout.delay = when - now
         self._seq = seq = self._seq + 1
         if when == now:
-            self._fifo.append((now, 1, seq, timeout))
+            self._fseq_app(seq)
+            self._fev_app(timeout)
         else:
             cal = self._cal
             if cal is None:
@@ -590,53 +861,93 @@ class Environment:
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         self._seq += 1
-        if delay == 0.0 and priority == 1:
-            self._fifo.append((self._now, 1, self._seq, event))
+        when = self._now + delay
+        if priority == 1 and when == self._now:
+            self._fseq_app(self._seq)
+            self._fev_app(event)
         else:
-            _heappush(self._queue, (self._now + delay, priority, self._seq, event))
+            _heappush(self._queue, (when, priority, self._seq, event))
+
+    def _upgrade_queue(self) -> None:
+        """Migrate the heap to a calendar queue (auto mode, grown past
+        the crossover).
+
+        The initial bucket width targets ~8 entries per bucket over the
+        observed event-time span (the ROADMAP's bucket-width heuristic);
+        the calendar refines it online from there.  The heap list is
+        emptied in place -- drain loops hold local aliases to it.
+        """
+        queue = self._queue
+        width = self._bucket_width
+        if queue:
+            span = max(entry[0] for entry in queue) - self._now
+            if span > 0.0:
+                width = (span / len(queue)) * 8.0
+        cal = CalendarQueue(width=width)
+        cal._bulk_load(queue)
+        queue.clear()
+        self._cal = cal
+
+    def _downgrade_queue(self) -> None:
+        """Migrate the calendar back to the heap (auto mode, drained
+        below the crossover).  Mutates the heap list in place."""
+        cal = self._cal
+        queue = self._queue
+        queue.extend(cal._cur_list)
+        for bucket in cal._buckets.values():
+            queue.extend(bucket)
+        _heapify(queue)
+        self._cal = None
 
     def _pop_next(self) -> "tuple[float, int, int, Event] | None":
         """Remove and return the globally smallest entry, or ``None``.
 
         The schedule is split across up to three levels (now bucket,
         heap, calendar); each level yields its entries in sorted order,
-        so the global minimum is the smallest of the level fronts.
+        so the global minimum is the smallest of the level fronts.  The
+        now bucket's front materializes as a 3-tuple -- sequence numbers
+        are unique, so comparisons against 4-tuple heap/calendar entries
+        are always decided by index <= 2 and never reach the length
+        tie-break.
         """
-        fifo = self._fifo
+        fseq = self._fifo_seq
         queue = self._queue
         cal = self._cal
-        best = fifo[0] if fifo else None
+        best = (self._now, 1, fseq[0]) if fseq else None
         src = 0
         if queue:
-            entry = queue[0]
-            if best is None or entry < best:
-                best = entry
+            head = queue[0]
+            if best is None or head < best:
+                best = head
                 src = 1
         if cal is not None:
-            entry = cal.front
-            if entry is not None and (best is None or entry < best):
-                best = entry
+            front = cal.front
+            if front is not None and (best is None or front < best):
+                best = front
                 src = 2
         if best is None:
             return None
         if src == 0:
-            return fifo.popleft()
+            seq = fseq.popleft()
+            return (self._now, 1, seq, self._fifo_ev.popleft())
         if src == 1:
             return _heappop(queue)
         return cal.pop()
 
     def _empty(self) -> bool:
         return not (
-            self._fifo
+            self._fifo_seq
             or self._queue
             or (self._cal is not None and self._cal.front is not None)
         )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        # Now-bucket entries are by construction at the current time,
+        # which lower-bounds every other level.
+        if self._fifo_seq:
+            return self._now
         times = []
-        if self._fifo:
-            times.append(self._fifo[0][0])
         if self._queue:
             times.append(self._queue[0][0])
         if self._cal is not None and self._cal.front is not None:
@@ -654,6 +965,7 @@ class Environment:
         if entry is None:
             raise SimulationError("step() on an empty schedule")
         when, _priority, _seq, event = entry
+        del entry  # drop the tuple's reference so the recycle guard sees 2
         self._now = when
         if self._trace is not None:
             self._trace(when, _priority, _seq, event)
@@ -665,6 +977,16 @@ class Environment:
         if not event._ok and not event._defused:
             exc = event._value
             raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+        pool = self._pool
+        if (
+            type(event) is Timeout
+            and len(pool) < _POOL_MAX
+            and _getrefcount(event) == 2
+        ):
+            callbacks.clear()
+            event.callbacks = callbacks
+            event._value = None
+            pool.append(event)
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run the simulation.
@@ -676,50 +998,45 @@ class Environment:
         With an event, the schedule may drain before the event ever
         triggers (no process can fire it any more); that is reported as a
         :class:`SimulationError` rather than returning silently.
+
+        The body dispatches to one of three drain loops -- the inlined
+        heap+now-bucket fast path, the calendar-aware fast path, or the
+        generic :meth:`step` loop (trace hook installed or ``step``
+        overridden) -- and re-dispatches whenever auto mode migrates
+        between heap and calendar mid-run.  All loops pop the exact same
+        global ``(time, priority, seq)`` order.
         """
-        queue = self._queue
-        fifo = self._fifo
-        fifo_popleft = fifo.popleft
-        # When step() is not overridden, no trace hook is installed, and
-        # the future queue is the default heap, inline the step body into
-        # the drain loops: one Python method call per event is measurable
-        # at the millions-of-events scale of a deployment run.  The
-        # inlined body is identical to step() minus the empty-schedule
-        # guard (the loop conditions establish it) and the trace call
-        # (absent by construction).  Traced and calendar-queue runs take
-        # the step() path and see the exact same (when, priority, seq,
-        # event) schedule entries.
-        inline = (
-            type(self).step is Environment.step
-            and self._trace is None
-            and self._cal is None
-        )
-        step = self.step
+        stop: Event | None = None
+        horizon: float | None = None
         if isinstance(until, Event):
             stop = until
-            if inline:
-                while stop._state != _PROCESSED and (fifo or queue):
-                    if fifo:
-                        if queue and queue[0] < fifo[0]:
-                            when, _priority, _seq, event = _heappop(queue)
-                        else:
-                            when, _priority, _seq, event = fifo_popleft()
-                    else:
-                        when, _priority, _seq, event = _heappop(queue)
-                    self._now = when
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    event._state = _PROCESSED
-                    for callback in callbacks:
-                        callback(event)
-                    if not event._ok and not event._defused:
-                        exc = event._value
-                        raise exc if isinstance(exc, BaseException) else (
-                            SimulationError(repr(exc))
-                        )
+        elif until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"run(until={horizon}) is in the past (now={self._now})"
+                )
+        # When step() is not overridden and no trace hook is installed,
+        # inline the step body into the drain loops: one Python method
+        # call per event is measurable at the millions-of-events scale
+        # of a deployment run.  The inlined bodies are identical to
+        # step() minus the empty-schedule guard (the loop conditions
+        # establish it) and the trace call (absent by construction).
+        can_inline = type(self).step is Environment.step and self._trace is None
+        while True:
+            if not can_inline:
+                done = self._step_drain(stop, horizon)
+            elif self._cal is not None:
+                done = self._drain_cal(stop, horizon)
+            elif stop is not None:
+                done = self._inline_event(stop)
+            elif horizon is not None:
+                done = self._inline_until(horizon)
             else:
-                while stop._state != _PROCESSED and not self._empty():
-                    step()
+                done = self._inline_all()
+            if done:
+                break
+        if stop is not None:
             if stop._state == _PENDING:
                 raise SimulationError(
                     "run(until=event): schedule drained but the event never fired"
@@ -727,61 +1044,268 @@ class Environment:
             if not stop._ok:
                 raise stop._value
             return stop._value
-        if until is not None:
-            horizon = float(until)
-            if horizon < self._now:
-                raise SimulationError(
-                    f"run(until={horizon}) is in the past (now={self._now})"
-                )
-            if inline:
-                # Now-bucket entries are always at the current time,
-                # which never exceeds an un-reached horizon, so only the
-                # heap front needs the horizon comparison.
-                while fifo or (queue and queue[0][0] <= horizon):
-                    if fifo:
-                        if queue and queue[0] < fifo[0]:
-                            when, _priority, _seq, event = _heappop(queue)
-                        else:
-                            when, _priority, _seq, event = fifo_popleft()
-                    else:
-                        when, _priority, _seq, event = _heappop(queue)
-                    self._now = when
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    event._state = _PROCESSED
-                    for callback in callbacks:
-                        callback(event)
-                    if not event._ok and not event._defused:
-                        exc = event._value
-                        raise exc if isinstance(exc, BaseException) else (
-                            SimulationError(repr(exc))
-                        )
-            else:
-                while not self._empty() and self.peek() <= horizon:
-                    step()
+        if horizon is not None:
             self._now = horizon
-            return None
-        if inline:
-            while fifo or queue:
-                if fifo:
-                    if queue and queue[0] < fifo[0]:
-                        when, _priority, _seq, event = _heappop(queue)
-                    else:
-                        when, _priority, _seq, event = fifo_popleft()
-                else:
-                    when, _priority, _seq, event = _heappop(queue)
-                self._now = when
-                callbacks = event.callbacks
-                event.callbacks = None
-                event._state = _PROCESSED
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event._defused:
-                    exc = event._value
-                    raise exc if isinstance(exc, BaseException) else (
-                        SimulationError(repr(exc))
-                    )
-        else:
-            while not self._empty():
-                step()
         return None
+
+    # -- drain loops -------------------------------------------------------
+    # Each returns True when its stop condition was reached (schedule
+    # drained / horizon passed / stop event processed) and False when the
+    # queue structure flipped (auto-mode migration) and run() must
+    # re-dispatch.  The three _inline_* variants duplicate one loop body
+    # on purpose: hoisting the per-variant condition into a shared loop
+    # costs a per-event check on the hottest path in the repository.
+
+    def _inline_all(self) -> bool:
+        queue = self._queue
+        fseq = self._fifo_seq
+        fev = self._fifo_ev
+        fseq_pop = fseq.popleft
+        fev_pop = fev.popleft
+        pool = self._pool
+        cal_up = self._cal_up
+        now = self._now
+        while fseq or queue:
+            if fseq:
+                if queue:
+                    head = queue[0]
+                    # The heap front wins only at the current time with
+                    # a beating priority or an earlier seq (now-bucket
+                    # entries are always (now, 1, seq)).
+                    if head[0] == now and (
+                        head[1] == 0 or (head[1] == 1 and head[2] < fseq[0])
+                    ):
+                        _w, _p, _s, event = _heappop(queue)
+                        head = None  # drop the tuple ref for the recycle guard
+                    else:
+                        fseq_pop()
+                        event = fev_pop()
+                else:
+                    fseq_pop()
+                    event = fev_pop()
+            else:
+                when, _p, _s, event = _heappop(queue)
+                self._now = now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._state = _PROCESSED
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                exc = event._value
+                raise exc if isinstance(exc, BaseException) else (
+                    SimulationError(repr(exc))
+                )
+            if (
+                type(event) is Timeout
+                and len(pool) < _POOL_MAX
+                and _getrefcount(event) == 2
+            ):
+                # Nothing else references this timeout: recycle it (and
+                # its callbacks list) into the freelist.  It keeps the
+                # _PROCESSED state, so stale triggers raise; reuse
+                # revalidates and bumps the generation counter.
+                callbacks.clear()
+                event.callbacks = callbacks
+                event._value = None
+                pool.append(event)
+            if len(queue) > cal_up:
+                self._upgrade_queue()
+                return False
+        return True
+
+    def _inline_until(self, horizon: float) -> bool:
+        queue = self._queue
+        fseq = self._fifo_seq
+        fev = self._fifo_ev
+        fseq_pop = fseq.popleft
+        fev_pop = fev.popleft
+        pool = self._pool
+        cal_up = self._cal_up
+        now = self._now
+        # Now-bucket entries are always at the current time, which never
+        # exceeds an un-reached horizon, so only the heap front needs the
+        # horizon comparison.
+        while fseq or (queue and queue[0][0] <= horizon):
+            if fseq:
+                if queue:
+                    head = queue[0]
+                    if head[0] == now and (
+                        head[1] == 0 or (head[1] == 1 and head[2] < fseq[0])
+                    ):
+                        _w, _p, _s, event = _heappop(queue)
+                        head = None
+                    else:
+                        fseq_pop()
+                        event = fev_pop()
+                else:
+                    fseq_pop()
+                    event = fev_pop()
+            else:
+                when, _p, _s, event = _heappop(queue)
+                self._now = now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._state = _PROCESSED
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                exc = event._value
+                raise exc if isinstance(exc, BaseException) else (
+                    SimulationError(repr(exc))
+                )
+            if (
+                type(event) is Timeout
+                and len(pool) < _POOL_MAX
+                and _getrefcount(event) == 2
+            ):
+                callbacks.clear()
+                event.callbacks = callbacks
+                event._value = None
+                pool.append(event)
+            if len(queue) > cal_up:
+                self._upgrade_queue()
+                return False
+        return True
+
+    def _inline_event(self, stop: Event) -> bool:
+        queue = self._queue
+        fseq = self._fifo_seq
+        fev = self._fifo_ev
+        fseq_pop = fseq.popleft
+        fev_pop = fev.popleft
+        pool = self._pool
+        cal_up = self._cal_up
+        now = self._now
+        while stop._state != _PROCESSED and (fseq or queue):
+            if fseq:
+                if queue:
+                    head = queue[0]
+                    if head[0] == now and (
+                        head[1] == 0 or (head[1] == 1 and head[2] < fseq[0])
+                    ):
+                        _w, _p, _s, event = _heappop(queue)
+                        head = None
+                    else:
+                        fseq_pop()
+                        event = fev_pop()
+                else:
+                    fseq_pop()
+                    event = fev_pop()
+            else:
+                when, _p, _s, event = _heappop(queue)
+                self._now = now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._state = _PROCESSED
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                exc = event._value
+                raise exc if isinstance(exc, BaseException) else (
+                    SimulationError(repr(exc))
+                )
+            if (
+                type(event) is Timeout
+                and len(pool) < _POOL_MAX
+                and _getrefcount(event) == 2
+            ):
+                callbacks.clear()
+                event.callbacks = callbacks
+                event._value = None
+                pool.append(event)
+            if len(queue) > cal_up:
+                self._upgrade_queue()
+                return False
+        return True
+
+    def _drain_cal(self, stop: Event | None, horizon: float | None) -> bool:
+        """Calendar-active fast path: inlined three-level pop + step body.
+
+        Used for both the fixed ``queue="calendar"`` mode and the
+        post-upgrade phase of auto mode (where it also watches for the
+        downgrade threshold).  One loop serves all three ``until``
+        variants -- the per-event cost of the two extra checks is noise
+        next to the calendar pop itself.
+        """
+        queue = self._queue
+        fseq = self._fifo_seq
+        fev = self._fifo_ev
+        fseq_pop = fseq.popleft
+        fev_pop = fev.popleft
+        pool = self._pool
+        cal = self._cal
+        cal_down = self._cal_down
+        while stop is None or stop._state != _PROCESSED:
+            best = (self._now, 1, fseq[0]) if fseq else None
+            src = 0
+            if queue:
+                head = queue[0]
+                if best is None or head < best:
+                    best = head
+                    src = 1
+            front = cal.front
+            if front is not None and (best is None or front < best):
+                best = front
+                src = 2
+            if best is None:
+                return True
+            if horizon is not None and best[0] > horizon:
+                return True
+            if src == 0:
+                fseq_pop()
+                event = fev_pop()
+            elif src == 1:
+                when, _p, _s, event = _heappop(queue)
+                self._now = when
+            else:
+                when, _p, _s, event = cal.pop()
+                self._now = when
+            # Release entry refs so the recycle guard sees the true count.
+            best = head = front = None
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._state = _PROCESSED
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                exc = event._value
+                raise exc if isinstance(exc, BaseException) else (
+                    SimulationError(repr(exc))
+                )
+            if (
+                type(event) is Timeout
+                and len(pool) < _POOL_MAX
+                and _getrefcount(event) == 2
+            ):
+                callbacks.clear()
+                event.callbacks = callbacks
+                event._value = None
+                pool.append(event)
+            if cal._len < cal_down:
+                self._downgrade_queue()
+                return False
+        return True
+
+    def _step_drain(self, stop: Event | None, horizon: float | None) -> bool:
+        """Generic drain via :meth:`step` -- trace hook installed or
+        ``step`` overridden.  Still performs auto-mode migrations."""
+        step = self.step
+        cal_up = self._cal_up
+        cal_down = self._cal_down
+        while True:
+            if stop is not None and stop._state == _PROCESSED:
+                return True
+            if self._empty():
+                return True
+            if horizon is not None and self.peek() > horizon:
+                return True
+            step()
+            cal = self._cal
+            if cal is None:
+                if len(self._queue) > cal_up:
+                    self._upgrade_queue()
+                    return False
+            elif cal._len < cal_down:
+                self._downgrade_queue()
+                return False

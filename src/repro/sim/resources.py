@@ -107,7 +107,8 @@ class Resource:
             request._state = _TRIGGERED
             env = self.env
             env._seq = seq = env._seq + 1
-            env._fifo.append((env._now, 1, seq, request))
+            env._fseq_app(seq)
+            env._fev_app(request)
         else:
             self._seq += 1
             _heappush(self._waiters, (priority, self._seq, request))
@@ -124,7 +125,8 @@ class Resource:
             request._state = _TRIGGERED
             env = request.env
             env._seq = seq = env._seq + 1
-            env._fifo.append((env._now, 1, seq, request))
+            env._fseq_app(seq)
+            env._fev_app(request)
             return True
         return False
 
@@ -244,7 +246,8 @@ class Store:
         putters = self._putters
         capacity = self.capacity
         env = self.env
-        fifo_append = env._fifo.append
+        fseq_app = env._fseq_app
+        fev_app = env._fev_app
         progressed = True
         while progressed:
             progressed = False
@@ -256,7 +259,8 @@ class Store:
                 # still pending; _ok is True from construction).
                 put._state = _TRIGGERED
                 env._seq = seq = env._seq + 1
-                fifo_append((env._now, 1, seq, put))
+                fseq_app(seq)
+                fev_app(put)
                 progressed = True
             # Hand buffered items to waiting getters.
             while getters and items:
@@ -264,7 +268,8 @@ class Store:
                 get._value = self._do_get()
                 get._state = _TRIGGERED
                 env._seq = seq = env._seq + 1
-                fifo_append((env._now, 1, seq, get))
+                fseq_app(seq)
+                fev_app(get)
                 progressed = True
 
 

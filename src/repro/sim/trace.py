@@ -18,6 +18,16 @@ Both hooks observe only what the scheduler already computed -- they never
 touch simulation state, so a traced run produces exactly the timings an
 untraced run would.
 
+Both hooks are also on the per-event hot path of every traced run, so
+they avoid per-event object churn: the recorder stores the three numeric
+columns in flat ``array`` buffers (amortised append, no tuple per event)
+and interns one name string per event *type*; the digest packs events
+into a reusable ``bytearray`` chunk and folds it into the hash every
+``_CHUNK_EVENTS`` events, with encoded type names cached per type.  The
+byte stream each exposes (``as_bytes`` / the hashed stream) is identical
+to the original tuple-per-event implementation, so recorded traces and
+archived digests stay comparable across versions.
+
 Typical experiment usage::
 
     digest = RunDigest()
@@ -30,6 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+from array import array
 from pathlib import Path
 
 from repro.sim.engine import Event
@@ -38,25 +49,55 @@ __all__ = ["EventTraceRecorder", "RunDigest", "write_digest"]
 
 _PACK = struct.Struct("<dqq").pack
 
+#: Events buffered per digest chunk before folding into the hash.  Each
+#: event contributes 24 packed bytes plus a short type name, so a chunk
+#: stays well under a page while cutting hash-update calls ~256x.
+_CHUNK_EVENTS = 256
+
 
 class EventTraceRecorder:
-    """Trace hook recording every scheduled event as a plain tuple.
+    """Trace hook recording every scheduled event.
 
     The recorded entries are ``(when, priority, seq, type(event).__name__)``
     -- everything that determines scheduling order plus the event's kind.
     Two runs of the same seeded simulation must produce equal traces;
     :meth:`as_bytes` gives the canonical byte form for comparison.
+
+    Entries are stored column-wise (three numeric ``array`` buffers plus
+    an interned-name list) rather than as one tuple per event; the
+    :attr:`entries` property materialises the tuple view on demand for
+    tests and ad-hoc inspection.
     """
 
+    __slots__ = ("_when", "_priority", "_seq", "_names", "_interned")
+
     def __init__(self) -> None:
-        self.entries: list[tuple[float, int, int, str]] = []
-        self._append = self.entries.append
+        self._when = array("d")
+        self._priority = array("q")
+        self._seq = array("q")
+        self._names: list[str] = []
+        # One entry per event *type* seen; maps the type object to its
+        # __name__ so the hot path never re-reads the attribute.
+        self._interned: dict[type, str] = {}
 
     def __call__(self, when: float, priority: int, seq: int, event: Event) -> None:
-        self._append((when, priority, seq, type(event).__name__))
+        self._when.append(when)
+        self._priority.append(priority)
+        self._seq.append(seq)
+        cls = event.__class__
+        interned = self._interned
+        name = interned.get(cls)
+        if name is None:
+            name = interned[cls] = cls.__name__
+        self._names.append(name)
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return len(self._seq)
+
+    @property
+    def entries(self) -> list[tuple[float, int, int, str]]:
+        """Tuple view ``[(when, priority, seq, type_name), ...]`` of the trace."""
+        return list(zip(self._when, self._priority, self._seq, self._names))
 
     def as_bytes(self) -> bytes:
         """Canonical byte encoding of the trace (for equality asserts)."""
@@ -73,18 +114,41 @@ class RunDigest:
     digests iff their event traces are identical.
     """
 
+    __slots__ = ("_hash", "_buf", "_pending", "_name_bytes", "events")
+
     def __init__(self) -> None:
         self._hash = hashlib.blake2b(digest_size=16)
+        self._buf = bytearray()
+        self._pending = 0
+        # Encoded type names, cached per event type (ascii encode once).
+        self._name_bytes: dict[type, bytes] = {}
         self.events = 0
 
     def __call__(self, when: float, priority: int, seq: int, event: Event) -> None:
-        update = self._hash.update
-        update(_PACK(when, priority, seq))
-        update(type(event).__name__.encode("ascii"))
+        cls = event.__class__
+        names = self._name_bytes
+        name = names.get(cls)
+        if name is None:
+            name = names[cls] = cls.__name__.encode("ascii")
+        buf = self._buf
+        buf += _PACK(when, priority, seq)
+        buf += name
         self.events += 1
+        pending = self._pending = self._pending + 1
+        if pending >= _CHUNK_EVENTS:
+            self._hash.update(buf)
+            del buf[:]
+            self._pending = 0
+
+    def _flush(self) -> None:
+        if self._pending:
+            self._hash.update(self._buf)
+            del self._buf[:]
+            self._pending = 0
 
     def hexdigest(self) -> str:
         """Hex checksum of the trace so far (does not finalise the hook)."""
+        self._flush()
         return self._hash.copy().hexdigest()
 
 

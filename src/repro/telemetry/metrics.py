@@ -14,25 +14,114 @@ matching the paper's once-per-minute sampling).  Three metric kinds:
 Queries aggregate over window ranges, mirroring the PromQL-style queries
 Ursa's controllers issue (latency percentile over the last N minutes,
 request rate, mean CPU utilisation).
+
+Two hot-path affordances (see docs/performance.md):
+
+* **Interned series handles.**  :meth:`MetricsHub.latency_handle` /
+  :meth:`MetricsHub.counter_handle` resolve the name/label lookup and
+  registry check once and return a small bound writer
+  (:class:`LatencyHandle` / :class:`CounterHandle`); per-observation
+  writes through a handle touch only the per-window dict.  Handles and
+  the string-keyed write methods share the same underlying series, so
+  queries see both.
+* **Fixed-histogram latency store.**  ``latency_store="fixed"`` makes
+  latency series accumulate into bounded
+  :class:`~repro.stats.histogram.FixedHistogram` buckets instead of
+  sample-keeping :class:`~repro.stats.distributions.EmpiricalDistribution`
+  -- O(bins) memory per window regardless of request volume, with the
+  histogram's documented ~0.45% quantile error bound.  The default stays
+  ``"empirical"`` (exact percentiles).
 """
 
 from __future__ import annotations
 
 import math
 import warnings
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping
+from math import floor as _floor
 
 from repro.errors import TelemetryError
 from repro.stats.distributions import EmpiricalDistribution
+from repro.stats.histogram import FixedHistogram
 from repro.telemetry.registry import (
     DEFAULT_REGISTRY,
     MetricRegistry,
     UnregisteredMetricWarning,
 )
 
-__all__ = ["MetricsHub", "LabelSet", "labels_key"]
+__all__ = [
+    "CounterHandle",
+    "LabelSet",
+    "LatencyDist",
+    "LatencyHandle",
+    "MetricsHub",
+    "labels_key",
+]
 
 LabelSet = tuple[tuple[str, str], ...]
+
+#: A latency series aggregate: exact samples or a bounded histogram,
+#: depending on the hub's ``latency_store``.  Both answer ``merge`` /
+#: ``percentile`` / ``fraction_above`` / ``count`` with the same duck
+#: interface.
+LatencyDist = EmpiricalDistribution | FixedHistogram
+
+
+class LatencyHandle:
+    """Interned writer for one (metric, label-set) latency series.
+
+    Created by :meth:`MetricsHub.latency_handle`; holds the resolved
+    per-window dict so :meth:`record` skips the name/label lookups and
+    the (first-write) registry check entirely.
+    """
+
+    __slots__ = ("_clock", "_window_s", "_series", "_factory")
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        window_s: float,
+        series: dict[int, LatencyDist],
+        factory: Callable[[], LatencyDist],
+    ) -> None:
+        self._clock = clock
+        self._window_s = window_s
+        self._series = series
+        self._factory = factory
+
+    def record(self, value: float) -> None:
+        """Record one latency observation (same as hub.record_latency)."""
+        # Same window arithmetic as MetricsHub._window, inlined.
+        window = int(_floor(self._clock() / self._window_s))
+        series = self._series
+        dist = series.get(window)
+        if dist is None:
+            dist = series[window] = self._factory()
+        dist.add(value)
+
+
+class CounterHandle:
+    """Interned writer for one (metric, label-set) counter series."""
+
+    __slots__ = ("_clock", "_window_s", "_series")
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        window_s: float,
+        series: dict[int, float],
+    ) -> None:
+        self._clock = clock
+        self._window_s = window_s
+        self._series = series
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the counter (same as hub.inc_counter)."""
+        if amount < 0:
+            raise TelemetryError(f"counter increment must be >= 0, got {amount}")
+        window = int(_floor(self._clock() / self._window_s))
+        series = self._series
+        series[window] = series.get(window, 0.0) + amount
 
 
 def labels_key(labels: Mapping[str, str] | LabelSet | None) -> LabelSet:
@@ -70,15 +159,24 @@ class MetricsHub:
         window_s: float = 60.0,
         registry: MetricRegistry | None = DEFAULT_REGISTRY,
         strict: bool = False,
+        latency_store: str = "empirical",
     ) -> None:
         if window_s <= 0:
             raise TelemetryError(f"window must be > 0, got {window_s}")
+        if latency_store not in ("empirical", "fixed"):
+            raise TelemetryError(
+                f"latency_store must be 'empirical' or 'fixed', got {latency_store!r}"
+            )
         self._clock = clock
         self.window_s = float(window_s)
         self.registry = registry
         self.strict = bool(strict)
+        self.latency_store = latency_store
+        self._latency_factory: Callable[[], LatencyDist] = (
+            EmpiricalDistribution if latency_store == "empirical" else FixedHistogram
+        )
         # metric name -> labels -> window index -> aggregate
-        self._latency: dict[str, dict[LabelSet, dict[int, EmpiricalDistribution]]] = {}
+        self._latency: dict[str, dict[LabelSet, dict[int, LatencyDist]]] = {}
         self._counters: dict[str, dict[LabelSet, dict[int, float]]] = {}
         self._gauges: dict[str, dict[LabelSet, dict[int, list[float]]]] = {}
 
@@ -98,58 +196,85 @@ class MetricsHub:
         t = self._clock() if at is None else at
         return int(math.floor(t / self.window_s))
 
+    def _series(self, kind: str, table: dict, name: str, key: LabelSet) -> dict:
+        """Get-or-create the per-window dict for one (name, labels) series.
+
+        Registry validation runs exactly when the series is created --
+        identical timing to the pre-handle first-write check.
+        """
+        by_labels = table.get(name)
+        if by_labels is None:
+            by_labels = table[name] = {}
+        series = by_labels.get(key)
+        if series is None:
+            self._check(kind, name, key)
+            series = by_labels[key] = {}
+        return series
+
     def record_latency(
         self,
         name: str,
         value: float,
-        labels: Mapping[str, str] | None = None,
+        labels: Mapping[str, str] | LabelSet | None = None,
     ) -> None:
         """Record one latency observation for metric ``name``."""
         window = self._window()
-        key = labels_key(labels)
-        table = self._latency.setdefault(name, {})
-        series = table.get(key)
-        if series is None:
-            self._check("latency", name, key)
-            series = table[key] = {}
+        series = self._series("latency", self._latency, name, labels_key(labels))
         dist = series.get(window)
         if dist is None:
-            dist = series[window] = EmpiricalDistribution()
+            dist = series[window] = self._latency_factory()
         dist.add(value)
 
     def inc_counter(
         self,
         name: str,
         amount: float = 1.0,
-        labels: Mapping[str, str] | None = None,
+        labels: Mapping[str, str] | LabelSet | None = None,
     ) -> None:
         """Increment counter ``name`` by ``amount`` in the current window."""
         if amount < 0:
             raise TelemetryError(f"counter increment must be >= 0, got {amount}")
         window = self._window()
-        key = labels_key(labels)
-        table = self._counters.setdefault(name, {})
-        series = table.get(key)
-        if series is None:
-            self._check("counter", name, key)
-            series = table[key] = {}
+        series = self._series("counter", self._counters, name, labels_key(labels))
         series[window] = series.get(window, 0.0) + amount
 
     def observe_gauge(
         self,
         name: str,
         value: float,
-        labels: Mapping[str, str] | None = None,
+        labels: Mapping[str, str] | LabelSet | None = None,
     ) -> None:
         """Record one point-in-time gauge sample."""
         window = self._window()
-        key = labels_key(labels)
-        table = self._gauges.setdefault(name, {})
-        series = table.get(key)
-        if series is None:
-            self._check("gauge", name, key)
-            series = table[key] = {}
-        series.setdefault(window, []).append(value)
+        series = self._series("gauge", self._gauges, name, labels_key(labels))
+        samples = series.get(window)
+        if samples is None:
+            samples = series[window] = []
+        samples.append(value)
+
+    # -- interned handles -------------------------------------------------
+    def latency_handle(
+        self,
+        name: str,
+        labels: Mapping[str, str] | LabelSet | None = None,
+    ) -> LatencyHandle:
+        """Interned writer for one latency series (hot-path callers).
+
+        Resolves the name/label lookup and registry check once; the
+        returned :class:`LatencyHandle` writes into the same series that
+        :meth:`record_latency` and the query methods use.
+        """
+        series = self._series("latency", self._latency, name, labels_key(labels))
+        return LatencyHandle(self._clock, self.window_s, series, self._latency_factory)
+
+    def counter_handle(
+        self,
+        name: str,
+        labels: Mapping[str, str] | LabelSet | None = None,
+    ) -> CounterHandle:
+        """Interned writer for one counter series (hot-path callers)."""
+        series = self._series("counter", self._counters, name, labels_key(labels))
+        return CounterHandle(self._clock, self.window_s, series)
 
     # -- reads ------------------------------------------------------------
     def _window_range(self, t0: float, t1: float) -> range:
@@ -164,11 +289,11 @@ class MetricsHub:
         name: str,
         t0: float,
         t1: float,
-        labels: Mapping[str, str] | None = None,
-    ) -> EmpiricalDistribution:
+        labels: Mapping[str, str] | LabelSet | None = None,
+    ) -> LatencyDist:
         """Pooled latency distribution for ``name`` over ``[t0, t1)``."""
         series = self._latency.get(name, {}).get(labels_key(labels), {})
-        pooled = EmpiricalDistribution()
+        pooled = self._latency_factory()
         for window in self._window_range(t0, t1):
             dist = series.get(window)
             if dist is not None:
@@ -181,7 +306,7 @@ class MetricsHub:
         q: float,
         t0: float,
         t1: float,
-        labels: Mapping[str, str] | None = None,
+        labels: Mapping[str, str] | LabelSet | None = None,
         default: float | None = None,
     ) -> float:
         """``q``-th percentile of ``name`` over ``[t0, t1)``.
@@ -204,7 +329,7 @@ class MetricsHub:
         name: str,
         t0: float,
         t1: float,
-        labels: Mapping[str, str] | None = None,
+        labels: Mapping[str, str] | LabelSet | None = None,
     ) -> float:
         """Sum of counter increments over ``[t0, t1)``.
 
@@ -235,7 +360,7 @@ class MetricsHub:
         name: str,
         t0: float,
         t1: float,
-        labels: Mapping[str, str] | None = None,
+        labels: Mapping[str, str] | LabelSet | None = None,
     ) -> float:
         """Average per-second rate of a counter over ``[t0, t1)``."""
         if t1 <= t0:
@@ -247,7 +372,7 @@ class MetricsHub:
         name: str,
         t0: float,
         t1: float,
-        labels: Mapping[str, str] | None = None,
+        labels: Mapping[str, str] | LabelSet | None = None,
         default: float | None = None,
     ) -> float:
         """Mean of gauge samples over ``[t0, t1)``."""
@@ -269,7 +394,7 @@ class MetricsHub:
         name: str,
         t0: float,
         t1: float,
-        labels: Mapping[str, str] | None = None,
+        labels: Mapping[str, str] | LabelSet | None = None,
     ) -> list[tuple[float, float]]:
         """Per-window (window start time, mean value) pairs over ``[t0, t1)``."""
         series = self._gauges.get(name, {}).get(labels_key(labels), {})

@@ -73,7 +73,7 @@ from repro.errors import TelemetryError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.messages import Request
-    from repro.telemetry.metrics import MetricsHub
+    from repro.telemetry.metrics import CounterHandle, MetricsHub
 
 __all__ = [
     "CriticalPathSummary",
@@ -491,6 +491,9 @@ class Tracer:
         self.hub = hub
         self.validate = bool(validate)
         self._counters: dict[str, int] = {}
+        #: Per-class interned counter writers, so a sampled request does
+        #: not rebuild the labels dict / redo the series lookup.
+        self._sampled_handles: dict[str, "CounterHandle"] = {}
         self._next_trace_id = 0
         self.finished: list[Trace] = []
         self.dropped = 0
@@ -518,7 +521,12 @@ class Tracer:
         trace = Trace(self._next_trace_id, cls, request.arrival_time)
         self._next_trace_id += 1
         if self.hub is not None:
-            self.hub.inc_counter("traces_sampled_total", labels={"request": cls})
+            handle = self._sampled_handles.get(cls)
+            if handle is None:
+                handle = self._sampled_handles[cls] = self.hub.counter_handle(
+                    "traces_sampled_total", labels={"request": cls}
+                )
+            handle.inc()
         return trace.begin_root(service, mode)
 
     def finish(self, trace: Trace, completion: float) -> None:

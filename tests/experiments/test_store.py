@@ -175,3 +175,85 @@ def test_deployment_summaries_shape():
         assert "count" in stats
         if stats["count"]:
             assert {"mean_s", "p50_s", "p95_s", "p99_s"} <= set(stats)
+
+
+# -- cross-scale layout ------------------------------------------------
+
+
+def test_full_scale_routes_to_subdirectory():
+    save_result("figXX", "quick render", _meta())
+    side = save_result("figXX", "full render", _meta(scale="full"))
+    assert side == store.scale_dir("full") / "figXX.meta.json"
+    assert side.parent == store.results_dir() / "full"
+    # The quick output at the root is untouched.
+    assert (store.results_dir() / "figXX.txt").read_text() == "quick render\n"
+    assert (store.results_dir() / "full" / "figXX.txt").read_text() == (
+        "full render\n"
+    )
+    assert load_sidecar("figXX")["scale"] == "quick"
+    assert load_sidecar("figXX", "full")["scale"] == "full"
+    assert check_results() == []
+
+
+def test_scales_have_independent_mismatch_detection():
+    save_result("figXX", "quick render", _meta())
+    save_result("figXX", "full render", _meta(scale="full"))
+    # Same experiment, different scale: no identity clash across dirs...
+    save_result("figXX", "quick render", _meta())
+    # ...but within one scale the usual guarantees hold.
+    with pytest.raises(ResultsMismatchError, match="text changed"):
+        save_result("figXX", "different full render", _meta(scale="full"))
+
+
+def test_check_results_covers_present_scales():
+    save_result("figXX", "quick render", _meta())
+    save_result("figXX", "full render", _meta(scale="full"))
+    txt = store.results_dir() / "full" / "figXX.txt"
+    txt.write_text("tampered\n")
+    problems = check_results()
+    assert len(problems) == 1
+    assert problems[0].startswith("full/figXX:")
+    assert store.present_scales() == ["quick", "full"]
+
+
+def test_scale_qualified_names():
+    save_result("figXX", "full render", _meta(scale="full"))
+    assert check_results(["full/figXX"]) == []
+    missing = check_results(["full/figYY"])
+    assert missing == ["full/figYY: results/full/figYY.txt does not exist"]
+
+
+def test_misplaced_sidecar_is_flagged():
+    save_result("figXX", "full render", _meta(scale="full"))
+    # Copy the full output (txt + sidecar) to the quick root: internally
+    # consistent, but it sits in the wrong directory.
+    root = store.results_dir()
+    for suffix in (".txt", ".meta.json"):
+        (root / f"figXX{suffix}").write_bytes(
+            (root / "full" / f"figXX{suffix}").read_bytes()
+        )
+    problems = check_results()
+    assert len(problems) == 1
+    assert "records scale 'full'" in problems[0]
+
+
+def test_traces_dir_is_not_a_scale():
+    (store.results_dir() / "traces").mkdir()
+    (store.results_dir() / "traces" / "run.jsonl").write_text("{}\n")
+    save_result("figXX", "quick render", _meta())
+    assert store.present_scales() == ["quick"]
+    assert check_results() == []
+
+
+def test_invalid_scale_names_rejected():
+    for bad in ("..", "full/extra", "traces"):
+        with pytest.raises(ValueError, match="invalid scale name"):
+            store.scale_dir(bad)
+
+
+def test_cli_reports_scales(capsys):
+    save_result("figXX", "quick render", _meta())
+    save_result("figXX", "full render", _meta(scale="full"))
+    assert store.main([]) == 0
+    out = capsys.readouterr().out
+    assert "2 result(s) across 2 scale(s) [quick, full]" in out

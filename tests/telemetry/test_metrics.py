@@ -112,3 +112,84 @@ def test_label_isolation(hub, clock):
     hub.record_latency("lat", 100.0, {"service": "b"})
     dist = hub.latency_distribution("lat", 0, 60, {"service": "a"})
     assert dist.samples() == [1.0]
+
+
+# -- interned handles and the fixed latency store ----------------------
+
+
+def test_counter_handle_shares_series_with_string_path(hub, clock):
+    labels = {"request": "post"}
+    handle = hub.counter_handle("requests_total", labels)
+    clock.now = 5.0
+    handle.inc()
+    hub.inc_counter("requests_total", 2, labels)  # string path, same series
+    clock.now = 65.0
+    handle.inc(4)
+    assert hub.counter_total("requests_total", 0, 60, labels) == 3
+    assert hub.counter_total("requests_total", 0, 120, labels) == 7
+
+
+def test_latency_handle_shares_series_with_string_path(hub, clock):
+    labels = {"service": "post"}
+    handle = hub.latency_handle("service_latency", labels)
+    clock.now = 10.0
+    handle.record(1.0)
+    hub.record_latency("service_latency", 3.0, labels)
+    clock.now = 70.0
+    handle.record(9.0)
+    first = hub.latency_distribution("service_latency", 0, 60, labels)
+    assert sorted(first.samples()) == [1.0, 3.0]
+    assert hub.latency_distribution("service_latency", 0, 120, labels).count == 3
+
+
+def test_counter_handle_rejects_negative(hub):
+    handle = hub.counter_handle("requests_total")
+    with pytest.raises(TelemetryError):
+        handle.inc(-1)
+
+
+def test_handle_creation_runs_registry_check(clock):
+    from repro.telemetry.registry import DEFAULT_REGISTRY
+
+    strict = MetricsHub(clock, registry=DEFAULT_REGISTRY, strict=True)
+    with pytest.raises(TelemetryError):
+        strict.counter_handle("definitely_not_a_registered_metric")
+    with pytest.raises(TelemetryError):
+        strict.latency_handle("definitely_not_a_registered_metric")
+
+
+def test_labels_accept_canonical_tuples(hub, clock):
+    """Pre-canonicalized LabelSet tuples skip re-keying but hit the
+    same series as dict labels."""
+    key = labels_key({"service": "post"})
+    clock.now = 5.0
+    hub.inc_counter("requests_total", 1, key)
+    hub.inc_counter("requests_total", 1, {"service": "post"})
+    assert hub.counter_total("requests_total", 0, 60, key) == 2
+    handle = hub.counter_handle("requests_total", key)
+    handle.inc()
+    assert hub.counter_total("requests_total", 0, 60, {"service": "post"}) == 3
+
+
+def test_fixed_latency_store(clock):
+    from repro.stats.histogram import FixedHistogram
+
+    hub = MetricsHub(clock, window_s=60.0, registry=None, latency_store="fixed")
+    labels = {"service": "post"}
+    clock.now = 10.0
+    hub.record_latency("service_latency", 0.010, labels)
+    handle = hub.latency_handle("service_latency", labels)
+    handle.record(0.020)
+    clock.now = 70.0
+    handle.record(0.030)
+    pooled = hub.latency_distribution("service_latency", 0, 120, labels)
+    assert isinstance(pooled, FixedHistogram)
+    assert pooled.count == 3
+    assert hub.latency_percentile(
+        "service_latency", 50, 0, 120, labels
+    ) == pytest.approx(0.020, rel=0.15)
+
+
+def test_invalid_latency_store(clock):
+    with pytest.raises(TelemetryError):
+        MetricsHub(clock, latency_store="ring-buffer")
