@@ -1,6 +1,6 @@
 # Convenience targets for the Ursa reproduction.
 
-.PHONY: install test test-par sanitize lint typecheck bench bench-full perf perf-check clean-cache results results-check loc
+.PHONY: install test test-par sanitize lint typecheck bench bench-full perf perf-check clean-cache report results results-check loc
 
 install:
 	pip install -e .
@@ -57,6 +57,12 @@ bench-full:
 # Drop cached exploration data and trained baselines.
 clean-cache:
 	rm -rf .repro_cache
+
+# Merged run dashboard over the fig 11/12 grid: SLO alert timelines,
+# error-budget burn, budget audit, text + standalone HTML under
+# results/ (docs/observability.md §4).
+report:
+	PYTHONPATH=src python -m repro fig11-12 --report
 
 results:
 	@ls -1 results/ 2>/dev/null || echo "run 'make bench' first"

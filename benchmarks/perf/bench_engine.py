@@ -18,6 +18,12 @@ adaptive ``queue="auto"`` default at a 20k pending-timer population --
 the regime where the calendar queue's O(1) buckets overtake heapq's
 C-implemented O(log n) sift.
 
+A ``slo_monitor_churn`` probe (also outside the composite) drives the
+application completion hook with a deterministic latency pattern, SLO
+monitor attached vs detached, to bound the observer overhead of
+:class:`repro.telemetry.slo.SLOMonitor` -- and to pin that the
+monitor-off path costs nothing beyond the empty-listener guard.
+
 An allocation probe re-runs each composite workload under ``tracemalloc``
 and reports peak traced bytes per event plus garbage-collector collection
 counts, so allocator regressions in the event core are caught by the same
@@ -56,6 +62,7 @@ from pathlib import Path
 
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource, Store
+from repro.telemetry.slo import SLOMonitor, SLOSpec
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 OUTPUT = REPO_ROOT / "BENCH_engine.json"
@@ -256,6 +263,53 @@ def bench_calendar_queue(
     }
 
 
+def _slo_probe(n_requests: int, with_monitor: bool) -> float:
+    """One timed completion-churn run, returning completions/sec.
+
+    Mirrors the topology's completion hook exactly: the monitor-off path
+    is the same empty-listener-list guard ``_on_complete`` takes when no
+    :class:`SLOMonitor` is attached, so its cost *is* the cost a run
+    without a monitor pays (analogous to ``Environment(trace=None)``).
+    Latencies are a fixed multiplicative-hash pattern -- deterministic,
+    spread across good and bad relative to the 100 ms target -- so both
+    modes fold byte-identical observations.
+    """
+    classes = ("read", "write")
+    now = 0.0
+    listeners: list = []
+    if with_monitor:
+        specs = tuple(SLOSpec(cls, target_s=0.1) for cls in classes)
+        monitor = SLOMonitor(specs, clock=lambda: now)
+        listeners.append(monitor.observe)
+    start = time.perf_counter()
+    for i in range(n_requests):
+        now += 0.001
+        latency = 0.02 + 0.18 * ((i * 2654435761) % 97) / 97.0
+        request_class = classes[i & 1]
+        if listeners:
+            for listener in listeners:
+                listener(request_class, latency)
+    elapsed = time.perf_counter() - start
+    return n_requests / elapsed
+
+
+def bench_slo_monitor(repeats: int = 3, n_requests: int = 200_000) -> dict:
+    """Best-of-``repeats`` completion churn with the SLO monitor on vs off."""
+    rates = {}
+    for mode, with_monitor in (("off", False), ("on", True)):
+        best = 0.0
+        for _ in range(repeats):
+            best = max(best, _slo_probe(n_requests, with_monitor))
+        rates[mode] = round(best, 1)
+    return {
+        "workload": "slo_monitor_churn",
+        "completions": n_requests,
+        "monitor_off_completions_per_sec": rates["off"],
+        "monitor_on_completions_per_sec": rates["on"],
+        "monitor_overhead_fraction": round(1.0 - rates["on"] / rates["off"], 4),
+    }
+
+
 def measure_allocations(
     kwargs_by_name: dict[str, dict[str, int]] | None = None,
 ) -> dict:
@@ -371,6 +425,7 @@ def main() -> int:
         # never write BENCH_engine.json (the numbers are meaningless).
         current = run_benchmark(repeats=repeats, kwargs_by_name=SMOKE_KWARGS)
         queue_probe = bench_calendar_queue(repeats=repeats, n_procs=200)
+        slo_probe = bench_slo_monitor(repeats=repeats, n_requests=2_000)
         allocations = measure_allocations(SMOKE_KWARGS)
         print(
             json.dumps(
@@ -378,6 +433,7 @@ def main() -> int:
                     "smoke": True,
                     "composite_events": current["composite"]["events"],
                     "queue_probe_events": queue_probe["pending_timers"],
+                    "slo_probe_completions": slo_probe["completions"],
                     "allocations": allocations,
                 },
                 indent=2,
@@ -400,6 +456,7 @@ def main() -> int:
         "calendar_queue_wide": bench_calendar_queue(
             repeats=repeats, n_procs=100_000, isolate=True
         ),
+        "slo_monitor": bench_slo_monitor(repeats=repeats),
         "allocations": measure_allocations(),
         "speedup_vs_baseline": {
             name: round(

@@ -14,8 +14,8 @@ applies to ``benchmarks/perf/``: its probes time the *kernel itself*
 internals the strict rules protect -- they assert exact clock equality
 (SIM006 is the property under test), build minimal acquire-only
 processes to probe the resource primitives (SIM005), and record ad-hoc
-metric names outside the registry (TEL001) -- so those three rules are
-allowlisted there and everything else stays on.  The lint fixtures under
+metric/alert names outside the registries (TEL001/TEL002) -- so those
+rules are allowlisted there and everything else stays on.  The lint fixtures under
 ``tests/analysis/fixtures/`` are *deliberate* violations and are
 excluded from linting entirely.
 
@@ -72,9 +72,10 @@ PERF_BENCH_ALLOWLIST = frozenset({"SIM001"})
 
 #: Rules disabled for ``tests/``: exact-clock assertions (SIM006) are
 #: the determinism property under test, minimal acquire-only processes
-#: (SIM005) probe the resource primitives themselves, and ad-hoc metric
-#: names (TEL001) keep unit tests independent of the registry.
-TESTS_ALLOWLIST = frozenset({"SIM005", "SIM006", "TEL001"})
+#: (SIM005) probe the resource primitives themselves, and ad-hoc metric/
+#: alert names (TEL001/TEL002) keep unit tests independent of the
+#: registries.
+TESTS_ALLOWLIST = frozenset({"SIM005", "SIM006", "TEL001", "TEL002"})
 
 
 @dataclass(frozen=True)

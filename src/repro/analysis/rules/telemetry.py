@@ -10,6 +10,12 @@ method -- directly or through a module-level string constant (the
 matches the method, label keys declared).  Names built dynamically are
 left to the runtime check, which every hub in the tree now runs in
 strict mode.
+
+TEL002 is the same contract for alert series: any string literal passed
+as the ``name`` of an :class:`~repro.telemetry.slo.Alert` construction
+(or to ``SLOMonitor._emit``) must be declared in
+:data:`~repro.telemetry.registry.ALERT_REGISTRY`; the monitor's emit
+path is the runtime twin.
 """
 
 from __future__ import annotations
@@ -17,9 +23,9 @@ from __future__ import annotations
 import ast
 
 from repro.analysis.core import Rule, register
-from repro.telemetry.registry import DEFAULT_REGISTRY
+from repro.telemetry.registry import ALERT_REGISTRY, DEFAULT_REGISTRY
 
-__all__ = ["UnregisteredMetricRule"]
+__all__ = ["UnregisteredAlertRule", "UnregisteredMetricRule"]
 
 #: Hub write method -> the metric kind it records.  The handle factories
 #: (``latency_handle``/``counter_handle``) intern a series for later
@@ -163,3 +169,89 @@ class UnregisteredMetricRule(Rule):
                 f"metric {name!r} written with undeclared label keys "
                 f"{extra}; declared: {sorted(spec.labels)}",
             )
+
+
+#: Callables whose first (or ``name=``) argument is an alert series name.
+#: ``Alert`` matches both the bare class name and ``slo.Alert``-style
+#: attribute access; ``_emit`` is the monitor's internal emit path.
+_ALERT_CALLABLES = frozenset({"Alert", "_emit"})
+
+
+@register
+class UnregisteredAlertRule(Rule):
+    """Flag alert-name literals the alert registry does not declare.
+
+    The SLO monitor raises on an undeclared alert name at emit time, but
+    an alert that only fires under budget exhaustion may never fire in
+    CI -- the same blind spot TEL001 closes for metric names.  Any
+    string literal (or module-level constant) passed as the name of an
+    ``Alert(...)`` construction must come from
+    :data:`~repro.telemetry.registry.ALERT_REGISTRY`.
+    """
+
+    id = "TEL002"
+    title = "unregistered alert name literal"
+    rationale = (
+        "Alert series are declared once in "
+        "repro.telemetry.registry.ALERT_REGISTRY; an Alert built with an "
+        "undeclared name literal creates a series no timeline query or "
+        "dashboard reads, and the monitor would reject it at emit time. "
+        "Register the alert or fix the typo."
+    )
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._module_constants: dict[str, str] = {}
+
+    def run(self, tree: ast.Module) -> None:
+        # Same module-constant pre-pass as TEL001, so the canonical
+        # ``ALERT_BURN_RATE = "slo-burn-rate"`` indirection resolves.
+        seen: dict[str, str | None] = {}
+        for stmt in tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id in seen:
+                    seen[target.id] = None
+                elif isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    seen[target.id] = value.value
+                else:
+                    seen[target.id] = None
+        self._module_constants = {
+            name: text for name, text in seen.items() if text is not None
+        }
+        self.visit(tree)
+
+    def _resolve_name(self, node: ast.expr | None) -> str | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self._module_constants.get(node.id)
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        callee = None
+        if isinstance(func, ast.Name):
+            callee = func.id
+        elif isinstance(func, ast.Attribute):
+            callee = func.attr
+        if callee in _ALERT_CALLABLES:
+            name_node = node.args[0] if node.args else _keyword(node, "name")
+            name = self._resolve_name(name_node)
+            if name is not None and name not in ALERT_REGISTRY:
+                self.report(
+                    name_node,
+                    f"alert {name!r} is not declared in "
+                    "repro.telemetry.registry.ALERT_REGISTRY "
+                    f"(known: {', '.join(ALERT_REGISTRY.names())})",
+                )
+        self.generic_visit(node)

@@ -211,6 +211,11 @@ class Application:
         #: state; see PAR002 in docs/static_analysis.md).
         self._submitted = 0
         self.tracer = tracer
+        #: Pure-observer completion subscribers called as
+        #: ``fn(request, request_class, latency)`` from `_on_complete`
+        #: (inside an already-scheduled event's callback -- subscribing
+        #: never adds engine events, so the run digest is unchanged).
+        self._completion_listeners: list = []
         if utilization_sample_interval_s > 0:
             self.env.process(
                 self._cluster_monitor(utilization_sample_interval_s)
@@ -219,6 +224,15 @@ class Application:
     def attach_tracer(self, tracer: Tracer | None) -> None:
         """Install (or remove, with ``None``) the tracer for new requests."""
         self.tracer = tracer
+
+    def add_completion_listener(self, fn) -> None:
+        """Subscribe ``fn(request, request_class, latency)`` to completions.
+
+        Listeners are observers: they run inside the completion event's
+        existing callback chain and must not schedule engine events (the
+        same contract as ``Environment(trace=...)`` hooks).
+        """
+        self._completion_listeners.append(fn)
 
     # -- workload entry -----------------------------------------------------
     def submit(self, class_name: str) -> tuple[Request, Event]:
@@ -275,6 +289,9 @@ class Application:
             self.hub.inc_counter("sla_violations_total", labels=labels)
         if span is not None:
             self.tracer.finish(span.trace, self.env.now)
+        if self._completion_listeners:
+            for listener in self._completion_listeners:
+                listener(request, rc, latency)
 
     # -- control plane -------------------------------------------------------
     def scale(self, service: str, replicas: int) -> None:

@@ -10,7 +10,7 @@ time and re-invoked by the anomaly detector when the request mix shifts.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -68,6 +68,10 @@ class OptimizationOutcome:
     predicted_bounds: dict[str, float]
     #: class -> the SLA percentile the bound applies to.
     bound_percentiles: dict[str, float]
+    #: class -> service -> the budgeted seconds the solver picked for that
+    #: hop (the chosen LPR row at the chosen percentile column) -- the
+    #: reference side of the span-driven budget audit.
+    service_budgets: dict[str, dict[str, float]] = field(default_factory=dict)
 
 
 class OptimizationEngine:
@@ -167,6 +171,16 @@ class OptimizationEngine:
         percentiles = {
             rc.name: rc.sla.percentile for rc in spec.request_classes
         }
+        service_budgets: dict[str, dict[str, float]] = {}
+        for svc in model.services:
+            row = solution.lpr_choice[svc.name]
+            for class_name, matrix in svc.latency.items():
+                column = solution.percentile_choice.get((svc.name, class_name))
+                if column is None:
+                    continue
+                service_budgets.setdefault(class_name, {})[svc.name] = float(
+                    matrix[row][column]
+                )
         return OptimizationOutcome(
             thresholds=thresholds,
             solution=solution,
@@ -174,4 +188,5 @@ class OptimizationEngine:
             bound_percentiles={
                 name: percentiles[name] for name in solution.latency_bound
             },
+            service_budgets=service_budgets,
         )

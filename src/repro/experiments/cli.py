@@ -66,14 +66,17 @@ def _run(
     jobs: int | None,
     on_complete=None,
     trace_runs: bool = False,
+    report_runs: bool = False,
 ):
-    """Run one experiment; returns ``(text, meta_or_None, jsonl_by_source)``.
+    """Run one experiment; returns ``(text, meta, jsonl_by_source, report)``.
 
     ``meta`` is the provenance :class:`~repro.experiments.store.RunMeta`
     persisted alongside the text when ``--save`` is given; ``summary``
     aggregates other results and carries no provenance of its own.
     ``jsonl_by_source`` holds each traced run's serialized span trees
     (non-empty only with ``trace_runs``, for ``--dump-traces``).
+    ``report`` is the ``(text, html, meta)`` dashboard bundle when
+    ``report_runs`` (fig11-12 only), else ``None``.
     """
     if name == "fig02":
         from repro.experiments.fig02_backpressure import (
@@ -83,7 +86,7 @@ def _run(
         )
 
         heatmaps = run_all_chains()
-        return render_report(heatmaps), experiment_meta(heatmaps), {}
+        return render_report(heatmaps), experiment_meta(heatmaps), {}, None
     if name == "fig04":
         from repro.experiments.fig04_thresholds import (
             experiment_meta,
@@ -91,7 +94,7 @@ def _run(
         )
 
         curves = run_threshold_profiling()
-        return curves.render(), experiment_meta(curves), {}
+        return curves.render(), experiment_meta(curves), {}, None
     if name == "table05":
         from repro.experiments.table05_exploration import (
             experiment_meta,
@@ -99,7 +102,7 @@ def _run(
         )
 
         table = run_table05(jobs=jobs, on_complete=on_complete)
-        return table.render(), experiment_meta(table), {}
+        return table.render(), experiment_meta(table), {}, None, None
     if name in ("fig09", "fig10"):
         from repro.experiments.fig09_10_model_accuracy import (
             FIG9_10_SEED,
@@ -130,14 +133,16 @@ def _run(
             result.render(),
             experiment_meta(result, _RESULT_NAMES[name]),
             sources,
+            None,
         )
     if name == "fig11-12":
         from repro.experiments.fig11_12_performance import (
             experiment_meta,
+            report_artifacts,
             run_performance_grid,
         )
 
-        from repro.experiments.runner import TracingOptions
+        from repro.experiments.runner import SLOOptions, TracingOptions
 
         grid = run_performance_grid(
             tuple(apps)
@@ -148,7 +153,10 @@ def _run(
                 "media-service",
                 "video-pipeline",
             ),
-            tracing=TracingOptions() if trace_runs else None,
+            tracing=(
+                TracingOptions() if (trace_runs or report_runs) else None
+            ),
+            slo=SLOOptions() if report_runs else None,
             jobs=jobs,
             on_complete=on_complete,
         )
@@ -158,7 +166,8 @@ def _run(
             for (app, load, manager), result in sorted(grid.results.items())
             if result is not None and result.traces is not None
         }
-        return text, experiment_meta(grid), sources
+        report = report_artifacts(grid) if report_runs else None
+        return text, experiment_meta(grid), sources, report
     if name == "fig13":
         from repro.experiments.fig13_diurnal import (
             experiment_meta,
@@ -166,7 +175,7 @@ def _run(
         )
 
         trace = run_diurnal_trace(jobs=jobs, on_complete=on_complete)
-        return trace.render(), experiment_meta(trace), {}
+        return trace.render(), experiment_meta(trace), {}, None
     if name == "table06":
         from repro.experiments.table06_control_plane import (
             experiment_meta,
@@ -174,7 +183,7 @@ def _run(
         )
 
         table = run_table06()
-        return table.render(), experiment_meta(table), {}
+        return table.render(), experiment_meta(table), {}, None
     if name == "fig14":
         from repro.experiments.fig14_service_change import (
             experiment_meta,
@@ -182,11 +191,11 @@ def _run(
         )
 
         result = run_service_change(jobs=jobs, on_complete=on_complete)
-        return result.render(), experiment_meta(result), {}
+        return result.render(), experiment_meta(result), {}, None
     if name == "summary":
         from repro.experiments.summary import summarize
 
-        return summarize(), None, {}
+        return summarize(), None, {}, None
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -248,6 +257,17 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--report",
+        action="store_true",
+        help=(
+            "run with the SLO monitor and span tracing on (both pure "
+            "observers; results are unchanged) and persist the "
+            "deterministic run dashboard -- results/fig11_12_report.txt "
+            "plus a standalone fig11_12_report.html pinned by the "
+            "results store (fig11-12 only)"
+        ),
+    )
+    parser.add_argument(
         "--save",
         action="store_true",
         help=(
@@ -262,6 +282,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.save and args.experiment not in _RESULT_NAMES:
         parser.error(f"--save is not supported for {args.experiment!r}")
+    if args.report and args.experiment != "fig11-12":
+        parser.error("--report is only supported for fig11-12")
     if args.dump_traces is not None:
         if args.experiment not in _TRACEABLE:
             parser.error(
@@ -280,12 +302,13 @@ def main(argv: list[str] | None = None) -> int:
         # .parallel; workers fork after imports are done).
         if (args.jobs or default_jobs()) > 1:
             warm_pool(args.jobs)
-    text, meta, trace_sources = _run(
+    text, meta, trace_sources, report = _run(
         args.experiment,
         apps,
         args.jobs,
         on_complete=on_complete,
         trace_runs=args.dump_traces is not None,
+        report_runs=args.report,
     )
     print(text)
     if args.save and meta is not None:
@@ -293,6 +316,21 @@ def main(argv: list[str] | None = None) -> int:
 
         path = store.save_result(_RESULT_NAMES[args.experiment], text, meta)
         print(f"[saved to {path}]", file=sys.stderr)
+    if report is not None:
+        from repro.experiments import store
+
+        report_text, report_html, report_meta = report
+        print(report_text)
+        path = store.save_result(
+            "fig11_12_report",
+            report_text,
+            report_meta,
+            artifacts={"fig11_12_report.html": report_html},
+        )
+        print(
+            f"[report saved to {path} + fig11_12_report.html]",
+            file=sys.stderr,
+        )
     if args.dump_traces is not None and trace_sources:
         from repro.experiments.traces import dump_slowest_traces
 

@@ -19,6 +19,7 @@ Expected shapes from the paper:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.experiments import artifacts
@@ -29,10 +30,16 @@ from repro.experiments.managers import (
     attach_ursa,
 )
 from repro.experiments.parallel import RunPlan, partition_seeds, run_many
-from repro.experiments.report import render_table
+from repro.experiments.report import (
+    build_dashboard,
+    render_dashboard_html,
+    render_dashboard_text,
+    render_table,
+)
 from repro.experiments.runner import (
     DeploymentResult,
     RunOptions,
+    SLOOptions,
     TracingOptions,
     run_deployment,
     scale_profile,
@@ -47,6 +54,8 @@ __all__ = [
     "run_performance_grid",
     "LOAD_KINDS",
     "experiment_meta",
+    "grid_audit",
+    "report_artifacts",
 ]
 
 LOAD_KINDS = ("constant", "dynamic", "skewed")
@@ -168,6 +177,7 @@ def run_performance_grid(
     managers: tuple[str, ...] = ("ursa", "sinan", "firm", "auto-a", "auto-b"),
     seed: int = 23,
     tracing: TracingOptions | None = None,
+    slo: SLOOptions | None = None,
     jobs: int | None = None,
     on_complete=None,
 ) -> PerformanceGrid:
@@ -195,7 +205,7 @@ def run_performance_grid(
                 "load_kind": lo,
                 "manager": m,
                 "options": RunOptions(
-                    seed=seeds[(a, lo)], digest=True, tracing=tracing
+                    seed=seeds[(a, lo)], digest=True, tracing=tracing, slo=slo
                 ),
             },
             label=f"fig11-12:{a}:{lo}:{m}",
@@ -217,6 +227,94 @@ def run_performance_grid(
         )
     )
     return PerformanceGrid(results=results, cell_seeds=seeds)
+
+
+def grid_audit(grid: PerformanceGrid) -> list:
+    """Budget-audit verdicts for every traced Ursa cell of a grid.
+
+    Recomputes the MIP's per-(class, service) budgets in the parent from
+    the cached exploration artefacts (deterministic and cheap -- the same
+    ``optimize`` call :func:`run_cell` made inside the worker) and
+    compares them against the observed critical-path attribution of that
+    cell's sampled spans.  Verdict classes are prefixed ``app/load/`` so
+    one grid yields one flat, uniquely-keyed list.
+    """
+    from repro.core.optimizer import OptimizationEngine
+    from repro.telemetry.audit import audit_budgets
+    from repro.telemetry.tracing import CriticalPathSummary, traces_from_jsonl
+
+    verdicts = []
+    for (app_name, load_kind, manager), result in sorted(grid.results.items()):
+        if manager != "ursa" or result.traces is None:
+            continue
+        rps = artifacts.app_rps(app_name)
+        mix = _mix_for(app_name, load_kind)
+        class_loads = {c: rps * mix.fraction(c) for c in mix.classes()}
+        outcome = OptimizationEngine().optimize(
+            artifacts.app_spec(app_name),
+            artifacts.exploration_result(app_name),
+            class_loads,
+        )
+        summary = CriticalPathSummary()
+        for trace in traces_from_jsonl(result.traces.jsonl):
+            summary.add(trace)
+        for verdict in audit_budgets(summary, outcome.service_budgets):
+            verdicts.append(
+                dataclasses.replace(
+                    verdict,
+                    request_class=(
+                        f"{app_name}/{load_kind}/{verdict.request_class}"
+                    ),
+                )
+            )
+    return verdicts
+
+
+def report_artifacts(grid: PerformanceGrid) -> tuple[str, str, RunMeta]:
+    """Dashboard text, standalone HTML, and provenance for a grid.
+
+    Expects a grid run with ``tracing=`` and ``slo=`` enabled (the CLI's
+    ``--report`` path); cells without those artefacts simply contribute
+    fewer sections.  The rendered text and HTML are pure functions of the
+    grid, so the store pins both (the HTML travels as a sidecar-recorded
+    artifact file).
+    """
+    from repro.telemetry.audit import verdicts_payload
+    from repro.telemetry.slo import alerts_digest
+
+    apps = sorted({app for app, _lo, _m in grid.results})
+    sla_targets: dict[str, float] = {}
+    for app_name in apps:
+        for rc in artifacts.app_spec(app_name).request_classes:
+            sla_targets[rc.name] = rc.sla.target_s
+    results = {
+        f"{app}/{load}/{manager}": result
+        for (app, load, manager), result in grid.results.items()
+    }
+    audit = grid_audit(grid)
+    dash = build_dashboard(
+        results,
+        sla_targets=sla_targets,
+        audit=audit,
+        title="fig11-12 run dashboard",
+    )
+    text = render_dashboard_text(dash)
+    html = render_dashboard_html(dash)
+    base = experiment_meta(grid)
+    meta = RunMeta(
+        experiment="fig11-12-report",
+        scale=base.scale,
+        seeds=dict(base.seeds),
+        digests=dict(base.digests),
+        summaries=dict(base.summaries),
+        alerts={
+            label: alerts_digest(result.slo.alerts_jsonl)
+            for label, result in sorted(results.items())
+            if result.slo is not None
+        },
+        audits=verdicts_payload(audit),
+    )
+    return text, html, meta
 
 
 def experiment_meta(grid: PerformanceGrid) -> RunMeta:

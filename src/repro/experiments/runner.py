@@ -25,6 +25,7 @@ from repro.sim.engine import Environment
 from repro.sim.random import RandomStreams
 from repro.sim.trace import RunDigest
 from repro.stats.histogram import FixedHistogram
+from repro.telemetry.slo import SLOMonitor, slo_specs_for
 from repro.telemetry.tracing import Tracer, traces_to_jsonl
 from repro.workload.generator import LoadGenerator
 from repro.workload.mixes import RequestMix
@@ -35,6 +36,8 @@ __all__ = [
     "DeploymentMetrics",
     "DeploymentResult",
     "RunOptions",
+    "SLOArtifacts",
+    "SLOOptions",
     "TraceArtifacts",
     "TracingOptions",
     "run_deployment",
@@ -172,6 +175,59 @@ class TracingOptions:
 
 
 @dataclass(frozen=True)
+class SLOOptions:
+    """How to monitor a run's SLOs (plain data, picklable).
+
+    The live :class:`~repro.telemetry.slo.SLOMonitor` is built inside the
+    worker via :meth:`build_monitor`; specs come from the application
+    spec's per-class SLAs (a p99 SLA yields a 1 % error budget) unless
+    ``objective`` overrides the target fraction for every class.
+    """
+
+    #: Rolling-window lengths and bucketing (simulated seconds).
+    fast_window_s: float = 60.0
+    slow_window_s: float = 300.0
+    bucket_s: float = 5.0
+    #: Multi-window burn thresholds (fire when both windows >= fire;
+    #: resolve when both <= resolve).
+    burn_threshold: float = 4.0
+    resolve_threshold: float = 2.0
+    #: Override the per-class objective (``None`` = SLA percentile / 100).
+    objective: float | None = None
+
+    def build_monitor(self, spec: AppSpec, clock, hub=None) -> SLOMonitor:
+        return SLOMonitor(
+            slo_specs_for(spec, objective=self.objective),
+            clock=clock,
+            fast_window_s=self.fast_window_s,
+            slow_window_s=self.slow_window_s,
+            bucket_s=self.bucket_s,
+            burn_threshold=self.burn_threshold,
+            resolve_threshold=self.resolve_threshold,
+            hub=hub,
+        )
+
+
+@dataclass(frozen=True)
+class SLOArtifacts:
+    """Serialized SLO-monitor output of one run (picklable, deterministic)."""
+
+    #: Total alert fire/resolve transitions over the run.
+    alert_transitions: int
+    #: Canonical JSON-lines dump of the alert timeline
+    #: (:func:`~repro.telemetry.slo.alerts_to_jsonl` -- byte-identical
+    #: across same-seed reruns).
+    alerts_jsonl: str = field(repr=False)
+    #: Per-class budget accounting at end of run.
+    budget_report: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Per-``service/class`` MIP-budget breach fractions (only when the
+    #: manager fed the monitor optimizer budgets).
+    service_budget_report: dict[str, dict[str, float]] = field(
+        default_factory=dict
+    )
+
+
+@dataclass(frozen=True)
 class RunOptions:
     """Consolidated per-run options for every experiment entry point.
 
@@ -192,6 +248,8 @@ class RunOptions:
     measure_from_s: float | None = None
     #: Span-tree sampling (``None`` = off).
     tracing: TracingOptions | None = None
+    #: Streaming SLO monitoring (``None`` = off, costs nothing).
+    slo: "SLOOptions | None" = None
     #: Checksum the full event trace into ``result.run_digest``.
     digest: bool = False
     #: Scale profile name override (``None`` = honour ``REPRO_SCALE``).
@@ -259,6 +317,8 @@ class DeploymentResult:
     run_digest: str | None = None
     #: Span trees + critical-path summary (``tracing=`` option).
     traces: TraceArtifacts | None = field(repr=False, default=None)
+    #: Alert timeline + budget accounting (``slo=`` option).
+    slo: SLOArtifacts | None = field(repr=False, default=None)
 
 
 def make_app(
@@ -313,8 +373,25 @@ def run_deployment(
     app = make_app(spec, options.seed, trace=run_digest, tracer=tracer)
     if tracer is not None:
         tracer.hub = app.hub
+    slo_monitor = None
+    if options.slo is not None:
+        env = app.env
+        slo_monitor = options.slo.build_monitor(
+            spec, clock=lambda: env.now, hub=app.hub
+        )
+        slo_monitor.attach(app)
     app.env.run(until=10)
-    attach_manager(app)
+    managed = attach_manager(app)
+    if slo_monitor is not None:
+        # Managers exposing an optimisation outcome (UrsaManager) feed
+        # the monitor the MIP's per-service budgets so per-hop breaches
+        # stream too; baselines without budgets just skip this.
+        budgets = getattr(
+            getattr(managed, "outcome", None), "service_budgets", None
+        )
+        if budgets:
+            slo_monitor.set_service_budgets(budgets)
+            slo_monitor.attach_services(app)
     generator = LoadGenerator(
         app,
         pattern=pattern,
@@ -354,6 +431,14 @@ def run_deployment(
             jsonl=traces_to_jsonl(tracer.finished),
             summary=tracer.summary().render(),
         )
+    slo_artifacts = None
+    if slo_monitor is not None:
+        slo_artifacts = SLOArtifacts(
+            alert_transitions=len(slo_monitor.alerts),
+            alerts_jsonl=slo_monitor.alerts_jsonl(),
+            budget_report=slo_monitor.budget_report(),
+            service_budget_report=slo_monitor.service_budget_report(),
+        )
     return DeploymentResult(
         app_name=spec.name,
         manager=manager_name,
@@ -368,4 +453,5 @@ def run_deployment(
         metrics=metrics,
         run_digest=run_digest.hexdigest() if run_digest is not None else None,
         traces=traces,
+        slo=slo_artifacts,
     )

@@ -115,10 +115,22 @@ class RunMeta:
     deterministic: bool = True
     #: Free-form extras (grid shape, window sizes, ...).
     extra: Mapping[str, Any] = field(default_factory=dict)
+    #: Label -> alert-stream digest (:func:`repro.telemetry.slo.alerts_digest`
+    #: of the run's canonical alert JSONL) for SLO-monitored runs.  Pinned
+    #: on save like event-trace digests.
+    alerts: Mapping[str, str] = field(default_factory=dict)
+    #: Request class -> budget-audit verdict
+    #: (:meth:`repro.telemetry.audit.AuditVerdict.to_dict`).
+    audits: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
 
     def payload(self) -> dict[str, Any]:
-        """JSON-ready dict (deep-copied, deterministically ordered)."""
-        return {
+        """JSON-ready dict (deep-copied, deterministically ordered).
+
+        ``alerts`` / ``audits`` appear only when non-empty, so sidecars
+        of experiments without SLO monitoring are byte-identical to the
+        ones committed before the fields existed.
+        """
+        payload: dict[str, Any] = {
             "schema": SCHEMA_VERSION,
             "experiment": self.experiment,
             "scale": self.scale,
@@ -132,6 +144,17 @@ class RunMeta:
             },
             "extra": json.loads(_canonical_json(dict(self.extra))),
         }
+        if self.alerts:
+            payload["alerts"] = {
+                k: str(v) for k, v in sorted(self.alerts.items())
+            }
+        if self.audits:
+            payload["audits"] = json.loads(
+                _canonical_json(
+                    {k: dict(v) for k, v in sorted(self.audits.items())}
+                )
+            )
+        return payload
 
 
 def _canonical_json(payload: Mapping[str, Any]) -> str:
@@ -223,7 +246,12 @@ def _update_allowed() -> bool:
     return os.environ.get("REPRO_RESULTS_UPDATE", "") == "1"
 
 
-def save_result(name: str, text: str, meta: RunMeta) -> Path:
+def save_result(
+    name: str,
+    text: str,
+    meta: RunMeta,
+    artifacts: Mapping[str, str] | None = None,
+) -> Path:
     """Persist a rendered result plus its provenance sidecar.
 
     Writes ``<name>.txt`` (with a trailing newline) and
@@ -234,10 +262,24 @@ def save_result(name: str, text: str, meta: RunMeta) -> Path:
     with the same identity but different digests (or different text, for
     deterministic outputs), raises :class:`ResultsMismatchError` --
     unless ``REPRO_RESULTS_UPDATE=1``.
+
+    ``artifacts`` maps extra file names (e.g. ``fig11_12_report.html``)
+    to their full text content; each is written alongside the ``.txt``
+    and its sha256 is recorded in the sidecar's ``artifacts`` map, so
+    ``check_results`` re-validates them offline like the text itself.
+    Artifact names must be plain file names (no path separators).
     """
     rendered = text if text.endswith("\n") else text + "\n"
     payload = meta.payload()
     payload["result_sha256"] = _text_sha256(rendered)
+    if artifacts:
+        for filename in artifacts:
+            if "/" in filename or os.sep in filename or filename.startswith("."):
+                raise ValueError(f"invalid artifact name: {filename!r}")
+        payload["artifacts"] = {
+            filename: _text_sha256(content)
+            for filename, content in sorted(artifacts.items())
+        }
     payload["meta_digest"] = _meta_digest(payload)
 
     old = load_sidecar(name, meta.scale)
@@ -248,6 +290,12 @@ def save_result(name: str, text: str, meta: RunMeta) -> Path:
                 f"event-trace digests changed:\n"
                 f"  recorded: {old.get('digests')}\n"
                 f"  new run:  {payload['digests']}"
+            )
+        if "alerts" in old and old.get("alerts") != payload.get("alerts"):
+            problems.append(
+                f"alert-stream digests changed:\n"
+                f"  recorded: {old.get('alerts')}\n"
+                f"  new run:  {payload.get('alerts')}"
             )
         if meta.deterministic and old.get("deterministic", True) and (
             old.get("result_sha256") != payload["result_sha256"]
@@ -269,6 +317,8 @@ def save_result(name: str, text: str, meta: RunMeta) -> Path:
     directory = scale_dir(meta.scale)
     txt_path = directory / f"{name}.txt"
     txt_path.write_text(rendered, encoding="utf-8")
+    for filename, content in sorted((artifacts or {}).items()):
+        (directory / filename).write_text(content, encoding="utf-8")
     side = sidecar_path(name, meta.scale)
     tmp = side.with_name(f"{side.name}.tmp{os.getpid()}")
     tmp.write_text(
@@ -365,6 +415,24 @@ def _check_scale(scale: str, names: list[str] | None, strict: bool) -> list[str]
                     f"{sidecar.get('result_sha256')}) -- regenerate or "
                     "update the sidecar"
                 )
+        recorded_artifacts = sidecar.get("artifacts")
+        if isinstance(recorded_artifacts, dict):
+            for filename, recorded_sha in sorted(recorded_artifacts.items()):
+                artifact_path = directory / filename
+                if not artifact_path.exists():
+                    problems.append(
+                        f"{label}: recorded artifact {filename} is missing"
+                    )
+                    continue
+                actual = _text_sha256(
+                    artifact_path.read_text(encoding="utf-8")
+                )
+                if actual != recorded_sha:
+                    problems.append(
+                        f"{label}: artifact {filename} does not match the "
+                        f"recorded run (sha256 {actual} vs recorded "
+                        f"{recorded_sha})"
+                    )
     if scan_stale:
         for side in sorted(directory.glob("*.meta.json")):
             stem = side.name[: -len(".meta.json")]
@@ -395,6 +463,8 @@ def check_results(
     * ``result_sha256`` does not match the committed ``.txt`` (the text
       drifted from the recorded run) -- enforced only for sidecars
       marked ``deterministic``;
+    * a recorded artifact (e.g. an HTML report) is missing or does not
+      match its recorded sha256;
     * a sidecar with no matching ``.txt`` (stale provenance);
     * with ``strict=True``, a ``.txt`` with no sidecar.
     """

@@ -56,8 +56,14 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
     hi = math.ceil(rank)
     if lo == hi:
         return float(sorted_values[lo])
+    lower = float(sorted_values[lo])
+    upper = float(sorted_values[hi])
+    if lower == upper:
+        # Skip the lerp between equal ranks: for subnormal values the
+        # weighted terms underflow to 0.0, dropping the result below min.
+        return lower
     frac = rank - lo
-    return float(sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac)
+    return float(lower * (1.0 - frac) + upper * frac)
 
 
 @dataclass

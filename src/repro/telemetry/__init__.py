@@ -17,13 +17,31 @@ See ``docs/observability.md`` for the span model, critical-path
 semantics, and the digest workflow.
 """
 
+from repro.telemetry.audit import (
+    AuditVerdict,
+    audit_budgets,
+    render_audit,
+    verdicts_payload,
+)
 from repro.telemetry.histogram import LatencyHistogram
 from repro.telemetry.metrics import LabelSet, MetricsHub, labels_key
 from repro.telemetry.registry import (
+    ALERT_REGISTRY,
     DEFAULT_REGISTRY,
+    AlertRegistry,
+    AlertSpec,
     MetricRegistry,
     MetricSpec,
     UnregisteredMetricWarning,
+)
+from repro.telemetry.slo import (
+    Alert,
+    SLOMonitor,
+    SLOSpec,
+    alerts_digest,
+    alerts_from_jsonl,
+    alerts_to_jsonl,
+    slo_specs_for,
 )
 from repro.telemetry.tracing import (
     CriticalPathSummary,
@@ -40,6 +58,11 @@ from repro.telemetry.tracing import (
 )
 
 __all__ = [
+    "ALERT_REGISTRY",
+    "Alert",
+    "AlertRegistry",
+    "AlertSpec",
+    "AuditVerdict",
     "CriticalPathSummary",
     "DEFAULT_REGISTRY",
     "LabelSet",
@@ -48,15 +71,24 @@ __all__ = [
     "MetricSpec",
     "MetricsHub",
     "PathSegment",
+    "SLOMonitor",
+    "SLOSpec",
     "Span",
     "Trace",
     "Tracer",
     "UnregisteredMetricWarning",
+    "alerts_digest",
+    "alerts_from_jsonl",
+    "alerts_to_jsonl",
     "attribute_latency",
+    "audit_budgets",
     "critical_path",
     "labels_key",
+    "render_audit",
+    "slo_specs_for",
     "traces_to_chrome",
     "traces_to_jsonl",
+    "verdicts_payload",
     "write_chrome_trace",
     "write_jsonl",
 ]

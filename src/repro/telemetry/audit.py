@@ -1,0 +1,167 @@
+"""Span-driven budget audit: do the MIP's budgets match observed reality?
+
+The optimizer splits each class's end-to-end SLA target into
+per-service latency budgets (``OptimizationOutcome.service_budgets``)
+chosen from profiled percentile tables.  The critical-path analyzer
+independently attributes *observed* end-to-end latency to
+``(service, phase)`` pairs from sampled span trees.  If the two
+disagree -- the class's latency is dominated by a service the MIP gave a
+small budget -- the model the control loop plans with has drifted from
+the system it controls (wrong profile, queueing the model missed, or a
+topology change the budgets never saw).
+
+:func:`audit_budgets` compares the two views per class and produces one
+deterministic :class:`AuditVerdict` per class: the dominant *observed*
+service (critical-path share summed across its phases) versus the
+dominant *budgeted* service, flagged when they differ by more than
+``dominance_margin``.  Verdicts are pure data -- the audit reads only
+finished traces and a solved outcome, never the live simulation -- and
+their canonical rendering is pinned in results sidecars alongside event
+digests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.tracing import CriticalPathSummary
+
+__all__ = [
+    "AuditVerdict",
+    "audit_budgets",
+    "render_audit",
+    "verdicts_payload",
+]
+
+
+@dataclass(frozen=True)
+class AuditVerdict:
+    """One class's budget-vs-observation comparison.
+
+    ``observed_share`` / ``budget_share`` are the dominant service's
+    fraction of total observed critical-path time and of total budgeted
+    seconds respectively.  ``mismatch`` is True when the dominant
+    observed service is not the dominant budgeted one and leads the
+    budgeted service's observed share by more than the margin.
+    """
+
+    request_class: str
+    traced_requests: int
+    observed_service: str
+    observed_share: float
+    budget_service: str
+    budget_share: float
+    mismatch: bool
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "request_class": self.request_class,
+            "traced_requests": self.traced_requests,
+            "observed_service": self.observed_service,
+            "observed_share": round(self.observed_share, 6),
+            "budget_service": self.budget_service,
+            "budget_share": round(self.budget_share, 6),
+            "mismatch": self.mismatch,
+            "detail": self.detail,
+        }
+
+
+def _service_shares(pairs: Mapping[str, float]) -> list[tuple[str, float]]:
+    """Normalise a service->seconds map to shares, dominant first."""
+    total = sum(pairs.values())
+    if total <= 0:
+        return []
+    shares = [(name, seconds / total) for name, seconds in pairs.items()]
+    shares.sort(key=lambda item: (-item[1], item[0]))
+    return shares
+
+
+def audit_budgets(
+    summary: "CriticalPathSummary",
+    service_budgets: Mapping[str, Mapping[str, float]],
+    dominance_margin: float = 0.1,
+    min_traced: int = 5,
+) -> list[AuditVerdict]:
+    """Compare observed critical-path shares against MIP budgets.
+
+    ``service_budgets`` maps class -> service -> budgeted seconds (from
+    :attr:`~repro.core.optimizer.OptimizationOutcome.service_budgets`).
+    Classes with fewer than ``min_traced`` sampled requests, or absent
+    from either side, yield no verdict (too little signal to accuse the
+    model).  The returned list is sorted by class name -- deterministic
+    for a deterministic trace set.
+    """
+    verdicts = []
+    for cls in sorted(summary.classes()):
+        budgets = service_budgets.get(cls)
+        if not budgets:
+            continue
+        agg = summary.pooled(cls)
+        if agg.requests < min_traced:
+            continue
+        observed_by_service: dict[str, float] = {}
+        for (service, _phase), seconds in agg.by_location.items():
+            if service in budgets:
+                observed_by_service[service] = (
+                    observed_by_service.get(service, 0.0) + seconds
+                )
+        observed = _service_shares(observed_by_service)
+        budgeted = _service_shares(budgets)
+        if not observed or not budgeted:
+            continue
+        obs_service, obs_share = observed[0]
+        bud_service, bud_share = budgeted[0]
+        observed_map = dict(observed)
+        budget_leader_observed = observed_map.get(bud_service, 0.0)
+        mismatch = (
+            obs_service != bud_service
+            and obs_share - budget_leader_observed > dominance_margin
+        )
+        if mismatch:
+            detail = (
+                f"observed time concentrates on {obs_service} "
+                f"({obs_share:.0%}) but the MIP budgets {bud_service} "
+                f"most ({bud_share:.0%} of budgeted seconds; "
+                f"{bud_service} observed at {budget_leader_observed:.0%})"
+            )
+        else:
+            detail = (
+                f"dominant observed service {obs_service} "
+                f"({obs_share:.0%}) consistent with budgets "
+                f"(top budget {bud_service} at {bud_share:.0%})"
+            )
+        verdicts.append(
+            AuditVerdict(
+                request_class=cls,
+                traced_requests=agg.requests,
+                observed_service=obs_service,
+                observed_share=obs_share,
+                budget_service=bud_service,
+                budget_share=bud_share,
+                mismatch=mismatch,
+                detail=detail,
+            )
+        )
+    return verdicts
+
+
+def render_audit(verdicts: list[AuditVerdict]) -> str:
+    """Terminal rendering of an audit, one line per class."""
+    if not verdicts:
+        return "budget audit: no classes with enough traced requests\n"
+    lines = ["budget audit (observed critical path vs MIP budgets):"]
+    for v in verdicts:
+        flag = "MISMATCH" if v.mismatch else "ok"
+        lines.append(
+            f"  [{flag:>8}] {v.request_class}: {v.detail} "
+            f"({v.traced_requests} traced)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def verdicts_payload(verdicts: list[AuditVerdict]) -> dict[str, dict]:
+    """Class-keyed JSON-able payload for results sidecars."""
+    return {v.request_class: v.to_dict() for v in verdicts}

@@ -19,6 +19,9 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 __all__ = [
+    "ALERT_REGISTRY",
+    "AlertRegistry",
+    "AlertSpec",
     "DEFAULT_REGISTRY",
     "MetricRegistry",
     "MetricSpec",
@@ -197,6 +200,93 @@ DEFAULT_REGISTRY = MetricRegistry(
             "counter",
             ("request",),
             "requests selected by the tracer's sampling policy",
+        ),
+        MetricSpec(
+            "slo_burn_rate",
+            "gauge",
+            ("request", "window"),
+            "per-class error-budget burn rate over the fast/slow window",
+        ),
+        MetricSpec(
+            "slo_error_budget_consumed",
+            "gauge",
+            ("request",),
+            "cumulative fraction of the class's error budget consumed",
+        ),
+        MetricSpec(
+            "slo_alert_transitions_total",
+            "counter",
+            ("request", "alert", "state"),
+            "SLO alert fire/resolve transitions emitted by the monitor",
+        ),
+    ]
+)
+
+
+# ----------------------------------------------------------------------
+# Alert-name registry (the SLO monitor's twin of the metric table)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AlertSpec:
+    """Declaration of one alert series: name, severity, and meaning."""
+
+    name: str
+    severity: str = "page"
+    description: str = ""
+
+
+class AlertRegistry:
+    """The declared alert names the SLO monitor may emit.
+
+    Same contract as :class:`MetricRegistry` for metric names: every
+    alert series is declared once here, the monitor raises on an
+    undeclared name at emit time, and the ursalint rule ``TEL002``
+    checks :class:`~repro.telemetry.slo.Alert` name literals statically.
+    """
+
+    def __init__(self, specs: Iterable[AlertSpec] = ()) -> None:
+        self._specs: dict[str, AlertSpec] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: AlertSpec) -> AlertSpec:
+        existing = self._specs.get(spec.name)
+        if existing is not None and existing != spec:
+            raise ValueError(
+                f"alert {spec.name!r} already registered as {existing}"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> AlertSpec | None:
+        return self._specs.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[AlertSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: Every alert series the SLO monitor emits, in one table (TEL002 and
+#: the monitor's runtime check both read this).
+ALERT_REGISTRY = AlertRegistry(
+    [
+        AlertSpec(
+            "slo-burn-rate",
+            "page",
+            "fast AND slow window burn rates above the paging threshold",
+        ),
+        AlertSpec(
+            "slo-budget-exhausted",
+            "page",
+            "cumulative violations exceed the class's whole error budget",
         ),
     ]
 )

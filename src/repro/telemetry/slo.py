@@ -1,0 +1,531 @@
+"""Streaming SLO monitoring: error budgets and burn-rate alerting.
+
+The control loop exists to keep per-class SLA violation rates under a
+threshold, but until this module violations were only *recomputed* from
+latency histograms after a run finished.  :class:`SLOMonitor` is the
+streaming counterpart: a pure observer that subscribes to request
+completions and maintains, per request class,
+
+* a cumulative **error budget**: an :class:`SLOSpec` says "``objective``
+  of requests must finish within ``target_s``"; the budget is the
+  tolerated bad fraction (``1 - objective``), and consumption is the
+  observed bad fraction over it (Google-SRE accounting);
+* two rolling **burn rates** (fast + slow window): the windowed bad
+  fraction divided by the error budget, so ``1.0`` means "violating at
+  exactly the tolerated rate" and higher values exhaust the budget
+  proportionally faster;
+* deterministic, sim-clock-stamped :class:`Alert` fire/resolve records
+  using the classic multi-window rule -- page when *both* windows burn
+  above the threshold (the fast window gates detection latency, the slow
+  window filters blips), resolve with hysteresis once both fall back
+  below the resolve threshold.
+
+Purity contract: the monitor never touches an RNG stream and never
+schedules engine events -- it runs entirely inside completion callbacks
+of events the application already scheduled, so a monitored run's event
+trace (and :class:`~repro.sim.trace.RunDigest`) is byte-identical to an
+unmonitored one.  ``tests/telemetry/test_slo.py`` pins this, and
+``alerts_to_jsonl`` output is byte-identical across same-seed reruns the
+same way span dumps are.
+
+Window sums are bucketed (``bucket_s``) rather than per-request deques:
+each completion updates O(1) running sums, and buckets are retired from
+the window as the sim clock advances.  Alert names come from
+:data:`~repro.telemetry.registry.ALERT_REGISTRY` -- an undeclared name
+raises at emit time, and the ursalint rule ``TEL002`` flags literals at
+lint time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+from repro.errors import TelemetryError
+from repro.telemetry.registry import ALERT_REGISTRY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.topology import AppSpec, Application
+    from repro.telemetry.metrics import MetricsHub
+
+__all__ = [
+    "ALERT_BUDGET_EXHAUSTED",
+    "ALERT_BURN_RATE",
+    "Alert",
+    "SLOMonitor",
+    "SLOSpec",
+    "alerts_digest",
+    "alerts_from_jsonl",
+    "alerts_to_jsonl",
+    "slo_specs_for",
+]
+
+#: Registered alert series names (see ALERT_REGISTRY in the registry
+#: module); TEL002 resolves these constants like TEL001 resolves metric
+#: name constants.
+ALERT_BURN_RATE = "slo-burn-rate"
+ALERT_BUDGET_EXHAUSTED = "slo-budget-exhausted"
+
+_STATES = ("fire", "resolve")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One class's service-level objective.
+
+    ``objective`` is the fraction of requests that must complete within
+    ``target_s`` (e.g. ``0.99``); the error budget is ``1 - objective``.
+    :meth:`from_sla` derives the objective from the class's SLA
+    percentile -- a p99 SLA tolerates 1 % of requests over target.
+    """
+
+    request_class: str
+    target_s: float
+    objective: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.target_s <= 0:
+            raise TelemetryError(
+                f"SLO target must be > 0, got {self.target_s}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise TelemetryError(
+                f"SLO objective must be in (0, 1), got {self.objective}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """Tolerated bad-request fraction (``1 - objective``)."""
+        return 1.0 - self.objective
+
+    @classmethod
+    def from_sla(
+        cls, request_class: str, sla, objective: float | None = None
+    ) -> "SLOSpec":
+        """Derive the SLO from an :class:`~repro.apps.topology.SlaSpec`."""
+        return cls(
+            request_class=request_class,
+            target_s=sla.target_s,
+            objective=(
+                objective if objective is not None else sla.percentile / 100.0
+            ),
+        )
+
+
+def slo_specs_for(
+    spec: "AppSpec", objective: float | None = None
+) -> tuple[SLOSpec, ...]:
+    """One :class:`SLOSpec` per request class of an application spec."""
+    return tuple(
+        SLOSpec.from_sla(rc.name, rc.sla, objective=objective)
+        for rc in spec.request_classes
+    )
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One deterministic alert transition (sim-clock stamped).
+
+    ``name`` must be declared in
+    :data:`~repro.telemetry.registry.ALERT_REGISTRY`; ``state`` is
+    ``"fire"`` or ``"resolve"``.  The burn rates and budget consumption
+    are snapshots at the transition, so a timeline of alerts doubles as
+    a sparse burn-rate series.
+    """
+
+    name: str
+    request_class: str
+    state: str
+    time: float
+    fast_burn: float
+    slow_burn: float
+    budget_consumed: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "request_class": self.request_class,
+            "state": self.state,
+            "time": self.time,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+            "budget_consumed": self.budget_consumed,
+        }
+
+
+def alerts_to_jsonl(alerts: Iterable[Alert]) -> str:
+    """Deterministic JSON-lines dump of an alert timeline.
+
+    Sorted keys, compact separators, repr floats -- the same canonical
+    form as :func:`~repro.telemetry.tracing.traces_to_jsonl`, so
+    same-seed runs dump byte-identical alert streams.
+    """
+    lines = [
+        json.dumps(alert.to_dict(), sort_keys=True, separators=(",", ":"))
+        for alert in alerts
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def alerts_from_jsonl(text: str) -> list[Alert]:
+    """Exact inverse of :func:`alerts_to_jsonl`."""
+    out = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        out.append(Alert(**payload))
+    return out
+
+
+def alerts_digest(jsonl: str) -> str:
+    """Short BLAKE2b fingerprint of an alert stream (sidecar pinning)."""
+    return hashlib.blake2b(jsonl.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class _WindowSum:
+    """Rolling good/bad counts over the trailing ``span`` buckets."""
+
+    __slots__ = ("buckets", "good", "bad", "span")
+
+    def __init__(self, span: int) -> None:
+        #: deque of ``[bucket_index, good, bad]`` (oldest first).
+        self.buckets: deque[list] = deque()
+        self.good = 0
+        self.bad = 0
+        self.span = span
+
+    def add(self, bucket: int, good: int, bad: int) -> None:
+        buckets = self.buckets
+        cutoff = bucket - self.span
+        while buckets and buckets[0][0] <= cutoff:
+            _b, g, b = buckets.popleft()
+            self.good -= g
+            self.bad -= b
+        if buckets and buckets[-1][0] == bucket:
+            tail = buckets[-1]
+            tail[1] += good
+            tail[2] += bad
+        else:
+            buckets.append([bucket, good, bad])
+        self.good += good
+        self.bad += bad
+
+
+class _ClassState:
+    """Per-class monitor state (sums, cumulative totals, alert flags)."""
+
+    __slots__ = (
+        "spec",
+        "fast",
+        "slow",
+        "total_good",
+        "total_bad",
+        "burn_active",
+        "budget_active",
+        "gauge_bucket",
+    )
+
+    def __init__(self, spec: SLOSpec, fast_span: int, slow_span: int) -> None:
+        self.spec = spec
+        self.fast = _WindowSum(fast_span)
+        self.slow = _WindowSum(slow_span)
+        self.total_good = 0
+        self.total_bad = 0
+        self.burn_active = False
+        self.budget_active = False
+        self.gauge_bucket = -1
+
+    def burn(self, window: _WindowSum) -> float:
+        total = window.good + window.bad
+        if not total:
+            return 0.0
+        return (window.bad / total) / self.spec.error_budget
+
+    def budget_consumed(self) -> float:
+        total = self.total_good + self.total_bad
+        if not total:
+            return 0.0
+        return (self.total_bad / total) / self.spec.error_budget
+
+
+class SLOMonitor:
+    """Pure-observer streaming SLO evaluation with burn-rate alerting.
+
+    Feed it completed requests via :meth:`observe` (or subscribe it to an
+    :class:`~repro.apps.topology.Application` with :meth:`attach`); read
+    :attr:`alerts`, :meth:`burn_rates`, and :meth:`budget_report`.
+
+    ``hub`` (optional) receives ``slo_burn_rate`` /
+    ``slo_error_budget_consumed`` gauges once per bucket advance and an
+    ``slo_alert_transitions_total`` counter per transition -- all
+    registered series, all written from inside existing completion
+    callbacks (never a new engine event).
+
+    With :meth:`set_service_budgets` (class -> service -> budgeted
+    seconds, from the optimizer) plus :meth:`attach_services`, the
+    monitor additionally counts per-(service, class) completions whose
+    *service latency* exceeded the MIP's budget for that hop -- the
+    streaming twin of the span-driven audit in
+    :mod:`repro.telemetry.audit`.
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[SLOSpec],
+        clock: Callable[[], float],
+        fast_window_s: float = 60.0,
+        slow_window_s: float = 300.0,
+        bucket_s: float = 5.0,
+        burn_threshold: float = 4.0,
+        resolve_threshold: float = 2.0,
+        budget_resolve: float = 0.9,
+        hub: "MetricsHub | None" = None,
+    ) -> None:
+        if bucket_s <= 0:
+            raise TelemetryError(f"bucket_s must be > 0, got {bucket_s}")
+        if fast_window_s < bucket_s or slow_window_s < fast_window_s:
+            raise TelemetryError(
+                "windows must satisfy bucket_s <= fast_window_s <= "
+                f"slow_window_s, got {bucket_s}/{fast_window_s}/{slow_window_s}"
+            )
+        if resolve_threshold > burn_threshold:
+            raise TelemetryError(
+                "resolve_threshold must not exceed burn_threshold "
+                f"({resolve_threshold} > {burn_threshold})"
+            )
+        self.clock = clock
+        self.bucket_s = float(bucket_s)
+        self.fast_window_s = float(fast_window_s)
+        self.slow_window_s = float(slow_window_s)
+        self.burn_threshold = float(burn_threshold)
+        self.resolve_threshold = float(resolve_threshold)
+        self.budget_resolve = float(budget_resolve)
+        self.hub = hub
+        fast_span = max(1, round(fast_window_s / bucket_s))
+        slow_span = max(fast_span, round(slow_window_s / bucket_s))
+        self._classes: dict[str, _ClassState] = {}
+        for spec in specs:
+            if spec.request_class in self._classes:
+                raise TelemetryError(
+                    f"duplicate SLO spec for class {spec.request_class!r}"
+                )
+            self._classes[spec.request_class] = _ClassState(
+                spec, fast_span, slow_span
+            )
+        #: Chronological alert transitions (the deterministic timeline).
+        self.alerts: list[Alert] = []
+        #: class -> service -> budgeted seconds (set_service_budgets).
+        self._service_budgets: dict[str, dict[str, float]] = {}
+        #: (service, class) -> [within_budget, over_budget] counts.
+        self._service_counts: dict[tuple[str, str], list] = {}
+
+    # -- subscription ------------------------------------------------------
+    def attach(self, app: "Application") -> None:
+        """Subscribe to end-to-end request completions of ``app``."""
+        app.add_completion_listener(self.on_completion)
+
+    def on_completion(self, request, rc, latency: float) -> None:
+        """`Application` completion-listener adapter."""
+        self.observe(rc.name, latency)
+
+    def set_service_budgets(
+        self, budgets: Mapping[str, Mapping[str, float]]
+    ) -> None:
+        """Install per-(class, service) budgeted seconds from the MIP."""
+        self._service_budgets = {
+            cls: dict(services) for cls, services in budgets.items()
+        }
+
+    def attach_services(self, app: "Application") -> None:
+        """Subscribe to per-service completion hooks of every service."""
+
+        def listener_for(service_name: str):
+            def listener(request, request_class: str, latency: float) -> None:
+                self.observe_service(service_name, request_class, latency)
+
+            return listener
+
+        for name in sorted(app.services):
+            app.services[name].completion_listeners.append(listener_for(name))
+
+    # -- observation -------------------------------------------------------
+    def observe(self, request_class: str, latency: float) -> None:
+        """Fold one completed request in and evaluate alert transitions."""
+        state = self._classes.get(request_class)
+        if state is None:
+            raise TelemetryError(
+                f"no SLO spec for request class {request_class!r} "
+                f"(declared: {', '.join(sorted(self._classes)) or 'none'})"
+            )
+        now = self.clock()
+        bucket = int(now / self.bucket_s)
+        bad = 1 if latency > state.spec.target_s else 0
+        good = 1 - bad
+        state.fast.add(bucket, good, bad)
+        state.slow.add(bucket, good, bad)
+        state.total_good += good
+        state.total_bad += bad
+
+        fast = state.burn(state.fast)
+        slow = state.burn(state.slow)
+        consumed = state.budget_consumed()
+
+        if not state.burn_active:
+            if fast >= self.burn_threshold and slow >= self.burn_threshold:
+                state.burn_active = True
+                self._emit(
+                    ALERT_BURN_RATE, request_class, "fire",
+                    now, fast, slow, consumed,
+                )
+        elif fast <= self.resolve_threshold and slow <= self.resolve_threshold:
+            state.burn_active = False
+            self._emit(
+                ALERT_BURN_RATE, request_class, "resolve",
+                now, fast, slow, consumed,
+            )
+
+        if not state.budget_active:
+            if consumed >= 1.0:
+                state.budget_active = True
+                self._emit(
+                    ALERT_BUDGET_EXHAUSTED, request_class, "fire",
+                    now, fast, slow, consumed,
+                )
+        elif consumed < self.budget_resolve:
+            state.budget_active = False
+            self._emit(
+                ALERT_BUDGET_EXHAUSTED, request_class, "resolve",
+                now, fast, slow, consumed,
+            )
+
+        if self.hub is not None and bucket != state.gauge_bucket:
+            state.gauge_bucket = bucket
+            self.hub.observe_gauge(
+                "slo_burn_rate", fast,
+                {"request": request_class, "window": "fast"},
+            )
+            self.hub.observe_gauge(
+                "slo_burn_rate", slow,
+                {"request": request_class, "window": "slow"},
+            )
+            self.hub.observe_gauge(
+                "slo_error_budget_consumed", consumed,
+                {"request": request_class},
+            )
+
+    def observe_service(
+        self, service: str, request_class: str, latency: float
+    ) -> None:
+        """Count one per-service completion against its MIP budget."""
+        budget = self._service_budgets.get(request_class, {}).get(service)
+        if budget is None:
+            return
+        counts = self._service_counts.get((service, request_class))
+        if counts is None:
+            counts = self._service_counts[(service, request_class)] = [0, 0]
+        counts[1 if latency > budget else 0] += 1
+
+    def _emit(
+        self,
+        name: str,
+        request_class: str,
+        state: str,
+        now: float,
+        fast: float,
+        slow: float,
+        consumed: float,
+    ) -> None:
+        if name not in ALERT_REGISTRY:
+            raise TelemetryError(
+                f"alert {name!r} is not declared in "
+                "repro.telemetry.registry.ALERT_REGISTRY "
+                f"(known: {', '.join(ALERT_REGISTRY.names())})"
+            )
+        if state not in _STATES:
+            raise TelemetryError(
+                f"alert state must be one of {_STATES}, got {state!r}"
+            )
+        self.alerts.append(
+            Alert(
+                name=name,
+                request_class=request_class,
+                state=state,
+                time=now,
+                fast_burn=fast,
+                slow_burn=slow,
+                budget_consumed=consumed,
+            )
+        )
+        if self.hub is not None:
+            self.hub.inc_counter(
+                "slo_alert_transitions_total",
+                labels={
+                    "request": request_class,
+                    "alert": name,
+                    "state": state,
+                },
+            )
+
+    # -- queries -----------------------------------------------------------
+    def classes(self) -> list[str]:
+        return sorted(self._classes)
+
+    def burn_rates(self, request_class: str) -> tuple[float, float]:
+        """Current (fast, slow) burn rates for one class."""
+        state = self._classes[request_class]
+        return state.burn(state.fast), state.burn(state.slow)
+
+    def budget_consumed(self, request_class: str) -> float:
+        return self._classes[request_class].budget_consumed()
+
+    def active_alerts(self) -> list[tuple[str, str]]:
+        """Currently firing ``(request_class, alert_name)`` pairs, sorted."""
+        out = []
+        for cls in sorted(self._classes):
+            state = self._classes[cls]
+            if state.burn_active:
+                out.append((cls, ALERT_BURN_RATE))
+            if state.budget_active:
+                out.append((cls, ALERT_BUDGET_EXHAUSTED))
+        return out
+
+    def budget_report(self) -> dict[str, dict[str, float]]:
+        """Per-class budget accounting (JSON-able, deterministic order)."""
+        report: dict[str, dict[str, float]] = {}
+        for cls in sorted(self._classes):
+            state = self._classes[cls]
+            fast, slow = state.burn(state.fast), state.burn(state.slow)
+            report[cls] = {
+                "good": float(state.total_good),
+                "bad": float(state.total_bad),
+                "objective": state.spec.objective,
+                "target_s": state.spec.target_s,
+                "budget_consumed": round(state.budget_consumed(), 9),
+                "fast_burn": round(fast, 9),
+                "slow_burn": round(slow, 9),
+            }
+        return report
+
+    def service_budget_report(self) -> dict[str, dict[str, float]]:
+        """Per-``service/class`` budget-breach fractions (needs budgets)."""
+        report: dict[str, dict[str, float]] = {}
+        for (service, cls), (within, over) in sorted(
+            self._service_counts.items()
+        ):
+            total = within + over
+            report[f"{service}/{cls}"] = {
+                "budget_s": self._service_budgets[cls][service],
+                "completions": float(total),
+                "over_budget_fraction": (
+                    round(over / total, 9) if total else 0.0
+                ),
+            }
+        return report
+
+    def alerts_jsonl(self) -> str:
+        """Canonical serialization of the alert timeline so far."""
+        return alerts_to_jsonl(self.alerts)

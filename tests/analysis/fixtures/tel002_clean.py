@@ -1,0 +1,16 @@
+"""TEL002 fixture: declared (or dynamic) alert names; must be clean."""
+
+from repro.telemetry.slo import ALERT_BURN_RATE, Alert
+
+#: A declared name behind a module-level constant resolves cleanly.
+_BUDGET_ALERT = "slo-budget-exhausted"
+
+
+def emit(monitor, now, dynamic_name):
+    Alert("slo-burn-rate", "read", "fire", now, 4.0, 4.0, 0.5)
+    Alert(_BUDGET_ALERT, "read", "fire", now, 4.0, 4.0, 1.0)
+    # Imported canonical constants are dynamic to this module's pre-pass
+    # and fall back to the monitor's runtime check.
+    Alert(ALERT_BURN_RATE, "read", "resolve", now, 0.0, 0.0, 0.5)
+    # Dynamic names are the runtime check's job, not the linter's.
+    monitor._emit(dynamic_name, "read", "fire", now, 0.0, 0.0, 0.0)

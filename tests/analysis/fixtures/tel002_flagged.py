@@ -1,0 +1,23 @@
+"""TEL002 fixture: undeclared alert names that must be flagged."""
+
+from repro.telemetry.slo import Alert
+
+#: Module-level constants resolve like literals.
+_TYPOD_ALERT = "slo-burn-rates"
+
+
+def emit(monitor, now):
+    # Typo'd name reached through a module-level constant.
+    Alert(_TYPOD_ALERT, "read", "fire", now, 4.0, 4.0, 0.5)
+    # Typo'd literal: no such alert in the registry.
+    Alert(
+        name="slo-budget-exhuasted",
+        request_class="read",
+        state="fire",
+        time=now,
+        fast_burn=4.0,
+        slow_burn=4.0,
+        budget_consumed=1.0,
+    )
+    # The monitor's internal emit path is checked the same way.
+    monitor._emit("slo-made-up", "read", "fire", now, 0.0, 0.0, 0.0)

@@ -89,7 +89,7 @@ def test_tests_profile_allowlists_test_idioms():
     profile = profile_for_path("tests/sim/test_engine.py")
     assert profile.name == "tests"
     assert profile.rules == frozenset(registry()) - TESTS_ALLOWLIST
-    assert {"SIM005", "SIM006", "TEL001"} == TESTS_ALLOWLIST
+    assert {"SIM005", "SIM006", "TEL001", "TEL002"} == TESTS_ALLOWLIST
 
 
 def test_lint_fixtures_are_excluded_from_policy():

@@ -18,6 +18,7 @@ RULE_FIXTURES = {
     "SIM006": ("sim006_flagged.py", "sim006_clean.py"),
     "API001": ("api001_flagged.py", "api001_clean.py"),
     "TEL001": ("tel001_flagged.py", "tel001_clean.py"),
+    "TEL002": ("tel002_flagged.py", "tel002_clean.py"),
 }
 
 
@@ -52,6 +53,7 @@ def test_flagged_fixture_counts():
         "SIM006": 2,  # == and != against env.now
         "API001": 3,  # two arg defaults + dataclass field
         "TEL001": 4,  # const typo, literal typo, kind mismatch, bad label
+        "TEL002": 3,  # const typo, literal typo, internal emit typo
     }
     for rule_id, count in expected.items():
         flagged, _ = RULE_FIXTURES[rule_id]

@@ -177,6 +177,68 @@ def test_deployment_summaries_shape():
             assert {"mean_s", "p50_s", "p95_s", "p99_s"} <= set(stats)
 
 
+# -- alert/audit pinning and HTML artifacts ----------------------------
+
+
+def test_alerts_and_audits_round_trip_only_when_present():
+    save_result("figXX", "rendered table", _meta())
+    # Runs without a monitor emit no alerts/audits keys at all, so the
+    # sidecars committed before the SLO layer stay byte-identical.
+    sidecar = load_sidecar("figXX")
+    assert "alerts" not in sidecar
+    assert "audits" not in sidecar
+    meta = _meta(
+        alerts={"cell": "ab" * 16},
+        audits={"read": {"mismatch": False}},
+    )
+    save_result("figYY", "monitored table", meta)
+    sidecar = load_sidecar("figYY")
+    assert sidecar["alerts"] == {"cell": "ab" * 16}
+    assert sidecar["audits"] == {"read": {"mismatch": False}}
+    assert check_results() == []
+
+
+def test_alert_stream_drift_fails_loudly():
+    save_result("figXX", "rendered table", _meta(alerts={"cell": "ab" * 16}))
+    with pytest.raises(ResultsMismatchError, match="alert-stream digests"):
+        save_result(
+            "figXX", "rendered table", _meta(alerts={"cell": "cd" * 16})
+        )
+
+
+def test_artifact_files_saved_and_checked():
+    meta = _meta()
+    save_result(
+        "figXX",
+        "rendered table",
+        meta,
+        artifacts={"figXX_report.html": "<!DOCTYPE html>\n<p>dash</p>\n"},
+    )
+    html = store.results_dir() / "figXX_report.html"
+    assert html.read_text().startswith("<!DOCTYPE html>")
+    sidecar = load_sidecar("figXX")
+    assert set(sidecar["artifacts"]) == {"figXX_report.html"}
+    assert check_results() == []
+    # Tampering with the artifact is caught by the offline check.
+    html.write_text("<!DOCTYPE html>\n<p>tampered</p>\n")
+    problems = check_results()
+    assert len(problems) == 1
+    assert "figXX_report.html" in problems[0]
+    # So is deleting it.
+    html.unlink()
+    problems = check_results()
+    assert len(problems) == 1
+    assert "missing" in problems[0]
+
+
+def test_artifact_filenames_validated():
+    for bad in ("../escape.html", "a/b.html", ".hidden"):
+        with pytest.raises(ValueError, match="invalid artifact name"):
+            save_result(
+                "figXX", "rendered table", _meta(), artifacts={bad: "x"}
+            )
+
+
 # -- cross-scale layout ------------------------------------------------
 
 

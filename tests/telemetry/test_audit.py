@@ -1,0 +1,192 @@
+"""Budget audit: observed critical-path dominance vs MIP budgets.
+
+Drives :func:`audit_budgets` with hand-built critical-path aggregates so
+each verdict branch is pinned against exact shares: a deliberately
+mis-budgeted class must be flagged, a consistent one must stay quiet,
+and thin evidence (few traces, near-ties, missing budgets) must yield no
+accusation at all.
+"""
+
+from repro.telemetry.audit import (
+    audit_budgets,
+    render_audit,
+    verdicts_payload,
+)
+
+
+class Aggregate:
+    """Duck-typed stand-in for tracing's pooled per-class aggregate."""
+
+    def __init__(self, requests, by_location):
+        self.requests = requests
+        self.by_location = by_location
+
+
+class Summary:
+    """Duck-typed stand-in for CriticalPathSummary (classes + pooled)."""
+
+    def __init__(self, aggregates):
+        self._aggregates = aggregates
+
+    def classes(self):
+        return list(self._aggregates)
+
+    def pooled(self, cls):
+        return self._aggregates[cls]
+
+
+def test_mis_budgeted_class_is_flagged():
+    # Observed time concentrates on the database; the MIP budgeted the
+    # frontend most.  The model has drifted from the system.
+    summary = Summary(
+        {
+            "read": Aggregate(
+                requests=50,
+                by_location={
+                    ("db", "service"): 8.0,
+                    ("db", "queue"): 1.0,
+                    ("frontend", "service"): 1.0,
+                },
+            )
+        }
+    )
+    budgets = {"read": {"frontend": 0.08, "db": 0.02}}
+    verdicts = audit_budgets(summary, budgets)
+    assert len(verdicts) == 1
+    v = verdicts[0]
+    assert v.mismatch
+    assert v.observed_service == "db"
+    assert v.observed_share == 0.9  # (8 + 1) / 10, phases pooled
+    assert v.budget_service == "frontend"
+    assert abs(v.budget_share - 0.8) < 1e-12
+    assert "db" in v.detail and "frontend" in v.detail
+    assert v.traced_requests == 50
+
+
+def test_consistent_budgets_stay_quiet():
+    summary = Summary(
+        {
+            "read": Aggregate(
+                requests=50,
+                by_location={
+                    ("frontend", "service"): 7.0,
+                    ("db", "service"): 3.0,
+                },
+            )
+        }
+    )
+    budgets = {"read": {"frontend": 0.08, "db": 0.02}}
+    (v,) = audit_budgets(summary, budgets)
+    assert not v.mismatch
+    assert v.observed_service == v.budget_service == "frontend"
+    assert "consistent" in v.detail
+
+
+def test_near_tie_within_margin_is_not_a_mismatch():
+    # Leaders differ, but the budgeted service is observed within the
+    # dominance margin of the leader: too close to accuse the model.
+    summary = Summary(
+        {
+            "read": Aggregate(
+                requests=50,
+                by_location={
+                    ("db", "service"): 5.2,
+                    ("frontend", "service"): 4.8,
+                },
+            )
+        }
+    )
+    budgets = {"read": {"frontend": 0.06, "db": 0.04}}
+    (v,) = audit_budgets(summary, budgets, dominance_margin=0.1)
+    assert not v.mismatch
+    # Shrinking the margin flips the same evidence into a flag.
+    (v,) = audit_budgets(summary, budgets, dominance_margin=0.01)
+    assert v.mismatch
+
+
+def test_thin_or_unbudgeted_classes_yield_no_verdict():
+    summary = Summary(
+        {
+            "thin": Aggregate(
+                requests=3, by_location={("db", "service"): 1.0}
+            ),
+            "unbudgeted": Aggregate(
+                requests=50, by_location={("db", "service"): 1.0}
+            ),
+            "foreign": Aggregate(
+                # Only services absent from the budgets: no overlap to
+                # compare, hence no verdict.
+                requests=50,
+                by_location={("cdn", "service"): 1.0},
+            ),
+        }
+    )
+    budgets = {
+        "thin": {"db": 0.05},
+        "foreign": {"db": 0.05},
+    }
+    assert audit_budgets(summary, budgets, min_traced=5) == []
+
+
+def test_services_outside_the_budget_are_ignored():
+    # The sidecar cache shows up on the critical path but has no budget
+    # row; shares are computed over budgeted services only.
+    summary = Summary(
+        {
+            "read": Aggregate(
+                requests=50,
+                by_location={
+                    ("cache", "service"): 100.0,
+                    ("frontend", "service"): 3.0,
+                    ("db", "service"): 1.0,
+                },
+            )
+        }
+    )
+    budgets = {"read": {"frontend": 0.08, "db": 0.02}}
+    (v,) = audit_budgets(summary, budgets)
+    assert v.observed_service == "frontend"
+    assert abs(v.observed_share - 0.75) < 1e-12
+    assert not v.mismatch
+
+
+def test_verdicts_sorted_and_payload_keyed_by_class():
+    summary = Summary(
+        {
+            "write": Aggregate(
+                requests=10, by_location={("db", "service"): 1.0}
+            ),
+            "read": Aggregate(
+                requests=10, by_location={("frontend", "service"): 1.0}
+            ),
+        }
+    )
+    budgets = {
+        "write": {"db": 0.05},
+        "read": {"frontend": 0.05},
+    }
+    verdicts = audit_budgets(summary, budgets)
+    assert [v.request_class for v in verdicts] == ["read", "write"]
+    payload = verdicts_payload(verdicts)
+    assert set(payload) == {"read", "write"}
+    assert payload["read"]["observed_share"] == 1.0
+    assert payload["read"]["mismatch"] is False
+
+
+def test_render_audit_lines():
+    summary = Summary(
+        {
+            "read": Aggregate(
+                requests=50,
+                by_location={
+                    ("db", "service"): 9.0,
+                    ("frontend", "service"): 1.0,
+                },
+            )
+        }
+    )
+    budgets = {"read": {"frontend": 0.09, "db": 0.01}}
+    text = render_audit(audit_budgets(summary, budgets))
+    assert "MISMATCH" in text
+    assert "read" in text
+    assert render_audit([]).startswith("budget audit: no classes")
