@@ -102,7 +102,7 @@ def _run(
         )
 
         table = run_table05(jobs=jobs, on_complete=on_complete)
-        return table.render(), experiment_meta(table), {}, None, None
+        return table.render(), experiment_meta(table), {}, None
     if name in ("fig09", "fig10"):
         from repro.experiments.fig09_10_model_accuracy import (
             FIG9_10_SEED,

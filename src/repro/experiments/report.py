@@ -461,7 +461,9 @@ def render_dashboard_html(dash: RunDashboard) -> str:
         shown = dash.alerts[:_MAX_ALERT_ROWS]
         rows = [
             (f"{alert.time:.1f}", label, alert.name, alert.request_class,
-             _Raw(f'<span class="{alert.state}">{alert.state}</span>'),
+             _Raw('<span class="'
+                  f'{_html_escape(alert.state)}">'
+                  f'{_html_escape(alert.state)}</span>'),
              f"{alert.fast_burn:.2f}", f"{alert.slow_burn:.2f}")
             for label, alert in shown
         ]

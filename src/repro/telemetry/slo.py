@@ -171,12 +171,22 @@ def alerts_to_jsonl(alerts: Iterable[Alert]) -> str:
 
 
 def alerts_from_jsonl(text: str) -> list[Alert]:
-    """Exact inverse of :func:`alerts_to_jsonl`."""
+    """Exact inverse of :func:`alerts_to_jsonl`.
+
+    Validates ``state`` against the known transitions -- loaded alerts
+    flow into reports (including raw-HTML dashboard cells), so a
+    hand-edited sidecar must not smuggle arbitrary strings through.
+    """
     out = []
     for line in text.splitlines():
         if not line.strip():
             continue
         payload = json.loads(line)
+        if payload.get("state") not in _STATES:
+            raise TelemetryError(
+                f"alert state must be one of {_STATES}, "
+                f"got {payload.get('state')!r}"
+            )
         out.append(Alert(**payload))
     return out
 
@@ -198,13 +208,18 @@ class _WindowSum:
         self.bad = 0
         self.span = span
 
-    def add(self, bucket: int, good: int, bad: int) -> None:
+    def advance(self, bucket: int) -> None:
+        """Retire buckets that fell out of the window ending at ``bucket``."""
         buckets = self.buckets
         cutoff = bucket - self.span
         while buckets and buckets[0][0] <= cutoff:
             _b, g, b = buckets.popleft()
             self.good -= g
             self.bad -= b
+
+    def add(self, bucket: int, good: int, bad: int) -> None:
+        self.advance(bucket)
+        buckets = self.buckets
         if buckets and buckets[-1][0] == bucket:
             tail = buckets[-1]
             tail[1] += good
@@ -320,7 +335,10 @@ class SLOMonitor:
         self.alerts: list[Alert] = []
         #: class -> service -> budgeted seconds (set_service_budgets).
         self._service_budgets: dict[str, dict[str, float]] = {}
-        #: (service, class) -> [within_budget, over_budget] counts.
+        #: (service, class) -> [within_budget, over_budget, budget_s].
+        #: The budget is snapshotted at observe time (latest wins) so
+        #: end-of-run reporting survives a re-solve that drops the pair
+        #: from :attr:`_service_budgets`.
         self._service_counts: dict[tuple[str, str], list] = {}
 
     # -- subscription ------------------------------------------------------
@@ -426,7 +444,11 @@ class SLOMonitor:
             return
         counts = self._service_counts.get((service, request_class))
         if counts is None:
-            counts = self._service_counts[(service, request_class)] = [0, 0]
+            counts = self._service_counts[(service, request_class)] = [
+                0, 0, budget,
+            ]
+        else:
+            counts[2] = budget
         counts[1 if latency > budget else 0] += 1
 
     def _emit(
@@ -471,12 +493,25 @@ class SLOMonitor:
             )
 
     # -- queries -----------------------------------------------------------
+    def _advance_windows(self, state: _ClassState) -> None:
+        """Retire buckets the sim clock has moved past.
+
+        Completions evict lazily inside :meth:`_WindowSum.add`; queries
+        issued after the clock advanced beyond the last completion must
+        evict against *now* so windowed burn rates decay toward zero
+        instead of reporting stale fractions.
+        """
+        bucket = int(self.clock() / self.bucket_s)
+        state.fast.advance(bucket)
+        state.slow.advance(bucket)
+
     def classes(self) -> list[str]:
         return sorted(self._classes)
 
     def burn_rates(self, request_class: str) -> tuple[float, float]:
         """Current (fast, slow) burn rates for one class."""
         state = self._classes[request_class]
+        self._advance_windows(state)
         return state.burn(state.fast), state.burn(state.slow)
 
     def budget_consumed(self, request_class: str) -> float:
@@ -498,6 +533,7 @@ class SLOMonitor:
         report: dict[str, dict[str, float]] = {}
         for cls in sorted(self._classes):
             state = self._classes[cls]
+            self._advance_windows(state)
             fast, slow = state.burn(state.fast), state.burn(state.slow)
             report[cls] = {
                 "good": float(state.total_good),
@@ -513,12 +549,12 @@ class SLOMonitor:
     def service_budget_report(self) -> dict[str, dict[str, float]]:
         """Per-``service/class`` budget-breach fractions (needs budgets)."""
         report: dict[str, dict[str, float]] = {}
-        for (service, cls), (within, over) in sorted(
+        for (service, cls), (within, over, budget_s) in sorted(
             self._service_counts.items()
         ):
             total = within + over
             report[f"{service}/{cls}"] = {
-                "budget_s": self._service_budgets[cls][service],
+                "budget_s": budget_s,
                 "completions": float(total),
                 "over_budget_fraction": (
                     round(over / total, 9) if total else 0.0

@@ -20,6 +20,26 @@ def test_run_rejects_bad_name():
         _run("bogus", None, None)
 
 
+def test_table05_branch_returns_four_values(monkeypatch):
+    # main() unpacks exactly (text, meta, trace_sources, report) from
+    # _run; stub out the heavy experiment and pin the table05 arity.
+    import repro.experiments.table05_exploration as t05
+
+    class _Table:
+        def render(self):
+            return "rendered"
+
+    monkeypatch.setattr(
+        t05, "run_table05", lambda jobs=None, on_complete=None: _Table()
+    )
+    monkeypatch.setattr(t05, "experiment_meta", lambda table: {"seed": 1})
+    text, meta, trace_sources, report = _run("table05", None, None)
+    assert text == "rendered"
+    assert meta == {"seed": 1}
+    assert trace_sources == {}
+    assert report is None
+
+
 def test_help_exits_zero(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--help"])

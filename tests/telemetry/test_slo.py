@@ -181,6 +181,26 @@ def test_old_buckets_retire_from_the_windows():
     assert monitor.budget_consumed("read") == pytest.approx(50.0)
 
 
+def test_queries_decay_after_clock_passes_last_completion():
+    clock = Clock()
+    monitor = make_monitor(clock)
+    monitor.observe("read", 1.0)  # bad at t=0
+    assert monitor.burn_rates("read") == pytest.approx((100.0, 100.0))
+    # No further completions: queries alone must retire expired buckets
+    # against the current clock.  The 10 s fast window empties first.
+    clock.now = 15.0
+    fast, slow = monitor.burn_rates("read")
+    assert fast == 0.0
+    assert slow == pytest.approx(100.0)
+    clock.now = 100.0  # past the 30 s slow window too
+    assert monitor.burn_rates("read") == (0.0, 0.0)
+    report = monitor.budget_report()
+    assert report["read"]["fast_burn"] == 0.0
+    assert report["read"]["slow_burn"] == 0.0
+    # Cumulative accounting never forgets.
+    assert report["read"]["budget_consumed"] == pytest.approx(100.0)
+
+
 def test_multi_window_rule_needs_both_windows_burning():
     clock = Clock()
     monitor = make_monitor(clock)
@@ -234,6 +254,35 @@ def test_service_budget_breach_counting():
     }
 
 
+def test_service_budget_report_survives_resolve_dropping_a_pair():
+    clock = Clock()
+    monitor = make_monitor(clock)
+    monitor.set_service_budgets({"read": {"db": 0.05}})
+    monitor.observe_service("db", "read", 0.06)  # over
+    # A re-solve may drop the (class, service) pair wholesale (the
+    # optimizer skips pairs with no percentile choice); already-counted
+    # completions must still report against the snapshotted budget.
+    monitor.set_service_budgets({})
+    report = monitor.service_budget_report()
+    assert report == {
+        "db/read": {
+            "budget_s": 0.05,
+            "completions": 1.0,
+            "over_budget_fraction": 1.0,
+        },
+    }
+    # New completions for the dropped pair are no longer counted ...
+    monitor.observe_service("db", "read", 0.06)
+    assert monitor.service_budget_report()["db/read"]["completions"] == 1.0
+    # ... and a re-solve that changes the budget updates the snapshot.
+    monitor.set_service_budgets({"read": {"db": 0.1}})
+    monitor.observe_service("db", "read", 0.06)  # within the new budget
+    report = monitor.service_budget_report()["db/read"]
+    assert report["budget_s"] == 0.1
+    assert report["completions"] == 2.0
+    assert report["over_budget_fraction"] == 0.5
+
+
 # -- serialization ---------------------------------------------------------
 
 
@@ -248,6 +297,16 @@ def test_alert_jsonl_round_trip_and_digest():
     assert alerts_digest(jsonl) == alerts_digest(jsonl)
     assert alerts_digest(jsonl) != alerts_digest("")
     assert alerts_to_jsonl([]) == ""
+
+
+def test_alerts_from_jsonl_rejects_unknown_state():
+    # Loaded alerts flow into raw-HTML dashboard cells; a hand-edited
+    # sidecar must not smuggle arbitrary strings through ``state``.
+    jsonl = alerts_to_jsonl(
+        [Alert(ALERT_BURN_RATE, "read", "fire", 0.0, 1.0, 1.0, 0.1)]
+    ).replace('"fire"', '"<script>alert(1)</script>"')
+    with pytest.raises(TelemetryError, match="state"):
+        alerts_from_jsonl(jsonl)
 
 
 # -- deployment-level purity and reproducibility ---------------------------
