@@ -1,6 +1,6 @@
 # Convenience targets for the Ursa reproduction.
 
-.PHONY: install test test-par sanitize lint typecheck bench bench-full perf perf-check clean-cache report results results-check loc
+.PHONY: install test test-par sanitize lint typecheck bench bench-full perf perf-check clean-cache report results results-check fleet fleet-smoke loc
 
 install:
 	pip install -e .
@@ -63,6 +63,16 @@ clean-cache:
 # results/ (docs/observability.md §4).
 report:
 	PYTHONPATH=src python -m repro fig11-12 --report
+
+# Fleet-scale sharded run: 8 tenant cells under one 32-node budget,
+# static-equal vs greedy headroom-stealing allocators, merged fleet
+# dashboard + results/fleet/ provenance sidecars (docs/fleet.md).
+fleet:
+	PYTHONPATH=src python -m repro fleet --save
+
+# 4-cell shortened fleet run, the CI smoke variant.
+fleet-smoke:
+	PYTHONPATH=src python -m repro fleet --smoke --save
 
 results:
 	@ls -1 results/ 2>/dev/null || echo "run 'make bench' first"

@@ -31,10 +31,9 @@ import sys
 import time
 from pathlib import Path
 
+from repro.api import RunOptions, run_cell, run_performance_grid
 from repro.experiments import artifacts
-from repro.experiments.fig11_12_performance import run_cell, run_performance_grid
 from repro.experiments.parallel import default_jobs, pool_stats, shutdown_pool
-from repro.experiments.runner import RunOptions
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 OUTPUT = REPO_ROOT / "BENCH_runner.json"
@@ -74,7 +73,8 @@ def bench_grid(jobs: int) -> dict:
     artifacts.exploration_result(GRID_APP)  # prewarm
     start = time.perf_counter()
     sequential = run_performance_grid(
-        (GRID_APP,), GRID_LOADS, GRID_MANAGERS, seed=23, jobs=1
+        (GRID_APP,), GRID_LOADS, GRID_MANAGERS,
+        options=RunOptions(seed=23, digest=True), jobs=1,
     )
     sequential_s = time.perf_counter() - start
     # Cold parallel run: includes pool spin-up, the price the *first*
@@ -82,14 +82,16 @@ def bench_grid(jobs: int) -> dict:
     shutdown_pool()
     start = time.perf_counter()
     parallel = run_performance_grid(
-        (GRID_APP,), GRID_LOADS, GRID_MANAGERS, seed=23, jobs=jobs
+        (GRID_APP,), GRID_LOADS, GRID_MANAGERS,
+        options=RunOptions(seed=23, digest=True), jobs=jobs,
     )
     parallel_s = time.perf_counter() - start
     # Pool-amortized run: the same grid again on the already-warm pool --
     # what every later grid of the invocation pays.
     start = time.perf_counter()
     warm = run_performance_grid(
-        (GRID_APP,), GRID_LOADS, GRID_MANAGERS, seed=23, jobs=jobs
+        (GRID_APP,), GRID_LOADS, GRID_MANAGERS,
+        options=RunOptions(seed=23, digest=True), jobs=jobs,
     )
     warm_parallel_s = time.perf_counter() - start
     identical = (

@@ -19,11 +19,11 @@ variants can fan out across processes.
 from conftest import run_once
 
 from repro.experiments import artifacts
+from repro.api import run_backpressure_ablation
 from repro.experiments.ablations import (
     ABLATION_APP,
     BP_SERVICE,
     backpressure_meta,
-    run_backpressure_ablation,
 )
 
 

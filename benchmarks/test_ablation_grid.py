@@ -13,7 +13,8 @@ cells can fan out across processes.
 
 from conftest import run_once
 
-from repro.experiments.ablations import grid_meta, run_grid_ablation
+from repro.api import run_grid_ablation
+from repro.experiments.ablations import grid_meta
 
 
 def test_ablation_grid(benchmark, save_result):

@@ -17,7 +17,8 @@ variants can fan out across processes.
 
 from conftest import run_once
 
-from repro.experiments.ablations import run_ttest_ablation, ttest_meta
+from repro.api import run_ttest_ablation
+from repro.experiments.ablations import ttest_meta
 
 
 def test_ablation_ttest(benchmark, save_result):

@@ -7,11 +7,11 @@ same but weaker; MQ shows none.
 
 from conftest import run_once
 
+from repro.api import run_all_chains
 from repro.experiments.fig02_backpressure import (
     backpressure_factor,
     experiment_meta,
     render_report,
-    run_all_chains,
 )
 from repro.net.messages import CallMode
 

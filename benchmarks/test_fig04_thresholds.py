@@ -7,10 +7,8 @@ convergence is several times its converged value.
 
 from conftest import run_once
 
-from repro.experiments.fig04_thresholds import (
-    experiment_meta,
-    run_threshold_profiling,
-)
+from repro.api import run_threshold_profiling
+from repro.experiments.fig04_thresholds import experiment_meta
 
 
 def test_fig04_thresholds(benchmark, save_result):

@@ -8,13 +8,12 @@ import math
 
 from conftest import run_once
 
+from repro.api import RunOptions, run_model_accuracy
 from repro.experiments.fig09_10_model_accuracy import (
     FIG9_10_SEED,
     FIG9_CLASSES,
     experiment_meta,
-    run_model_accuracy,
 )
-from repro.experiments.runner import RunOptions
 
 
 def test_fig09_model_accuracy(benchmark, save_result):

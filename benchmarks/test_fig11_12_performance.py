@@ -18,10 +18,8 @@ import statistics
 
 from conftest import run_once
 
-from repro.experiments.fig11_12_performance import (
-    experiment_meta,
-    run_performance_grid,
-)
+from repro.api import run_performance_grid
+from repro.experiments.fig11_12_performance import experiment_meta
 
 DEFAULT_APPS = (
     "social-network",

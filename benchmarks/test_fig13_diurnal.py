@@ -8,7 +8,8 @@ must add and remove replicas).
 
 from conftest import run_once
 
-from repro.experiments.fig13_diurnal import experiment_meta, run_diurnal_trace
+from repro.api import run_diurnal_trace
+from repro.experiments.fig13_diurnal import experiment_meta
 
 
 def test_fig13_diurnal(benchmark, save_result):

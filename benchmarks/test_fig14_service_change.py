@@ -8,10 +8,8 @@ after recalculation the updated deployment keeps the object-detect SLA
 
 from conftest import run_once
 
-from repro.experiments.fig14_service_change import (
-    experiment_meta,
-    run_service_change,
-)
+from repro.api import run_service_change
+from repro.experiments.fig14_service_change import experiment_meta
 
 
 def test_fig14_service_change(benchmark, save_result):

@@ -8,7 +8,8 @@ same order, not identical.
 
 from conftest import run_once
 
-from repro.experiments.table05_exploration import experiment_meta, run_table05
+from repro.api import run_table05
+from repro.experiments.table05_exploration import experiment_meta
 
 
 def test_table05_exploration(benchmark, save_result):

@@ -9,7 +9,8 @@ Shape targets (absolute numbers are host-dependent):
 
 from conftest import run_once
 
-from repro.experiments.table06_control_plane import experiment_meta, run_table06
+from repro.api import run_table06
+from repro.experiments.table06_control_plane import experiment_meta
 
 
 def test_table06_control_plane(benchmark, save_result):

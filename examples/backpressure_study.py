@@ -12,7 +12,8 @@ Run:  python examples/backpressure_study.py
 """
 
 from repro.core import BackpressureProfiler
-from repro.experiments.fig02_backpressure import backpressure_factor, run_all_chains
+from repro.api import run_all_chains
+from repro.experiments.fig02_backpressure import backpressure_factor
 from repro.sim.random import LogNormal, RandomStreams
 
 

@@ -14,7 +14,7 @@ from repro.apps import build_vanilla_social_network_spec
 from repro.core import ExplorationController
 from repro.experiments.goodput import compare_cost_efficiency
 from repro.experiments.managers import attach_autoscaler, attach_ursa
-from repro.experiments.runner import RunOptions, run_deployment
+from repro.api import RunOptions, run_deployment
 from repro.sim import RandomStreams
 from repro.workload import ConstantLoad
 from repro.workload.defaults import vanilla_social_network_mix

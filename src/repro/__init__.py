@@ -20,14 +20,13 @@ discrete-event cluster simulator:
 * :mod:`repro.baselines` -- Sinan, Firm, and step autoscaling.
 * :mod:`repro.experiments` -- per-table/figure reproduction harnesses.
 
-Quickstart::
+Quickstart (the supported import surface is :mod:`repro.api`, also
+re-exported lazily from this package)::
 
-    from repro.apps import build_social_network
-    from repro.experiments.runner import run_managed_deployment
+    from repro.api import RunOptions, simulate
 
-    app = build_social_network()
-    result = run_managed_deployment(app, manager="ursa", duration_s=300)
-    print(result.sla_violation_rate, result.mean_cpu_allocation)
+    result = simulate("social-network", options=RunOptions(seed=23))
+    print(result.windowed_violation_rate, result.mean_cpu_allocation)
 """
 
 from repro._version import __version__
@@ -53,3 +52,29 @@ __all__ = [
     "TelemetryError",
     "TopologyError",
 ]
+
+
+def __getattr__(name: str):
+    """Lazily forward :mod:`repro.api` names (``repro.simulate`` etc.).
+
+    Keeps ``import repro`` cheap -- the experiment stack behind the api
+    facade only loads when a facade name is actually touched.  Resolved
+    via ``importlib`` (not ``from repro import api``), which returns the
+    in-progress module from ``sys.modules`` during ``repro.api``'s own
+    import instead of recursing back into this hook.
+    """
+    import importlib
+
+    api = importlib.import_module("repro.api")
+    if name == "api":
+        return api
+    if name in api.__all__:
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    import importlib
+
+    api = importlib.import_module("repro.api")
+    return sorted(set(__all__) | set(api.__all__) | set(globals()))

@@ -34,6 +34,7 @@ from repro.analysis.core import registry
 
 __all__ = [
     "EXPERIMENTS_ALLOWLIST",
+    "INTERNAL_ALLOWLIST",
     "PERF_BENCH_ALLOWLIST",
     "Profile",
     "SIM_PATH_PACKAGES",
@@ -70,6 +71,13 @@ EXPERIMENTS_ALLOWLIST = frozenset({"SIM001"})
 #: wall-clock timing is their purpose, not an accident.
 PERF_BENCH_ALLOWLIST = frozenset({"SIM001"})
 
+#: Rules disabled *inside* the ``repro`` package itself: the facade
+#: rule API002 exists to keep external callers (tests, benchmarks,
+#: examples) on ``repro.api``; internal modules -- the facade, the CLI,
+#: the fleet runner, the experiment harnesses importing each other --
+#: are the implementation it fronts.
+INTERNAL_ALLOWLIST = frozenset({"API002"})
+
 #: Rules disabled for ``tests/``: exact-clock assertions (SIM006) are
 #: the determinism property under test, minimal acquire-only processes
 #: (SIM005) probe the resource primitives themselves, and ad-hoc metric/
@@ -103,12 +111,24 @@ def _all_program_rules() -> frozenset[str]:
 
 
 def sim_path_profile() -> Profile:
-    return Profile("sim-path", _all_rules(), _all_program_rules())
+    return Profile(
+        "sim-path", _all_rules() - INTERNAL_ALLOWLIST, _all_program_rules()
+    )
 
 
 def experiments_profile() -> Profile:
     return Profile(
-        "experiments", _all_rules() - EXPERIMENTS_ALLOWLIST, _all_program_rules()
+        "experiments",
+        _all_rules() - EXPERIMENTS_ALLOWLIST - INTERNAL_ALLOWLIST,
+        _all_program_rules(),
+    )
+
+
+def repro_internal_profile() -> Profile:
+    """Strict minus the facade rule, for ``repro`` packages that are
+    neither sim-path nor experiments (api, fleet, analysis, ...)."""
+    return Profile(
+        "repro-internal", _all_rules() - INTERNAL_ALLOWLIST, _all_program_rules()
     )
 
 
@@ -157,4 +177,5 @@ def profile_for_path(path: str | Path) -> Profile:
             return experiments_profile()
         if package in SIM_PATH_PACKAGES:
             return sim_path_profile()
+        return repro_internal_profile()
     return strict_profile()

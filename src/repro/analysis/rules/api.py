@@ -6,7 +6,7 @@ import ast
 
 from repro.analysis.core import Rule, dotted_name, register
 
-__all__ = ["MutableDefaultRule"]
+__all__ = ["FacadeImportRule", "MutableDefaultRule"]
 
 _MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
 
@@ -75,5 +75,70 @@ class MutableDefaultRule(Rule):
                         stmt.value,
                         f"mutable default for dataclass field in {node.name}; "
                         "use dataclasses.field(default_factory=...)",
+                    )
+        self.generic_visit(node)
+
+
+#: Run entry points that must be imported via the ``repro.api`` facade.
+#: Kept in sync with ``repro.api.__all__`` by a test (the lint layer
+#: deliberately does not import the experiment stack to find out).
+FACADE_ENTRYPOINTS = frozenset(
+    {
+        "run_all_chains",
+        "run_backpressure_ablation",
+        "run_cell",
+        "run_deployment",
+        "run_diurnal_trace",
+        "run_fleet",
+        "run_grid_ablation",
+        "run_model_accuracy",
+        "run_performance_grid",
+        "run_service_change",
+        "run_table05",
+        "run_table06",
+        "run_threshold_profiling",
+        "run_ttest_ablation",
+        "simulate",
+        "simulate_fleet",
+        "simulate_grid",
+    }
+)
+
+_FACADE_MODULES = ("repro", "repro.api")
+
+
+@register
+class FacadeImportRule(Rule):
+    """Flag run entry points imported from implementation modules.
+
+    ``repro.api`` is the stability boundary of the package: everything
+    outside (tests, benchmarks, examples, notebooks) should reach the
+    ``run_*``/``simulate*`` entry points through it, so implementation
+    modules can move and change signatures freely.  Internal ``repro``
+    packages are exempt via the lint policy (the facade itself has to
+    import the implementations).
+    """
+
+    id = "API002"
+    title = "run entrypoint imported outside repro.api"
+    rationale = (
+        "repro.api is the supported import surface for run entry points; "
+        "importing them from implementation modules couples callers to "
+        "module layout and signatures that are free to change."
+    )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        if (
+            node.level == 0
+            and module.startswith("repro")
+            and module not in _FACADE_MODULES
+        ):
+            for alias in node.names:
+                if alias.name in FACADE_ENTRYPOINTS:
+                    self.report(
+                        node,
+                        f"import {alias.name} from repro.api, not "
+                        f"{module} (the supported API surface)",
                     )
         self.generic_visit(node)

@@ -24,10 +24,18 @@ __all__ = ["Cluster"]
 class Cluster:
     """A simulated cluster with named deployments."""
 
-    def __init__(self, env: Environment, nodes: list[Node] | None = None) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        nodes: list[Node] | None = None,
+        cap_on_full: bool = False,
+    ) -> None:
         self.env = env
         self.nodes = nodes if nodes is not None else default_testbed_nodes()
         self.scheduler = Scheduler(self.nodes)
+        #: When True, deployments cap scale-ups at cluster capacity
+        #: instead of raising SchedulingError (budgeted fleet cells).
+        self.cap_on_full = bool(cap_on_full)
         self._deployments: dict[str, Deployment] = {}
 
     def create_deployment(
@@ -52,6 +60,7 @@ class Cluster:
             startup_delay_s=startup_delay_s,
             on_pod_running=on_pod_running,
             on_pod_stopping=on_pod_stopping,
+            cap_on_full=self.cap_on_full,
         )
         self._deployments[name] = deployment
         if replicas:
@@ -79,6 +88,10 @@ class Cluster:
         if name is not None:
             return self.deployment(name).allocated_cpus
         return sum(d.allocated_cpus for d in self._deployments.values())
+
+    def capped_scale_ups(self) -> int:
+        """Scale-up pods refused at capacity (capped clusters only)."""
+        return sum(d.capped_scale_ups for d in self._deployments.values())
 
     def total_cpus(self) -> int:
         return self.scheduler.total_cpus()

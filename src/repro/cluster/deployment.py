@@ -69,6 +69,7 @@ class Deployment:
         startup_delay_s: float = 5.0,
         on_pod_running: Callable[[Pod], None] | None = None,
         on_pod_stopping: Callable[[Pod], None] | None = None,
+        cap_on_full: bool = False,
     ) -> None:
         if cpus_per_replica < 1:
             raise SchedulingError(
@@ -85,6 +86,11 @@ class Deployment:
         self.startup_delay_s = float(startup_delay_s)
         self.on_pod_running = on_pod_running
         self.on_pod_stopping = on_pod_stopping
+        #: When the cluster is full, stop scaling up instead of raising
+        #: (budgeted fleet cells degrade to queueing, not a crash).
+        self.cap_on_full = bool(cap_on_full)
+        #: Pods a capped scale-up could not place (observability only).
+        self.capped_scale_ups = 0
         self._pods: list[Pod] = []
         self._pod_seq = 0
         self.desired_replicas = 0
@@ -119,7 +125,8 @@ class Deployment:
         delta = self.desired_replicas - len(current)
         if delta > 0:
             for _ in range(delta):
-                self._start_pod()
+                if not self._start_pod():
+                    break
         elif delta < 0:
             # Stop youngest first; prefer cancelling pods still pending.
             victims = sorted(
@@ -132,8 +139,19 @@ class Deployment:
         """Adjust desired replicas by ``delta`` (floored at zero)."""
         self.scale_to(max(0, self.desired_replicas + delta))
 
-    def _start_pod(self) -> None:
-        node = self.scheduler.place(self.cpus_per_replica, self.memory_per_replica_gb)
+    def _start_pod(self) -> bool:
+        """Place one pod; returns False when a capped cluster is full."""
+        if self.cap_on_full:
+            node = self.scheduler.try_place(
+                self.cpus_per_replica, self.memory_per_replica_gb
+            )
+            if node is None:
+                self.capped_scale_ups += 1
+                return False
+        else:
+            node = self.scheduler.place(
+                self.cpus_per_replica, self.memory_per_replica_gb
+            )
         self._pod_seq += 1
         pod = Pod(
             name=f"{self.name}-{self._pod_seq}",
@@ -144,6 +162,7 @@ class Deployment:
         )
         self._pods.append(pod)
         self.env.process(self._startup(pod))
+        return True
 
     def _startup(self, pod: Pod):
         if self.startup_delay_s > 0:

@@ -27,13 +27,24 @@ class Scheduler:
 
     def place(self, cpus: int, memory_gb: float) -> Node:
         """Choose a node for a pod and allocate its resources."""
-        candidates = [node for node in self.nodes if node.fits(cpus, memory_gb)]
-        if not candidates:
+        chosen = self.try_place(cpus, memory_gb)
+        if chosen is None:
             total_free = sum(node.cpus_free for node in self.nodes)
             raise SchedulingError(
                 f"no node fits {cpus} CPUs / {memory_gb} GB "
                 f"({total_free} CPUs free cluster-wide)"
             )
+        return chosen
+
+    def try_place(self, cpus: int, memory_gb: float) -> Node | None:
+        """Like :meth:`place` but returns ``None`` when no node fits.
+
+        The capacity-capped scaling path (budgeted fleet cells) uses this
+        to treat a full cluster as back-off instead of an error.
+        """
+        candidates = [node for node in self.nodes if node.fits(cpus, memory_gb)]
+        if not candidates:
+            return None
         # Worst-fit by free CPUs; node name breaks ties deterministically.
         chosen = max(candidates, key=lambda node: (node.cpus_free, node.name))
         chosen.allocate(cpus, memory_gb)

@@ -103,13 +103,27 @@ def ttest_variant(alpha: float, options: RunOptions | None = None) -> dict:
     }
 
 
-def run_ttest_ablation(jobs: int | None = None):
-    """(table, with_ttest, naive) -- §V item 4 knocked out."""
+def run_ttest_ablation(
+    options: RunOptions | None = None, jobs: int | None = None
+):
+    """(table, with_ttest, naive) -- §V item 4 knocked out.
+
+    Per-run knobs (seed, durations, digest) ride in ``options``; both
+    variants share it so they face identical workloads.
+    """
     artifacts.exploration_result(ABLATION_APP)  # prewarm before forking
     with_ttest, naive = run_many(
         [
-            RunPlan(ttest_variant, {"alpha": 0.05}, label="ablation:ttest:welch"),
-            RunPlan(ttest_variant, {"alpha": 0.9999}, label="ablation:ttest:naive"),
+            RunPlan(
+                ttest_variant,
+                {"alpha": 0.05, "options": options},
+                label="ablation:ttest:welch",
+            ),
+            RunPlan(
+                ttest_variant,
+                {"alpha": 0.9999, "options": options},
+                label="ablation:ttest:naive",
+            ),
         ],
         jobs=jobs,
     )
@@ -159,9 +173,16 @@ def ttest_meta(with_ttest: dict, naive: dict, seed: int = TTEST_SEED) -> RunMeta
 # -- backpressure-free stop during exploration ----------------------------
 
 
-def backpressure_variant(threshold: float, salt: int):
-    """Explore ``BP_SERVICE`` once with the given utilisation stop."""
-    profile = scale_profile()
+def backpressure_variant(
+    threshold: float, salt: int, options: RunOptions | None = None
+):
+    """Explore ``BP_SERVICE`` once with the given utilisation stop.
+
+    ``options.scale`` picks the exploration profile (default: the
+    ``REPRO_SCALE`` environment); the other run knobs do not apply to an
+    exploration probe.
+    """
+    profile = options.profile() if options is not None else scale_profile()
     controller = ExplorationController(
         RandomStreams(777),
         window_s=profile.exploration_window_s,
@@ -181,7 +202,9 @@ def backpressure_variant(threshold: float, salt: int):
     )
 
 
-def run_backpressure_ablation(jobs: int | None = None):
+def run_backpressure_ablation(
+    options: RunOptions | None = None, jobs: int | None = None
+):
     """(table, enforced, disabled) -- Algorithm 1's stop knocked out."""
     bp = artifacts.backpressure_thresholds(ABLATION_APP).get(BP_SERVICE, 0.6)
     artifacts.app_spec(ABLATION_APP)  # prewarm before forking
@@ -189,12 +212,12 @@ def run_backpressure_ablation(jobs: int | None = None):
         [
             RunPlan(
                 backpressure_variant,
-                {"threshold": bp, "salt": 1},
+                {"threshold": bp, "salt": 1, "options": options},
                 label="ablation:bp:enforced",
             ),
             RunPlan(
                 backpressure_variant,
-                {"threshold": 1.0, "salt": 2},
+                {"threshold": 1.0, "salt": 2, "options": options},
                 label="ablation:bp:disabled",
             ),
         ],

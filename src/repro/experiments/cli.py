@@ -27,6 +27,7 @@ EXPERIMENTS = (
     "fig13",
     "table06",
     "fig14",
+    "fleet",
     "summary",
 )
 
@@ -67,17 +68,38 @@ def _run(
     on_complete=None,
     trace_runs: bool = False,
     report_runs: bool = False,
+    cells: int = 8,
+    smoke: bool = False,
 ):
-    """Run one experiment; returns ``(text, meta, jsonl_by_source, report)``.
+    """Run one experiment.
 
-    ``meta`` is the provenance :class:`~repro.experiments.store.RunMeta`
+    Returns ``(text, meta, jsonl_by_source, report, html)``.  ``meta``
+    is the provenance :class:`~repro.experiments.store.RunMeta`
     persisted alongside the text when ``--save`` is given; ``summary``
     aggregates other results and carries no provenance of its own.
     ``jsonl_by_source`` holds each traced run's serialized span trees
     (non-empty only with ``trace_runs``, for ``--dump-traces``).
     ``report`` is the ``(text, html, meta)`` dashboard bundle when
-    ``report_runs`` (fig11-12 only), else ``None``.
+    ``report_runs`` (fig11-12 only); ``html`` is an HTML rendering of
+    the main output saved as a sidecar-recorded artifact (fleet only).
     """
+    if name == "fleet":
+        from repro.api import RunOptions, SLOOptions, simulate_fleet
+        from repro.fleet import default_fleet, fleet_report
+
+        options = RunOptions(digest=True, scale="fleet", slo=SLOOptions())
+        if smoke:
+            # CI-sized fleet: shorter cells (the probe epoch derives its
+            # own durations from these), same determinism guarantees.
+            options = options.replace(duration_s=160.0, measure_from_s=40.0)
+        result = simulate_fleet(
+            default_fleet(cells),
+            options=options,
+            jobs=jobs,
+            on_complete=on_complete,
+        )
+        text, html, meta = fleet_report(result)
+        return text, meta, {}, None, html
     if name == "fig02":
         from repro.experiments.fig02_backpressure import (
             experiment_meta,
@@ -86,7 +108,7 @@ def _run(
         )
 
         heatmaps = run_all_chains()
-        return render_report(heatmaps), experiment_meta(heatmaps), {}, None
+        return render_report(heatmaps), experiment_meta(heatmaps), {}, None, None
     if name == "fig04":
         from repro.experiments.fig04_thresholds import (
             experiment_meta,
@@ -94,7 +116,7 @@ def _run(
         )
 
         curves = run_threshold_profiling()
-        return curves.render(), experiment_meta(curves), {}, None
+        return curves.render(), experiment_meta(curves), {}, None, None
     if name == "table05":
         from repro.experiments.table05_exploration import (
             experiment_meta,
@@ -102,7 +124,7 @@ def _run(
         )
 
         table = run_table05(jobs=jobs, on_complete=on_complete)
-        return table.render(), experiment_meta(table), {}, None
+        return table.render(), experiment_meta(table), {}, None, None
     if name in ("fig09", "fig10"):
         from repro.experiments.fig09_10_model_accuracy import (
             FIG9_10_SEED,
@@ -134,15 +156,20 @@ def _run(
             experiment_meta(result, _RESULT_NAMES[name]),
             sources,
             None,
+            None,
         )
     if name == "fig11-12":
         from repro.experiments.fig11_12_performance import (
+            FIG11_12_SEED,
             experiment_meta,
             report_artifacts,
             run_performance_grid,
         )
-
-        from repro.experiments.runner import SLOOptions, TracingOptions
+        from repro.experiments.runner import (
+            RunOptions,
+            SLOOptions,
+            TracingOptions,
+        )
 
         grid = run_performance_grid(
             tuple(apps)
@@ -153,10 +180,14 @@ def _run(
                 "media-service",
                 "video-pipeline",
             ),
-            tracing=(
-                TracingOptions() if (trace_runs or report_runs) else None
+            options=RunOptions(
+                seed=FIG11_12_SEED,
+                digest=True,
+                tracing=(
+                    TracingOptions() if (trace_runs or report_runs) else None
+                ),
+                slo=SLOOptions() if report_runs else None,
             ),
-            slo=SLOOptions() if report_runs else None,
             jobs=jobs,
             on_complete=on_complete,
         )
@@ -167,7 +198,7 @@ def _run(
             if result is not None and result.traces is not None
         }
         report = report_artifacts(grid) if report_runs else None
-        return text, experiment_meta(grid), sources, report
+        return text, experiment_meta(grid), sources, report, None
     if name == "fig13":
         from repro.experiments.fig13_diurnal import (
             experiment_meta,
@@ -175,7 +206,7 @@ def _run(
         )
 
         trace = run_diurnal_trace(jobs=jobs, on_complete=on_complete)
-        return trace.render(), experiment_meta(trace), {}, None
+        return trace.render(), experiment_meta(trace), {}, None, None
     if name == "table06":
         from repro.experiments.table06_control_plane import (
             experiment_meta,
@@ -183,7 +214,7 @@ def _run(
         )
 
         table = run_table06()
-        return table.render(), experiment_meta(table), {}, None
+        return table.render(), experiment_meta(table), {}, None, None
     if name == "fig14":
         from repro.experiments.fig14_service_change import (
             experiment_meta,
@@ -191,11 +222,11 @@ def _run(
         )
 
         result = run_service_change(jobs=jobs, on_complete=on_complete)
-        return result.render(), experiment_meta(result), {}, None
+        return result.render(), experiment_meta(result), {}, None, None
     if name == "summary":
         from repro.experiments.summary import summarize
 
-        return summarize(), None, {}, None
+        return summarize(), None, {}, None, None
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -211,6 +242,9 @@ _RESULT_NAMES = {
     "fig13": "fig13_diurnal",
     "table06": "table06_control_plane",
     "fig14": "fig14_service_change",
+    # "fleet" saves as fleet_smoke instead when --smoke is given; both
+    # route to results/fleet/ via the sidecar's scale field.
+    "fleet": "fleet",
 }
 
 
@@ -268,6 +302,25 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "number of tenant cells in the fleet (fleet only; default 8, "
+            "or 4 with --smoke)"
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "CI-sized fleet run: 4 cells by default and shortened per-"
+            "cell durations; --save persists as fleet_smoke instead of "
+            "fleet (fleet only)"
+        ),
+    )
+    parser.add_argument(
         "--save",
         action="store_true",
         help=(
@@ -284,6 +337,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--save is not supported for {args.experiment!r}")
     if args.report and args.experiment != "fig11-12":
         parser.error("--report is only supported for fig11-12")
+    if args.experiment != "fleet" and (args.cells is not None or args.smoke):
+        parser.error("--cells/--smoke are only supported for fleet")
+    if args.cells is not None and args.cells < 1:
+        parser.error(f"--cells must be >= 1, got {args.cells}")
+    cells = args.cells if args.cells is not None else (4 if args.smoke else 8)
     if args.dump_traces is not None:
         if args.experiment not in _TRACEABLE:
             parser.error(
@@ -294,7 +352,14 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--dump-traces must be >= 1, got {args.dump_traces}")
     apps = args.apps.split(",") if args.apps else None
     on_complete = _ProgressReporter() if args.progress else None
-    if args.experiment in ("table05", "fig11-12", "fig13", "fig14", "summary"):
+    if args.experiment in (
+        "table05",
+        "fig11-12",
+        "fig13",
+        "fig14",
+        "fleet",
+        "summary",
+    ):
         from repro.experiments.parallel import default_jobs, warm_pool
 
         # One worker pool per CLI invocation: warmed here, reused by
@@ -302,19 +367,31 @@ def main(argv: list[str] | None = None) -> int:
         # .parallel; workers fork after imports are done).
         if (args.jobs or default_jobs()) > 1:
             warm_pool(args.jobs)
-    text, meta, trace_sources, report = _run(
+    text, meta, trace_sources, report, html = _run(
         args.experiment,
         apps,
         args.jobs,
         on_complete=on_complete,
         trace_runs=args.dump_traces is not None,
         report_runs=args.report,
+        cells=cells,
+        smoke=args.smoke,
     )
     print(text)
     if args.save and meta is not None:
         from repro.experiments import store
 
-        path = store.save_result(_RESULT_NAMES[args.experiment], text, meta)
+        result_name = _RESULT_NAMES[args.experiment]
+        if args.experiment == "fleet" and args.smoke:
+            result_name = "fleet_smoke"
+        path = store.save_result(
+            result_name,
+            text,
+            meta,
+            artifacts=(
+                {f"{result_name}.html": html} if html is not None else None
+            ),
+        )
         print(f"[saved to {path}]", file=sys.stderr)
     if report is not None:
         from repro.experiments import store

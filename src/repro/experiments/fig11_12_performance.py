@@ -39,8 +39,6 @@ from repro.experiments.report import (
 from repro.experiments.runner import (
     DeploymentResult,
     RunOptions,
-    SLOOptions,
-    TracingOptions,
     run_deployment,
     scale_profile,
 )
@@ -175,26 +173,35 @@ def run_performance_grid(
     apps: tuple[str, ...],
     loads: tuple[str, ...] = LOAD_KINDS,
     managers: tuple[str, ...] = ("ursa", "sinan", "firm", "auto-a", "auto-b"),
-    seed: int = 23,
-    tracing: TracingOptions | None = None,
-    slo: SLOOptions | None = None,
+    options: RunOptions | None = None,
     jobs: int | None = None,
     on_complete=None,
 ) -> PerformanceGrid:
     """The full (app x load x manager) grid, fanned out across ``jobs``.
 
-    ``seed`` is a *master* seed: each (app, load) workload cell gets its
-    own seed from :func:`partition_seeds`, shared by all managers of that
-    cell so the five systems face identical request sequences.  The
-    partition depends only on the master seed and the grid shape, so the
-    merged results are identical for any ``jobs`` value.  ``tracing``
-    samples span trees in every cell (a pure observer; the simulated
-    timeline is unchanged) and returns them on each cell's
-    ``result.traces`` -- the input to the CLI's ``--dump-traces``.
+    All per-run knobs ride in ``options`` (default: digested runs under
+    the historical master seed).  ``options.seed`` is a *master* seed:
+    each (app, load) workload cell gets its own seed from
+    :func:`partition_seeds`, shared by all managers of that cell so the
+    five systems face identical request sequences.  The partition depends
+    only on the master seed and the grid shape, so the merged results are
+    identical for any ``jobs`` value.  ``options.tracing`` samples span
+    trees in every cell (a pure observer; the simulated timeline is
+    unchanged) and returns them on each cell's ``result.traces`` -- the
+    input to the CLI's ``--dump-traces``; ``options.slo`` streams the SLO
+    monitor the same way.
     """
+    options = (
+        options
+        if options is not None
+        else RunOptions(seed=FIG11_12_SEED, digest=True)
+    )
     workloads = [(a, lo) for a in apps for lo in loads]
     seeds = dict(
-        zip(workloads, partition_seeds(seed, len(workloads), namespace="fig11-12"))
+        zip(
+            workloads,
+            partition_seeds(options.seed, len(workloads), namespace="fig11-12"),
+        )
     )
     keys = [(a, lo, m) for (a, lo) in workloads for m in managers]
     plans = [
@@ -204,9 +211,7 @@ def run_performance_grid(
                 "app_name": a,
                 "load_kind": lo,
                 "manager": m,
-                "options": RunOptions(
-                    seed=seeds[(a, lo)], digest=True, tracing=tracing, slo=slo
-                ),
+                "options": options.replace(seed=seeds[(a, lo)]),
             },
             label=f"fig11-12:{a}:{lo}:{m}",
         )

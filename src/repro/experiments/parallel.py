@@ -60,6 +60,7 @@ from repro.sim.random import RandomStreams
 __all__ = [
     "RunPlan",
     "run_many",
+    "named_seeds",
     "partition_seeds",
     "default_jobs",
     "warm_pool",
@@ -122,6 +123,31 @@ def partition_seeds(master_seed: int, n: int, namespace: str = "run") -> list[in
         raise ValueError(f"cannot partition seeds for n={n} runs")
     rng = RandomStreams(master_seed).stream(f"parallel:{namespace}")
     return [int(s) for s in rng.integers(0, 2**31 - 1, size=n)]
+
+
+def named_seeds(
+    master_seed: int, names: Sequence[str], namespace: str = "run"
+) -> dict[str, int]:
+    """One independent seed per *name*, derived from ``master_seed``.
+
+    Unlike :func:`partition_seeds` (positional: the i-th plan gets the
+    i-th draw), each seed here comes from a dedicated stream keyed by the
+    name itself, so the mapping is invariant to the order names are
+    given in -- and to adding or removing other names.  Fleet cells
+    (:mod:`repro.fleet`) use this so reordering the cell list, or
+    growing the fleet, never reseeds existing cells.
+    """
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate names in seed derivation: {sorted(names)}")
+    streams = RandomStreams(master_seed)
+    return {
+        name: int(
+            streams.stream(f"parallel:{namespace}:{name}").integers(
+                0, 2**31 - 1
+            )
+        )
+        for name in names
+    }
 
 
 def _execute(plan: RunPlan) -> Any:

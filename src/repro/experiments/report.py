@@ -170,6 +170,13 @@ class RunDashboard:
     #: Top services by mean allocated CPUs summed across runs:
     #: (service, mean CPUs).
     utilization_rows: list[tuple[str, float]] = field(default_factory=list)
+    #: Caller-supplied sections rendered before the run rows, as
+    #: (title, headers, rows) -- already-formatted strings.  The fleet
+    #: dashboard uses this for its allocator/budget tables; any other
+    #: aggregation can ride along the same way.
+    extra_tables: list[tuple[str, tuple[str, ...], list[tuple[str, ...]]]] = (
+        field(default_factory=list)
+    )
 
 
 def _merged_class_histograms(results: Mapping[str, "DeploymentResult"]):
@@ -189,6 +196,9 @@ def build_dashboard(
     sla_targets: Mapping[str, float] | None = None,
     audit: "list[AuditVerdict] | None" = None,
     title: str = "run dashboard",
+    extra_tables: (
+        "list[tuple[str, tuple[str, ...], list[tuple[str, ...]]]] | None"
+    ) = None,
 ) -> RunDashboard:
     """Fold deployment results into one :class:`RunDashboard`.
 
@@ -196,7 +206,8 @@ def build_dashboard(
     ``shard-3``) to its :class:`DeploymentResult`; labels are the
     timeline's source names.  ``sla_targets`` (class -> seconds) enables
     the pooled violation-fraction column; ``audit`` attaches
-    budget-audit verdicts.
+    budget-audit verdicts; ``extra_tables`` prepends caller sections
+    (see :class:`RunDashboard.extra_tables`).
     """
     run_rows = []
     alerts: list[tuple[str, Alert]] = []
@@ -272,6 +283,7 @@ def build_dashboard(
         attribution=attribution,
         audit=list(audit or []),
         utilization_rows=utilization_rows,
+        extra_tables=list(extra_tables or []),
     )
 
 
@@ -280,6 +292,9 @@ def render_dashboard_text(dash: RunDashboard) -> str:
     from repro.telemetry.audit import render_audit
 
     parts = [dash.title, "=" * len(dash.title), ""]
+    for table_title, headers, rows in dash.extra_tables:
+        parts.append(render_table(headers, rows, title=table_title))
+        parts.append("")
     parts.append(
         render_table(
             ("run", "violation_rate", "mean_cpus", "completed", "alerts"),
@@ -418,6 +433,8 @@ def render_dashboard_html(dash: RunDashboard) -> str:
     reruns and the results store can pin its hash.
     """
     sections = [f"<h1>{_html_escape(dash.title)}</h1>"]
+    for table_title, headers, rows in dash.extra_tables:
+        sections.append(_html_table(headers, rows, table_title))
     sections.append(
         _html_table(
             ("run", "violation rate", "", "mean CPUs", "completed", "alerts"),

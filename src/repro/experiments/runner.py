@@ -33,6 +33,7 @@ from repro.workload.mixes import RequestMix
 __all__ = [
     "ScaleProfile",
     "scale_profile",
+    "ClusterOptions",
     "DeploymentMetrics",
     "DeploymentResult",
     "RunOptions",
@@ -91,6 +92,23 @@ _PROFILES = {
         firm_samples=500,
         bp_window_s=10.0,
         bp_samples_per_limit=8,
+    ),
+    # Per-cell durations for fleet runs (repro.fleet): many small tenant
+    # cells instead of one big deployment, so each cell runs shorter than
+    # a quick run.  Exploration/training knobs match quick exactly, so a
+    # fleet cell can reuse artefacts cached at quick scale.
+    "fleet": ScaleProfile(
+        name="fleet",
+        deployment_s=360.0,
+        measure_from_s=90.0,
+        exploration_window_s=20.0,
+        exploration_samples_per_step=5,
+        exploration_warmup_s=40.0,
+        exploration_settle_s=10.0,
+        sinan_samples=100,
+        firm_samples=80,
+        bp_window_s=6.0,
+        bp_samples_per_limit=6,
     ),
 }
 
@@ -209,6 +227,34 @@ class SLOOptions:
 
 
 @dataclass(frozen=True)
+class ClusterOptions:
+    """Shape of the cluster a run deploys onto (plain data, picklable).
+
+    The default matches the historical harness testbed: 8 homogeneous
+    96-CPU nodes.  Fleet cells (:mod:`repro.fleet`) shrink this to a
+    per-tenant node budget and turn on ``cap_on_full`` so a tight budget
+    degrades to queueing (SLA violations) instead of raising
+    :class:`~repro.errors.SchedulingError` out of the manager.
+    """
+
+    nodes: int = 8
+    node_cpus: int = 96
+    node_memory_gb: float = 256.0
+    #: Cap scale-ups at cluster capacity instead of raising when full.
+    cap_on_full: bool = False
+
+    def build_nodes(self) -> list[Node]:
+        return [
+            Node(f"run-{i}", self.node_cpus, self.node_memory_gb)
+            for i in range(self.nodes)
+        ]
+
+    @property
+    def total_cpus(self) -> int:
+        return self.nodes * self.node_cpus
+
+
+@dataclass(frozen=True)
 class SLOArtifacts:
     """Serialized SLO-monitor output of one run (picklable, deterministic)."""
 
@@ -254,6 +300,8 @@ class RunOptions:
     digest: bool = False
     #: Scale profile name override (``None`` = honour ``REPRO_SCALE``).
     scale: str | None = None
+    #: Cluster shape override (``None`` = the default 8x96 testbed).
+    cluster: ClusterOptions | None = None
 
     def profile(self) -> ScaleProfile:
         """The scale profile this run uses (explicit override or env)."""
@@ -312,6 +360,10 @@ class DeploymentResult:
     per_class_violation_rate: dict[str, float]
     completed_requests: int
     wall_seconds: float
+    #: Scale-ups refused by a capacity-capped cluster
+    #: (:class:`ClusterOptions` ``cap_on_full``); > 0 means the run was
+    #: capacity-bound, the signal fleet allocators key on.
+    capped_scale_ups: int = 0
     metrics: DeploymentMetrics | None = field(repr=False, default=None)
     #: BLAKE2b checksum of the run's full event trace (``digest=True``).
     run_digest: str | None = None
@@ -327,15 +379,25 @@ def make_app(
     initial_replicas: Mapping[str, int] | int = 2,
     trace: Callable | None = None,
     tracer: Tracer | None = None,
+    cluster_options: ClusterOptions | None = None,
 ) -> Application:
-    """An application on a fresh default (8-node testbed) cluster.
+    """An application on a fresh cluster (default: the 8-node testbed).
 
     ``trace`` is the engine-level event hook (e.g. a
     :class:`~repro.sim.trace.RunDigest`); ``tracer`` the request-level
-    span sampler.
+    span sampler.  ``cluster_options`` reshapes the cluster (node count,
+    node size, capacity capping) -- the knob fleet cells use to enforce
+    a per-tenant node budget.
     """
+    cluster_options = (
+        cluster_options if cluster_options is not None else ClusterOptions()
+    )
     env = Environment(trace=trace)
-    cluster = Cluster(env, nodes=[Node(f"run-{i}", 96, 256) for i in range(8)])
+    cluster = Cluster(
+        env,
+        nodes=cluster_options.build_nodes(),
+        cap_on_full=cluster_options.cap_on_full,
+    )
     return Application(
         spec,
         env=env,
@@ -370,7 +432,13 @@ def run_deployment(
     tracer = (
         options.tracing.build_tracer() if options.tracing is not None else None
     )
-    app = make_app(spec, options.seed, trace=run_digest, tracer=tracer)
+    app = make_app(
+        spec,
+        options.seed,
+        trace=run_digest,
+        tracer=tracer,
+        cluster_options=options.cluster,
+    )
     if tracer is not None:
         tracer.hub = app.hub
     slo_monitor = None
@@ -450,6 +518,7 @@ def run_deployment(
         ),
         completed_requests=sum(d.count for d in latency_by_class.values()),
         wall_seconds=wall,
+        capped_scale_ups=app.cluster.capped_scale_ups(),
         metrics=metrics,
         run_digest=run_digest.hexdigest() if run_digest is not None else None,
         traces=traces,

@@ -53,6 +53,7 @@ __all__ = [
     "RunMeta",
     "deployment_summaries",
     "load_sidecar",
+    "merged_digest",
     "present_scales",
     "results_dir",
     "scale_dir",
@@ -171,6 +172,20 @@ def _meta_digest(payload: Mapping[str, Any]) -> str:
 
 def _text_sha256(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def merged_digest(digests: Mapping[str, str]) -> str:
+    """One fingerprint over a set of labelled event-trace digests.
+
+    BLAKE2b over the sorted ``label=digest`` pairs, so the value depends
+    only on the set -- never on insertion or completion order.  Fleet
+    runs (:mod:`repro.fleet`) pin this as the whole-fleet digest: two
+    fleets match iff every cell's run digest matches.
+    """
+    body = "\n".join(
+        f"{label}={digest}" for label, digest in sorted(digests.items())
+    )
+    return hashlib.blake2b(body.encode("utf-8"), digest_size=16).hexdigest()
 
 
 def results_dir() -> Path:

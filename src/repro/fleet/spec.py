@@ -1,0 +1,151 @@
+"""Fleet specs: N tenant cells sharing one global node budget.
+
+The paper evaluates Ursa on a single 8-node cluster; the fleet layer
+models the regime the ROADMAP aims at -- many independent tenant *cells*
+(each an application topology + its own budgeted cluster + a workload
+profile + the app spec's per-class SLAs), drawn from the four benchmark
+applications.  A :class:`FleetSpec` is plain frozen data end to end, so
+it crosses the :mod:`repro.experiments.parallel` process boundary
+unchanged and its identity (cell names, seeds, budgets) can be pinned by
+the results store.
+
+Seed derivation is *name-keyed* (:func:`repro.experiments.parallel
+.named_seeds`): each cell's workload seed depends only on the fleet
+master seed and the cell's name, never on its position in the cell
+tuple, so reordering or growing a fleet does not reseed existing cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import named_seeds
+
+__all__ = [
+    "CellSpec",
+    "FLEET_APPS",
+    "FLEET_LOADS",
+    "FLEET_SEED",
+    "FleetSpec",
+    "default_fleet",
+]
+
+#: Default master seed for fleet runs (pinned in results/fleet/).
+FLEET_SEED = 47
+
+#: Applications cells cycle through (the four benchmark apps).
+FLEET_APPS = (
+    "social-network",
+    "vanilla-social-network",
+    "media-service",
+    "video-pipeline",
+)
+
+#: Load kinds cells cycle through (same shapes as the Fig. 11/12 grid).
+FLEET_LOADS = ("constant", "dynamic", "skewed")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One tenant cell: an app + workload profile + derived seed.
+
+    The cell's per-class SLAs come from its application spec; its cluster
+    is carved out of the fleet's global node budget by the allocator.
+    """
+
+    name: str
+    app_name: str
+    load_kind: str
+    #: Workload seed (derived from the fleet seed by the cell *name*).
+    seed: int
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A fleet: cells plus the global node budget they share.
+
+    ``total_nodes`` is the fleet-wide budget the allocator splits across
+    cells; every cell's cluster is built from ``node_cpus``-CPU nodes
+    with capacity capping on, so an under-budgeted cell queues (and
+    violates SLAs) instead of crashing the run.
+    """
+
+    cells: tuple[CellSpec, ...]
+    seed: int = FLEET_SEED
+    total_nodes: int = 32
+    node_cpus: int = 8
+    node_memory_gb: float = 32.0
+    #: Floor the allocator must leave every cell (keeps each service
+    #: schedulable at one replica even in donor cells).
+    min_nodes_per_cell: int = 2
+
+    def __post_init__(self) -> None:
+        names = [cell.name for cell in self.cells]
+        if not names:
+            raise ConfigurationError("a fleet needs at least one cell")
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate cell names: {sorted(names)}")
+        if self.min_nodes_per_cell < 1:
+            raise ConfigurationError("min_nodes_per_cell must be >= 1")
+        floor = self.min_nodes_per_cell * len(self.cells)
+        if self.total_nodes < floor:
+            raise ConfigurationError(
+                f"total_nodes={self.total_nodes} cannot cover "
+                f"{len(self.cells)} cells at min_nodes_per_cell="
+                f"{self.min_nodes_per_cell} (need >= {floor})"
+            )
+
+    def sorted_cells(self) -> tuple[CellSpec, ...]:
+        """Cells in canonical (name) order -- the order every fleet
+        aggregation uses, so cell-submission order never matters."""
+        return tuple(sorted(self.cells, key=lambda cell: cell.name))
+
+    def cell(self, name: str) -> CellSpec:
+        for candidate in self.cells:
+            if candidate.name == name:
+                return candidate
+        raise ConfigurationError(f"unknown cell {name!r}")
+
+
+def default_fleet(
+    n_cells: int = 8,
+    seed: int = FLEET_SEED,
+    nodes_per_cell: int = 4,
+    node_cpus: int = 8,
+    node_memory_gb: float = 32.0,
+) -> FleetSpec:
+    """A canonical fleet of ``n_cells`` cells cycling apps and loads.
+
+    Cell ``i`` runs ``FLEET_APPS[i % 4]`` under ``FLEET_LOADS[i % 3]``,
+    so any fleet of >= 4 cells mixes heavy (social network) and light
+    (video pipeline) tenants -- the imbalance the allocator exists to
+    exploit.  The global budget is ``nodes_per_cell * n_cells`` nodes,
+    i.e. exactly what static-equal would hand each cell; the default
+    sizing (4 nodes x 8 CPUs = 32 CPUs per cell) deliberately sits
+    *below* the social-network cells' steady demand (~45 CPUs), so an
+    equal split caps the heavy tenants and the allocator has real
+    headroom to move.
+    """
+    if n_cells < 1:
+        raise ConfigurationError(f"n_cells must be >= 1, got {n_cells}")
+    names = [
+        f"cell{i:02d}-{FLEET_APPS[i % len(FLEET_APPS)]}" for i in range(n_cells)
+    ]
+    seeds = named_seeds(seed, names, namespace="fleet")
+    cells = tuple(
+        CellSpec(
+            name=name,
+            app_name=FLEET_APPS[i % len(FLEET_APPS)],
+            load_kind=FLEET_LOADS[i % len(FLEET_LOADS)],
+            seed=seeds[name],
+        )
+        for i, name in enumerate(names)
+    )
+    return FleetSpec(
+        cells=cells,
+        seed=seed,
+        total_nodes=nodes_per_cell * n_cells,
+        node_cpus=node_cpus,
+        node_memory_gb=node_memory_gb,
+    )

@@ -60,6 +60,7 @@ __all__ = [
     "alerts_digest",
     "alerts_from_jsonl",
     "alerts_to_jsonl",
+    "budget_pressure",
     "slo_specs_for",
 ]
 
@@ -194,6 +195,25 @@ def alerts_from_jsonl(text: str) -> list[Alert]:
 def alerts_digest(jsonl: str) -> str:
     """Short BLAKE2b fingerprint of an alert stream (sidecar pinning)."""
     return hashlib.blake2b(jsonl.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def budget_pressure(budget_report: Mapping[str, Mapping[str, float]]) -> float:
+    """Scalar SLO pressure of one run, from its per-class budget report.
+
+    The worst class dominates: pressure is the maximum over classes of
+    the error budget consumed, with the slow burn rate (normalised so a
+    burn of 1.0 -- budget exactly exhausted over the window -- adds 1.0)
+    as a tie-breaker weight for runs whose cumulative budgets are equal
+    but which are burning at different rates *now*.  A pure function of
+    :meth:`SLOMonitor.budget_report` output, so fleet allocation driven
+    by it stays deterministic; returns 0.0 for an empty report.
+    """
+    pressure = 0.0
+    for row in budget_report.values():
+        consumed = float(row.get("budget_consumed", 0.0))
+        slow = float(row.get("slow_burn", 0.0))
+        pressure = max(pressure, consumed + 0.01 * slow)
+    return round(pressure, 9)
 
 
 class _WindowSum:

@@ -1,0 +1,11 @@
+"""API002 fixture: entry points from implementation modules; flagged."""
+
+from repro.experiments.fig11_12_performance import (
+    run_cell,
+    run_performance_grid,
+)
+from repro.experiments.runner import RunOptions, run_deployment
+from repro.fleet.runner import run_fleet
+
+result = run_deployment  # keep imports "used" for readers
+grid = (run_cell, run_performance_grid, run_fleet, RunOptions)

@@ -14,6 +14,7 @@ from repro.analysis import (
 )
 from repro.analysis.policy import (
     EXPERIMENTS_ALLOWLIST,
+    INTERNAL_ALLOWLIST,
     PERF_BENCH_ALLOWLIST,
     SIM_PATH_PACKAGES,
 )
@@ -66,14 +67,21 @@ def test_comma_separated_suppressions():
 # Policy
 # ----------------------------------------------------------------------
 def test_sim_path_packages_get_every_rule():
+    # Every rule except the facade-import rule, which only binds outside
+    # the repro package (see INTERNAL_ALLOWLIST).
     for package in sorted(SIM_PATH_PACKAGES):
         profile = profile_for_path(f"src/repro/{package}/module.py")
-        assert profile.rules == frozenset(registry()), package
+        assert (
+            profile.rules == frozenset(registry()) - INTERNAL_ALLOWLIST
+        ), package
 
 
 def test_experiments_profile_allowlists_wall_clock():
     profile = profile_for_path("src/repro/experiments/runner.py")
-    assert profile.rules == frozenset(registry()) - EXPERIMENTS_ALLOWLIST
+    assert (
+        profile.rules
+        == frozenset(registry()) - EXPERIMENTS_ALLOWLIST - INTERNAL_ALLOWLIST
+    )
     assert "SIM001" not in profile.rules
     assert "SIM002" in profile.rules
 

@@ -17,6 +17,7 @@ RULE_FIXTURES = {
     "SIM005": ("sim005_flagged.py", "sim005_clean.py"),
     "SIM006": ("sim006_flagged.py", "sim006_clean.py"),
     "API001": ("api001_flagged.py", "api001_clean.py"),
+    "API002": ("api002_flagged.py", "api002_clean.py"),
     "TEL001": ("tel001_flagged.py", "tel001_clean.py"),
     "TEL002": ("tel002_flagged.py", "tel002_clean.py"),
 }
@@ -24,6 +25,37 @@ RULE_FIXTURES = {
 
 def test_every_registered_rule_has_fixtures():
     assert set(RULE_FIXTURES) == set(registry())
+
+
+def test_facade_entrypoints_match_api_surface():
+    """API002's hardcoded entrypoint set stays in sync with repro.api."""
+    from repro import api
+    from repro.analysis.rules.api import FACADE_ENTRYPOINTS
+
+    assert FACADE_ENTRYPOINTS <= set(api.__all__)
+    # Every run_*/simulate* entry point the facade exports is enforced.
+    enforced = {
+        name
+        for name in api.__all__
+        if name.startswith(("run_", "simulate"))
+    }
+    assert FACADE_ENTRYPOINTS == enforced
+
+
+def test_facade_rule_policy_scope():
+    """API002 binds outside repro (tests/benchmarks/examples), not inside."""
+    from repro.analysis.policy import profile_for_path
+
+    assert "API002" not in profile_for_path("src/repro/fleet/runner.py").rules
+    assert "API002" not in profile_for_path("src/repro/api.py").rules
+    assert "API002" not in profile_for_path(
+        "src/repro/experiments/cli.py"
+    ).rules
+    assert "API002" not in profile_for_path("src/repro/sim/engine.py").rules
+    assert "API002" in profile_for_path("tests/experiments/test_x.py").rules
+    assert "API002" in profile_for_path("benchmarks/test_fig02.py").rules
+    assert "API002" in profile_for_path("benchmarks/perf/bench_runner.py").rules
+    assert "API002" in profile_for_path("examples/cost_efficiency.py").rules
 
 
 @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
@@ -52,6 +84,7 @@ def test_flagged_fixture_counts():
         "SIM005": 1,  # acquire without finally-release
         "SIM006": 2,  # == and != against env.now
         "API001": 3,  # two arg defaults + dataclass field
+        "API002": 4,  # run_cell, run_performance_grid, run_deployment, run_fleet
         "TEL001": 4,  # const typo, literal typo, kind mismatch, bad label
         "TEL002": 3,  # const typo, literal typo, internal emit typo
     }

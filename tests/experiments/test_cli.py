@@ -20,9 +20,9 @@ def test_run_rejects_bad_name():
         _run("bogus", None, None)
 
 
-def test_table05_branch_returns_four_values(monkeypatch):
-    # main() unpacks exactly (text, meta, trace_sources, report) from
-    # _run; stub out the heavy experiment and pin the table05 arity.
+def test_table05_branch_returns_five_values(monkeypatch):
+    # main() unpacks exactly (text, meta, trace_sources, report, html)
+    # from _run; stub out the heavy experiment and pin the table05 arity.
     import repro.experiments.table05_exploration as t05
 
     class _Table:
@@ -33,11 +33,12 @@ def test_table05_branch_returns_four_values(monkeypatch):
         t05, "run_table05", lambda jobs=None, on_complete=None: _Table()
     )
     monkeypatch.setattr(t05, "experiment_meta", lambda table: {"seed": 1})
-    text, meta, trace_sources, report = _run("table05", None, None)
+    text, meta, trace_sources, report, html = _run("table05", None, None)
     assert text == "rendered"
     assert meta == {"seed": 1}
     assert trace_sources == {}
     assert report is None
+    assert html is None
 
 
 def test_help_exits_zero(capsys):
@@ -61,6 +62,16 @@ def test_save_rejected_for_summary():
     # own to persist.
     with pytest.raises(SystemExit):
         main(["summary", "--save"])
+
+
+def test_fleet_flags_validated():
+    # --cells/--smoke only make sense for the fleet experiment.
+    with pytest.raises(SystemExit):
+        main(["fig13", "--cells", "4"])
+    with pytest.raises(SystemExit):
+        main(["fig13", "--smoke"])
+    with pytest.raises(SystemExit):
+        main(["fleet", "--cells", "0"])
 
 
 def test_dump_traces_flag_validated():

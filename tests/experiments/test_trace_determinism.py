@@ -8,7 +8,7 @@ enabling tracing/digesting must not perturb the simulated timeline
 
 from repro.experiments.artifacts import app_spec
 from repro.experiments.parallel import RunPlan, run_many
-from repro.experiments.runner import RunOptions, TracingOptions, run_deployment
+from repro.api import RunOptions, TracingOptions, run_deployment
 from repro.workload.defaults import default_mix_for
 from repro.workload.patterns import ConstantLoad
 

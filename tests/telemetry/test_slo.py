@@ -12,7 +12,7 @@ import pytest
 
 from repro.errors import TelemetryError
 from repro.experiments.artifacts import app_spec
-from repro.experiments.runner import RunOptions, SLOOptions, run_deployment
+from repro.api import RunOptions, SLOOptions, run_deployment
 from repro.telemetry.slo import (
     ALERT_BUDGET_EXHAUSTED,
     ALERT_BURN_RATE,
